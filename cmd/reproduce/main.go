@@ -1,0 +1,86 @@
+// Command reproduce regenerates the tables and figures of the paper's
+// evaluation sections. Each experiment prints the same rows and series the
+// paper plots.
+//
+// Usage:
+//
+//	reproduce -list
+//	reproduce -exp fig3.3
+//	reproduce -exp fig3.3,fig3.4 -threads 1,2,4,8 -measure 500ms
+//	reproduce -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		listFlag    = flag.Bool("list", false, "list experiments and exit")
+		quickFlag   = flag.Bool("quick", false, "use tiny measurement windows (smoke run)")
+		threadsFlag = flag.String("threads", "", "comma-separated thread sweep (default per config)")
+		warmupFlag  = flag.Duration("warmup", 0, "per-point warmup (default per config)")
+		measureFlag = flag.Duration("measure", 0, "per-point measurement window (default per config)")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *expFlag == "" {
+		fmt.Fprintln(os.Stderr, "reproduce: -exp required (or -list); e.g. -exp fig3.3")
+		os.Exit(2)
+	}
+
+	cfg := bench.Full()
+	if *quickFlag {
+		cfg = bench.Quick()
+	}
+	if *threadsFlag != "" {
+		var threads []int
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "reproduce: bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			threads = append(threads, n)
+		}
+		cfg.Threads = threads
+	}
+	if *warmupFlag > 0 {
+		cfg.Warmup = *warmupFlag
+	}
+	if *measureFlag > 0 {
+		cfg.Measure = *measureFlag
+	}
+
+	ids := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		ids = nil
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := bench.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "reproduce: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		e.Run(cfg, os.Stdout)
+		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

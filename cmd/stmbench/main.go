@@ -1,0 +1,151 @@
+// Command stmbench is a general-purpose workload runner over every
+// transactional implementation in the repository: pick a structure, an
+// algorithm, a workload mix and a thread count, and get throughput plus
+// abort statistics. It is the free-form counterpart of cmd/reproduce's
+// fixed paper experiments.
+//
+// Examples:
+//
+//	stmbench -structure otb-skip -threads 8 -writes 20
+//	stmbench -structure stm-rbtree -alg TL2 -size 65536 -writes 50
+//	stmbench -structure lazy-list -threads 16 -duration 2s
+//	stmbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/boosting"
+	"repro/internal/conc"
+	"repro/internal/integrate"
+	"repro/internal/otb"
+	"repro/internal/rinval"
+	"repro/internal/rtc"
+	"repro/internal/stm"
+	"repro/internal/stm/glock"
+	"repro/internal/stm/invalstm"
+	"repro/internal/stm/norec"
+	"repro/internal/stm/ringsw"
+	"repro/internal/stm/tl2"
+	"repro/internal/stm/tml"
+	"repro/internal/stmds"
+)
+
+// stmAlgorithms maps -alg values to constructors (for stm-* structures).
+var stmAlgorithms = map[string]func() stm.Algorithm{
+	"NOrec":    func() stm.Algorithm { return norec.New() },
+	"TL2":      func() stm.Algorithm { return tl2.New() },
+	"TML":      func() stm.Algorithm { return tml.New() },
+	"RingSW":   func() stm.Algorithm { return ringsw.New() },
+	"InvalSTM": func() stm.Algorithm { return invalstm.New() },
+	"CGL":      func() stm.Algorithm { return glock.New() },
+	"RTC":      func() stm.Algorithm { return rtc.New(rtc.Options{Secondaries: 1}) },
+	"RInval":   func() stm.Algorithm { return rinval.New(rinval.V3) },
+}
+
+// mkDriver builds the requested structure+algorithm driver.
+func mkDriver(structure, alg string, capacity int) (bench.SetDriver, error) {
+	mkSTM := func(set interface {
+		Add(stm.Tx, int64) bool
+		Remove(stm.Tx, int64) bool
+		Contains(stm.Tx, int64) bool
+	}) (bench.SetDriver, error) {
+		mk, ok := stmAlgorithms[alg]
+		if !ok {
+			return nil, fmt.Errorf("unknown -alg %q (see -list)", alg)
+		}
+		a := mk()
+		return bench.NewSTMDriver(a.Name(), a, set), nil
+	}
+	switch structure {
+	case "lazy-list":
+		return bench.NewLazyDriver(conc.NewLazyList()), nil
+	case "lazy-skip":
+		return bench.NewLazyDriver(conc.NewLazySkipList()), nil
+	case "boosted-list":
+		return bench.NewBoostedDriver(boosting.NewSet(conc.NewLazyList(), 4096)), nil
+	case "boosted-skip":
+		return bench.NewBoostedDriver(boosting.NewSet(conc.NewLazySkipList(), 4096)), nil
+	case "otb-list":
+		return bench.NewOTBDriver(otb.NewListSet()), nil
+	case "otb-skip":
+		return bench.NewOTBDriver(otb.NewSkipSet()), nil
+	case "otb-hash":
+		return bench.NewOTBDriver(otb.NewHashSet(256)), nil
+	case "otb-norec-list":
+		return bench.NewIntegratedDriver(integrate.NewOTBNOrec(), otb.NewListSet()), nil
+	case "otb-tl2-list":
+		return bench.NewIntegratedDriver(integrate.NewOTBTL2(), otb.NewListSet()), nil
+	case "stm-list":
+		return mkSTM(stmds.NewList(capacity))
+	case "stm-skip":
+		return mkSTM(stmds.NewSkipList(capacity))
+	case "stm-dlist":
+		return mkSTM(stmds.NewDList(capacity))
+	case "stm-rbtree":
+		return mkSTM(bench.RBAsSet(stmds.NewRBTree(capacity)))
+	case "stm-hashmap":
+		return mkSTM(bench.HashMapAsSet(stmds.NewHashMap(256, capacity)))
+	default:
+		return nil, fmt.Errorf("unknown -structure %q (see -list)", structure)
+	}
+}
+
+func main() {
+	var (
+		structure = flag.String("structure", "otb-list", "data structure implementation")
+		alg       = flag.String("alg", "NOrec", "STM algorithm (stm-* structures only)")
+		threads   = flag.Int("threads", 4, "worker goroutines")
+		size      = flag.Int("size", 512, "initial elements")
+		writes    = flag.Int("writes", 20, "write percentage (split add/remove)")
+		opsPerTx  = flag.Int("ops", 1, "operations per transaction")
+		duration  = flag.Duration("duration", time.Second, "measurement window")
+		warmup    = flag.Duration("warmup", 200*time.Millisecond, "warmup before measuring")
+		capacity  = flag.Int("capacity", 1<<21, "arena capacity for stm-* structures (nodes)")
+		list      = flag.Bool("list", false, "list structures and algorithms, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("structures: lazy-list lazy-skip boosted-list boosted-skip otb-list" +
+			" otb-skip otb-hash otb-norec-list otb-tl2-list stm-list stm-skip stm-dlist" +
+			" stm-rbtree stm-hashmap")
+		fmt.Print("algorithms (stm-*):")
+		for name := range stmAlgorithms {
+			fmt.Printf(" %s", name)
+		}
+		fmt.Println()
+		return
+	}
+
+	d, err := mkDriver(*structure, *alg, *capacity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	defer d.Stop()
+
+	wl := bench.SetWorkload{
+		InitialSize: *size,
+		KeyRange:    int64(*size) * 8,
+		WritePct:    *writes,
+		OpsPerTx:    *opsPerTx,
+	}
+	wl.Populate(d)
+	gens := make([]func(*rand.Rand) []bench.SetOp, *threads)
+	for i := range gens {
+		gens[i] = wl.NewSetWorker(i)
+	}
+	cfg := bench.Config{Threads: []int{*threads}, Warmup: *warmup, Measure: *duration}
+	tput := bench.Throughput(cfg, *threads, func(id int, rng *rand.Rand) {
+		d.RunTx(gens[id](rng))
+	})
+	fmt.Printf("%-16s %-10s threads=%-3d size=%-7d writes=%d%% ops/tx=%d\n",
+		*structure, d.Name(), *threads, *size, *writes, *opsPerTx)
+	fmt.Printf("throughput: %.0f tx/sec (%.0f ops/sec)\n", tput, tput*float64(*opsPerTx))
+}

@@ -1,0 +1,84 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Composable transactions: operations on any number of boosted structures
+// commit or abort together.
+func ExampleAtomic() {
+	inbox := repro.NewListSet()
+	archive := repro.NewSkipSet()
+	repro.Atomic(func(tx *repro.Tx) {
+		inbox.Add(tx, 7)
+		inbox.Add(tx, 9)
+	})
+	// Move message 7 from inbox to archive, atomically.
+	repro.Atomic(func(tx *repro.Tx) {
+		if inbox.Remove(tx, 7) {
+			archive.Add(tx, 7)
+		}
+	})
+	fmt.Println(inbox.Len(), archive.Len())
+	// Output: 1 1
+}
+
+// The ordered map defers inserts, updates and deletes to commit; a
+// transaction reads through its own pending writes.
+func ExampleMap() {
+	m := repro.NewMap()
+	repro.Atomic(func(tx *repro.Tx) {
+		m.Put(tx, 1, 100)
+		m.Put(tx, 1, 150) // update of the pending insert
+		v, _ := m.Get(tx, 1)
+		fmt.Println("in-tx read:", v)
+	})
+	repro.Atomic(func(tx *repro.Tx) {
+		v, ok := m.Get(tx, 1)
+		fmt.Println("committed:", v, ok)
+	})
+	// Output:
+	// in-tx read: 150
+	// committed: 150 true
+}
+
+// The priority queue dequeues in key order across transactions.
+func ExampleSkipPQ() {
+	q := repro.NewSkipPQ()
+	repro.Atomic(func(tx *repro.Tx) {
+		q.Add(tx, 30)
+		q.Add(tx, 10)
+		q.Add(tx, 20)
+	})
+	repro.Atomic(func(tx *repro.Tx) {
+		for {
+			k, ok := q.RemoveMin(tx)
+			if !ok {
+				break
+			}
+			fmt.Println(k)
+		}
+	})
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+// Word-based STM: the same atomic-block style over raw memory cells, under
+// any of the implemented algorithms.
+func ExampleSTM() {
+	alg := repro.NewNOrec()
+	defer alg.Stop()
+	a := repro.NewCell(10)
+	b := repro.NewCell(0)
+	alg.Atomic(func(tx repro.MemTx) {
+		v := tx.Read(a)
+		tx.Write(a, 0)
+		tx.Write(b, v)
+	})
+	fmt.Println(a.Load(), b.Load())
+	// Output: 0 10
+}

@@ -1,0 +1,96 @@
+// Bank: mixed memory and data-structure transactions (Chapter 4).
+//
+// Each transfer updates two account balances (transactional memory cells)
+// and maintains a boosted set of "flagged" accounts whose balance dropped
+// below a threshold — one atomic transaction spanning STM reads/writes and
+// OTB set operations, executed by the OTB-NOrec integration context. This
+// is the paper's Algorithm 7 pattern applied to a realistic workload.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro"
+)
+
+const (
+	accounts  = 64
+	initial   = 1000
+	threshold = 200
+	transfers = 2000
+	tellers   = 8
+)
+
+func main() {
+	alg := repro.NewOTBNOrec()
+	defer alg.Stop()
+
+	balances := make([]*repro.Cell, accounts)
+	for i := range balances {
+		balances[i] = repro.NewCell(initial)
+	}
+	flagged := repro.NewListSet() // accounts under the low-balance threshold
+
+	var wg sync.WaitGroup
+	for t := 0; t < tellers; t++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xbadc0de))
+			for i := 0; i < transfers; i++ {
+				from := rng.IntN(accounts)
+				to := rng.IntN(accounts - 1)
+				if to >= from {
+					to++
+				}
+				amount := uint64(rng.IntN(50) + 1)
+				alg.Atomic(func(ctx *repro.Ctx) {
+					fb := ctx.Read(balances[from])
+					if fb < amount {
+						return // insufficient funds; commit as a no-op
+					}
+					tb := ctx.Read(balances[to])
+					ctx.Write(balances[from], fb-amount)
+					ctx.Write(balances[to], tb+amount)
+					// Maintain the flagged set in the same transaction.
+					updateFlag(ctx, flagged, int64(from), fb-amount)
+					updateFlag(ctx, flagged, int64(to), tb+amount)
+				})
+			}
+		}(uint64(t + 1))
+	}
+	wg.Wait()
+
+	var total uint64
+	low := 0
+	for i, c := range balances {
+		v := c.Load()
+		total += v
+		if v < threshold {
+			low++
+		}
+		_ = i
+	}
+	fmt.Printf("total money: %d (must be %d)\n", total, accounts*initial)
+	fmt.Printf("accounts under threshold: %d, flagged set size: %d\n", low, flagged.Len())
+	if total != accounts*initial {
+		panic("money not conserved")
+	}
+	if low != flagged.Len() {
+		panic("flagged set out of sync with balances")
+	}
+	fmt.Println("balances and flagged set stayed consistent under", tellers, "tellers")
+}
+
+// updateFlag keeps the flagged set in sync with a just-written balance.
+func updateFlag(ctx *repro.Ctx, flagged *repro.ListSet, account int64, balance uint64) {
+	if balance < threshold {
+		flagged.Add(ctx.Sem(), account)
+	} else {
+		flagged.Remove(ctx.Sem(), account)
+	}
+}

@@ -1,0 +1,92 @@
+// Hybrid: emulated best-effort HTM with software fallback, behind the
+// adaptive framework (the paper's Chapter 7 roadmap in one program).
+//
+// Small transactions commit in the emulated hardware path; transactions
+// whose footprint exceeds the hardware capacity fall back to software. The
+// adaptive layer then hot-swaps the whole workload onto RTC with a
+// stop-the-world switch, mid-run, without losing a single update.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro"
+)
+
+const (
+	workers    = 6
+	perWorker  = 2000
+	smallCells = 4
+	bigCells   = 256 // exceeds the hardware read capacity
+)
+
+func main() {
+	hybrid := repro.NewHybridHTM()
+	adaptive, err := repro.NewAdaptive(hybrid, repro.NewRTC(1))
+	if err != nil {
+		panic(err)
+	}
+	defer adaptive.Stop()
+
+	small := make([]*repro.Cell, smallCells)
+	for i := range small {
+		small[i] = repro.NewCell(0)
+	}
+	big := make([]*repro.Cell, bigCells)
+	for i := range big {
+		big[i] = repro.NewCell(1)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%10 == 0 {
+					// A big transaction: reads the whole array (capacity
+					// abort in hardware, commits in software).
+					adaptive.Atomic(func(tx repro.MemTx) {
+						var sum uint64
+						for _, c := range big {
+							sum += tx.Read(c)
+						}
+						tx.Write(small[0], tx.Read(small[0])+1)
+					})
+				} else {
+					// A small transaction: hardware-sized.
+					c := small[(w+i)%smallCells]
+					adaptive.Atomic(func(tx repro.MemTx) {
+						tx.Write(c, tx.Read(c)+1)
+					})
+				}
+			}
+		}(w)
+	}
+	// Let the hybrid path absorb a good share of the run, then switch the
+	// whole system onto RTC (stop-the-world) while workers keep going.
+	for hybrid.HWCommits()+hybrid.SWCommits() < workers*perWorker/2 {
+		runtime.Gosched()
+	}
+	if err := adaptive.Switch("RTC"); err != nil {
+		panic(err)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, c := range small {
+		total += c.Load()
+	}
+	fmt.Printf("total updates: %d (must be %d)\n", total, workers*perWorker)
+	if total != workers*perWorker {
+		panic("updates lost across paths or the switch")
+	}
+	fmt.Printf("hybrid path before the switch: %d hardware commits, %d software fallbacks (%d capacity aborts)\n",
+		hybrid.HWCommits(), hybrid.SWCommits(), hybrid.HWAborts(1))
+	fmt.Printf("adaptive layer: active=%s after %d switch(es)\n",
+		adaptive.Active(), adaptive.Switches())
+}

@@ -1,0 +1,70 @@
+// RTC pipeline: server-committed transactions (Chapter 5).
+//
+// A pool of producers runs write transactions whose commit phases execute
+// on RTC's dedicated commit server instead of in the producers themselves;
+// a dependency-detector server commits independent transactions
+// concurrently with the in-flight one. The program reports how many
+// commits the detector absorbed — the effect Figure 5.11 measures.
+//
+//	go run ./examples/rtcpipeline
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+const (
+	producers = 8
+	batches   = 500
+	cellsPer  = 8
+)
+
+func main() {
+	alg := repro.NewRTC(1) // one main server + one dependency detector
+	defer alg.Stop()
+
+	// Each producer owns a disjoint bank of cells, so most transactions are
+	// independent and eligible for the secondary server.
+	banks := make([][]*repro.Cell, producers)
+	for p := range banks {
+		banks[p] = make([]*repro.Cell, cellsPer)
+		for i := range banks[p] {
+			banks[p][i] = repro.NewCell(0)
+		}
+	}
+	total := repro.NewCell(0) // shared: forces occasional dependencies
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(mine []*repro.Cell, p int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				alg.Atomic(func(tx repro.MemTx) {
+					for _, c := range mine {
+						tx.Write(c, tx.Read(c)+1)
+					}
+					if b%10 == 0 {
+						tx.Write(total, tx.Read(total)+cellsPer)
+					}
+				})
+			}
+		}(banks[p], p)
+	}
+	wg.Wait()
+
+	for p := range banks {
+		for i, c := range banks[p] {
+			if c.Load() != batches {
+				panic(fmt.Sprintf("bank[%d][%d] = %d, want %d", p, i, c.Load(), batches))
+			}
+		}
+	}
+	fmt.Printf("committed %d transactions (%d aborted attempts)\n", alg.Commits(), alg.Aborts())
+	fmt.Printf("dependency detector executed %d of them concurrently with the main server\n",
+		alg.SecondaryCommits())
+	fmt.Println("all banks consistent: every commit ran remotely, none was lost")
+}

@@ -1,0 +1,106 @@
+// Scheduler: transactional job scheduling over boosted priority queues.
+//
+// Jobs carry a deadline (the priority). A dispatcher moves the most urgent
+// job from the pending queue to the running set atomically; workers
+// complete jobs by removing them from the running set and, for periodic
+// jobs, re-enqueueing the next occurrence — again in one transaction. The
+// skip-list priority queue keeps Min/RemoveMin optimistic and lock-free
+// until commit, so dispatchers do not serialize against each other the way
+// a pessimistically boosted (globally write-locked) queue would.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+const (
+	initialJobs = 300
+	dispatchers = 4
+	workers     = 4
+	period      = 1000003 // re-enqueue offset for periodic jobs
+)
+
+func main() {
+	pending := repro.NewSkipPQ() // deadline-ordered jobs
+	running := repro.NewSkipSet()
+	for i := int64(1); i <= initialJobs; i++ {
+		deadline := i * 17
+		repro.Atomic(func(tx *repro.Tx) { pending.Add(tx, deadline) })
+	}
+
+	var dispatched, completed atomic.Int64
+	work := make(chan int64, initialJobs)
+
+	var wg sync.WaitGroup
+	// Dispatchers: claim the most urgent pending job.
+	for d := 0; d < dispatchers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var job int64
+				var ok bool
+				repro.Atomic(func(tx *repro.Tx) {
+					job, ok = pending.RemoveMin(tx)
+					if ok {
+						running.Add(tx, job)
+					}
+				})
+				if !ok {
+					return // queue drained
+				}
+				dispatched.Add(1)
+				work <- job
+			}
+		}()
+	}
+	// Workers: complete jobs; every third job is periodic and re-enqueues
+	// its next occurrence in the same transaction.
+	var wwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for job := range work {
+				repro.Atomic(func(tx *repro.Tx) {
+					if !running.Remove(tx, job) {
+						panic("job not in running set")
+					}
+					if job%3 == 0 && job < period {
+						pending.Add(tx, job+period)
+					}
+				})
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain any periodic re-enqueues that arrived after dispatchers left.
+	for {
+		var job int64
+		var ok bool
+		repro.Atomic(func(tx *repro.Tx) { job, ok = pending.RemoveMin(tx) })
+		if !ok {
+			break
+		}
+		repro.Atomic(func(tx *repro.Tx) { running.Add(tx, job) })
+		dispatched.Add(1)
+		work <- job
+	}
+	close(work)
+	wwg.Wait()
+
+	fmt.Printf("dispatched %d jobs, completed %d, pending now %d, running now %d\n",
+		dispatched.Load(), completed.Load(), pending.Len(), running.Len())
+	if dispatched.Load() != completed.Load() || running.Len() != 0 {
+		panic("scheduler lost a job")
+	}
+	fmt.Println("every dispatch and completion was atomic across queue and set")
+}

@@ -1,0 +1,164 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeOTB exercises the public API end to end: composable OTB
+// transactions over all four structure kinds.
+func TestFacadeOTB(t *testing.T) {
+	set := repro.NewListSet()
+	skip := repro.NewSkipSet()
+	heap := repro.NewHeapPQ()
+	pq := repro.NewSkipPQ()
+	repro.Atomic(func(tx *repro.Tx) {
+		set.Add(tx, 1)
+		skip.Add(tx, 2)
+		heap.Add(tx, 3)
+		pq.Add(tx, 4)
+	})
+	if set.Len() != 1 || skip.Len() != 1 || heap.Len() != 1 || pq.Len() != 1 {
+		t.Fatalf("lens = %d,%d,%d,%d; want all 1",
+			set.Len(), skip.Len(), heap.Len(), pq.Len())
+	}
+	repro.Atomic(func(tx *repro.Tx) {
+		if k, ok := heap.RemoveMin(tx); !ok || k != 3 {
+			t.Errorf("heap min = %d,%v", k, ok)
+		}
+		if k, ok := pq.RemoveMin(tx); !ok || k != 4 {
+			t.Errorf("pq min = %d,%v", k, ok)
+		}
+	})
+}
+
+// TestFacadeRetry checks explicit user retry through the facade.
+func TestFacadeRetry(t *testing.T) {
+	set := repro.NewListSet()
+	tries := 0
+	repro.Atomic(func(tx *repro.Tx) {
+		tries++
+		set.Add(tx, 1)
+		if tries < 3 {
+			repro.Retry()
+		}
+	})
+	if tries != 3 || set.Len() != 1 {
+		t.Fatalf("tries=%d len=%d", tries, set.Len())
+	}
+}
+
+// TestFacadeSTMs runs a conservation check on every STM constructor the
+// facade exposes.
+func TestFacadeSTMs(t *testing.T) {
+	algs := []repro.STM{
+		repro.NewNOrec(), repro.NewTL2(), repro.NewTML(),
+		repro.NewRingSW(), repro.NewInvalSTM(), repro.NewCGL(),
+		repro.NewRTC(1), repro.NewRInval(repro.RInvalV3),
+	}
+	for _, alg := range algs {
+		t.Run(alg.Name(), func(t *testing.T) {
+			defer alg.Stop()
+			c := repro.NewCell(0)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						alg.Atomic(func(tx repro.MemTx) {
+							tx.Write(c, tx.Read(c)+1)
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if c.Load() != 400 {
+				t.Fatalf("counter = %d, want 400", c.Load())
+			}
+		})
+	}
+}
+
+// TestFacadeIntegration runs a mixed transaction through both contexts.
+func TestFacadeIntegration(t *testing.T) {
+	for _, alg := range []repro.Integrated{repro.NewOTBNOrec(), repro.NewOTBTL2()} {
+		t.Run(alg.Name(), func(t *testing.T) {
+			defer alg.Stop()
+			set := repro.NewSkipSet()
+			n := repro.NewCell(0)
+			for i := int64(0); i < 20; i++ {
+				k := i
+				alg.Atomic(func(ctx *repro.Ctx) {
+					if set.Add(ctx.Sem(), k) {
+						ctx.Write(n, ctx.Read(n)+1)
+					}
+				})
+			}
+			if set.Len() != 20 || n.Load() != 20 {
+				t.Fatalf("set=%d n=%d, want 20,20", set.Len(), n.Load())
+			}
+		})
+	}
+}
+
+// TestFacadeMap exercises the OTB map through the facade.
+func TestFacadeMap(t *testing.T) {
+	m := repro.NewMap()
+	set := repro.NewListSet()
+	repro.Atomic(func(tx *repro.Tx) {
+		m.Put(tx, 1, 100)
+		m.Put(tx, 2, 200)
+		set.Add(tx, 1)
+	})
+	repro.Atomic(func(tx *repro.Tx) {
+		if v, ok := m.Get(tx, 1); !ok || v != 100 {
+			t.Errorf("Get(1) = %d,%v", v, ok)
+		}
+		// Move the mapping and the set membership atomically.
+		if m.Delete(tx, 1) {
+			m.Put(tx, 3, 100)
+			set.Remove(tx, 1)
+			set.Add(tx, 3)
+		}
+	})
+	if m.Len() != 2 || set.Len() != 1 {
+		t.Fatalf("map=%d set=%d, want 2,1", m.Len(), set.Len())
+	}
+}
+
+// TestFacadeHybridHTM exercises the hybrid TM through the facade.
+func TestFacadeHybridHTM(t *testing.T) {
+	tm := repro.NewHybridHTM()
+	defer tm.Stop()
+	c := repro.NewCell(0)
+	for i := 0; i < 50; i++ {
+		tm.Atomic(func(tx repro.MemTx) { tx.Write(c, tx.Read(c)+1) })
+	}
+	if c.Load() != 50 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if tm.HWCommits() == 0 {
+		t.Fatal("small uncontended transactions should commit in hardware")
+	}
+}
+
+// TestFacadeAdaptive exercises the adaptive wrapper through the facade.
+func TestFacadeAdaptive(t *testing.T) {
+	s, err := repro.NewAdaptive(repro.NewNOrec(), repro.NewTL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := repro.NewCell(0)
+	s.Atomic(func(tx repro.MemTx) { tx.Write(c, 1) })
+	if err := s.Switch("TL2"); err != nil {
+		t.Fatal(err)
+	}
+	s.Atomic(func(tx repro.MemTx) { tx.Write(c, tx.Read(c)+1) })
+	if c.Load() != 2 {
+		t.Fatalf("counter = %d, want 2", c.Load())
+	}
+}

@@ -1,0 +1,100 @@
+// Package abort implements the transaction-abort protocol shared by every
+// transactional layer (STM algorithms, OTB, boosting, the integration
+// framework): an abort unwinds the user function with a private panic value
+// that the retry loop recovers, rolls back, and retries with backoff.
+//
+// This mirrors DEUCE's exception-driven retry: user code inside an atomic
+// block simply calls the transactional API and never observes the panic.
+package abort
+
+import "repro/internal/spin"
+
+// Signal is the panic value used to unwind an aborted transaction.
+// Its Reason is reported by statistics hooks.
+type Signal struct {
+	// Reason classifies the conflict that caused the abort.
+	Reason Reason
+}
+
+// Reason classifies why a transaction aborted.
+type Reason int
+
+// Abort reasons, in the order they are typically detected.
+const (
+	// Conflict is a read-set (memory or semantic) validation failure.
+	Conflict Reason = iota
+	// LockBusy means a required lock could not be acquired at commit.
+	LockBusy
+	// Invalidated means a committing transaction explicitly doomed this one
+	// (InvalSTM / RInval).
+	Invalidated
+	// Explicit is a user-requested retry.
+	Explicit
+)
+
+// String returns the human-readable name of the reason.
+func (r Reason) String() string {
+	switch r {
+	case Conflict:
+		return "conflict"
+	case LockBusy:
+		return "lock-busy"
+	case Invalidated:
+		return "invalidated"
+	case Explicit:
+		return "explicit"
+	default:
+		return "unknown"
+	}
+}
+
+// Retry aborts the current transaction with the given reason. It never
+// returns; the enclosing Run recovers it.
+func Retry(r Reason) {
+	panic(Signal{Reason: r})
+}
+
+// Stats counts the outcomes of a retry loop.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+}
+
+// Run executes attempt repeatedly until it completes without aborting.
+//
+// Before each attempt it calls begin; after an abort it calls rollback with
+// the signal's reason, waits with exponential backoff, and retries. Panics
+// that are not abort Signals propagate unchanged. Stats, if non-nil, is
+// updated by the calling goroutine only.
+func Run(stats *Stats, begin func(), attempt func(), rollback func(Reason)) {
+	var b spin.Backoff
+	for {
+		if done := runOnce(begin, attempt, rollback); done {
+			if stats != nil {
+				stats.Commits++
+			}
+			return
+		}
+		if stats != nil {
+			stats.Aborts++
+		}
+		b.Wait()
+	}
+}
+
+// runOnce runs one attempt, converting an abort Signal into a false return.
+func runOnce(begin func(), attempt func(), rollback func(Reason)) (committed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			sig, ok := p.(Signal)
+			if !ok {
+				panic(p)
+			}
+			rollback(sig.Reason)
+			committed = false
+		}
+	}()
+	begin()
+	attempt()
+	return true
+}

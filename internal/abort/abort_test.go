@@ -1,0 +1,69 @@
+package abort
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunRetriesUntilSuccess(t *testing.T) {
+	var stats Stats
+	attempts := 0
+	begins := 0
+	rollbacks := 0
+	Run(&stats,
+		func() { begins++ },
+		func() {
+			attempts++
+			if attempts < 3 {
+				Retry(Conflict)
+			}
+		},
+		func(r Reason) {
+			if r != Conflict {
+				t.Errorf("reason = %v, want Conflict", r)
+			}
+			rollbacks++
+		},
+	)
+	if attempts != 3 || begins != 3 || rollbacks != 2 {
+		t.Fatalf("attempts=%d begins=%d rollbacks=%d; want 3,3,2", attempts, begins, rollbacks)
+	}
+	if stats.Commits != 1 || stats.Aborts != 2 {
+		t.Fatalf("stats = %+v; want 1 commit, 2 aborts", stats)
+	}
+}
+
+func TestForeignPanicsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	defer func() {
+		if p := recover(); p != boom {
+			t.Fatalf("recovered %v, want the foreign panic", p)
+		}
+	}()
+	Run(nil, func() {}, func() { panic(boom) }, func(Reason) {
+		t.Error("rollback must not run for foreign panics")
+	})
+}
+
+func TestReasonStrings(t *testing.T) {
+	cases := map[Reason]string{
+		Conflict:    "conflict",
+		LockBusy:    "lock-busy",
+		Invalidated: "invalidated",
+		Explicit:    "explicit",
+		Reason(99):  "unknown",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestNilStats(t *testing.T) {
+	ran := false
+	Run(nil, func() {}, func() { ran = true }, func(Reason) {})
+	if !ran {
+		t.Fatal("attempt did not run")
+	}
+}

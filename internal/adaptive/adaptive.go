@@ -1,0 +1,113 @@
+// Package adaptive implements the lightweight adaptive STM framework the
+// paper's Section 5.4.1 describes as RTC's deployment vehicle: several
+// algorithms are registered, one is active, and the runtime can switch
+// between them in a "stop-the-world" manner — new transactions block, the
+// in-flight ones drain, then the active algorithm changes. Switching to or
+// away from RTC is exactly the case the paper calls out (allocating the
+// request array and binding servers happens in the algorithm's constructor;
+// draining guarantees no transaction straddles two algorithms).
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// STM multiplexes transactions over a set of registered algorithms, one of
+// which is active at a time.
+type STM struct {
+	mu       sync.RWMutex // R: in-flight transactions; W: a switch
+	active   stm.Algorithm
+	algs     map[string]stm.Algorithm
+	order    []string
+	ctr      spin.Counters
+	commits  atomic.Uint64
+	switches atomic.Uint64
+}
+
+// New creates an adaptive STM. The first algorithm is active initially;
+// at least one algorithm is required.
+func New(algs ...stm.Algorithm) (*STM, error) {
+	if len(algs) == 0 {
+		return nil, fmt.Errorf("adaptive: at least one algorithm required")
+	}
+	s := &STM{algs: make(map[string]stm.Algorithm, len(algs))}
+	for _, a := range algs {
+		if _, dup := s.algs[a.Name()]; dup {
+			return nil, fmt.Errorf("adaptive: duplicate algorithm %q", a.Name())
+		}
+		s.algs[a.Name()] = a
+		s.order = append(s.order, a.Name())
+	}
+	s.active = algs[0]
+	return s, nil
+}
+
+// Name implements stm.Algorithm, reporting the active algorithm.
+func (s *STM) Name() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return "Adaptive(" + s.active.Name() + ")"
+}
+
+// Active returns the active algorithm's name.
+func (s *STM) Active() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.active.Name()
+}
+
+// Algorithms returns the registered algorithm names in registration order.
+func (s *STM) Algorithms() []string { return append([]string(nil), s.order...) }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop stops every registered algorithm.
+func (s *STM) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.algs {
+		a.Stop()
+	}
+}
+
+// Commits reports transactions executed through the adaptive layer.
+func (s *STM) Commits() uint64 { return s.commits.Load() }
+
+// Switches reports completed algorithm switches.
+func (s *STM) Switches() uint64 { return s.switches.Load() }
+
+// Atomic implements stm.Algorithm: the transaction runs entirely on the
+// algorithm that was active when it started; a concurrent switch waits for
+// it to finish.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	s.mu.RLock()
+	alg := s.active
+	alg.Atomic(fn)
+	s.mu.RUnlock()
+	s.commits.Add(1)
+}
+
+// Switch makes the named algorithm active, blocking new transactions and
+// waiting for in-flight ones to drain first. It returns an error for an
+// unknown name; switching to the already-active algorithm is a no-op.
+func (s *STM) Switch(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, ok := s.algs[name]
+	if !ok {
+		return fmt.Errorf("adaptive: unknown algorithm %q", name)
+	}
+	if next != s.active {
+		s.active = next
+		s.switches.Add(1)
+	}
+	return nil
+}
+
+var _ stm.Algorithm = (*STM)(nil)

@@ -1,0 +1,90 @@
+package adaptive_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/mem"
+	"repro/internal/rtc"
+	"repro/internal/stm"
+	"repro/internal/stm/norec"
+	"repro/internal/stm/tl2"
+)
+
+func TestRequiresAlgorithms(t *testing.T) {
+	if _, err := adaptive.New(); err == nil {
+		t.Fatal("New() with no algorithms should error")
+	}
+	if _, err := adaptive.New(norec.New(), norec.New()); err == nil {
+		t.Fatal("duplicate names should error")
+	}
+}
+
+func TestSwitchChangesActive(t *testing.T) {
+	s, err := adaptive.New(norec.New(), tl2.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.Active() != "NOrec" {
+		t.Fatalf("initial active = %q", s.Active())
+	}
+	if err := s.Switch("TL2"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() != "TL2" {
+		t.Fatalf("active = %q after switch", s.Active())
+	}
+	if err := s.Switch("nope"); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", s.Switches())
+	}
+}
+
+// TestSwitchUnderLoad drives continuous transactions while cycling through
+// NOrec, TL2 and RTC; the counter must be exact despite the stop-the-world
+// switches, proving no transaction straddled two algorithms.
+func TestSwitchUnderLoad(t *testing.T) {
+	s, err := adaptive.New(norec.New(), tl2.New(), rtc.New(rtc.Options{Secondaries: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := mem.NewCell(0)
+	const workers = 6
+	const each = 300
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Atomic(func(tx stm.Tx) { tx.Write(c, tx.Read(c)+1) })
+			}
+		}()
+	}
+	// Switcher cycles algorithms until the workers finish.
+	go func() {
+		names := s.Algorithms()
+		for i := 0; !done.Load(); i++ {
+			if err := s.Switch(names[i%len(names)]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	done.Store(true)
+	if got := c.Load(); got != workers*each {
+		t.Fatalf("counter = %d, want %d (a transaction straddled a switch?)", got, workers*each)
+	}
+	if s.Commits() != workers*each {
+		t.Fatalf("commits = %d, want %d", s.Commits(), workers*each)
+	}
+	t.Logf("completed with %d switches", s.Switches())
+}

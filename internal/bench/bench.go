@@ -1,0 +1,149 @@
+// Package bench is the experiment harness: timed throughput runs, thread
+// sweeps, and the figure/table formatting that regenerates every plot of
+// the paper's evaluation sections. cmd/reproduce drives it from the command
+// line; the repository-root benchmarks drive it through testing.B.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config controls the measurement methodology. The paper warms up 2s and
+// measures 5s per point; Full uses shorter windows that are stable on a
+// container, and Quick is for tests and smoke runs.
+type Config struct {
+	Threads []int         // goroutine counts to sweep
+	Warmup  time.Duration // per-point warmup
+	Measure time.Duration // per-point measurement window
+}
+
+// Quick is the configuration used by tests: tiny windows, small sweep.
+func Quick() Config {
+	return Config{Threads: []int{1, 2, 4}, Warmup: 10 * time.Millisecond, Measure: 40 * time.Millisecond}
+}
+
+// Full is the default configuration of cmd/reproduce.
+func Full() Config {
+	return Config{
+		Threads: []int{1, 2, 4, 8, 16, 32, 48, 64},
+		Warmup:  200 * time.Millisecond,
+		Measure: time.Second,
+	}
+}
+
+// Throughput runs threads goroutines, each looping work(threadID, rng), for
+// cfg.Warmup + cfg.Measure and returns committed operations per second
+// during the measurement window. work is called once per transaction.
+func Throughput(cfg Config, threads int, work func(id int, rng *rand.Rand)) float64 {
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		count     atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(id+1), 0x5eed))
+			for !stop.Load() {
+				work(id, rng)
+				if measuring.Load() {
+					count.Add(1)
+				}
+			}
+		}(t)
+	}
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Measure)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	return float64(count.Load()) / elapsed.Seconds()
+}
+
+// TimedRun executes totalTxs transactions spread over threads goroutines
+// and returns the wall time (the STAMP "execution time" methodology).
+func TimedRun(threads, totalTxs int, work func(id int, rng *rand.Rand)) time.Duration {
+	var wg sync.WaitGroup
+	var remaining atomic.Int64
+	remaining.Store(int64(totalTxs))
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(id+1), 0xabcd))
+			for remaining.Add(-1) >= 0 {
+				work(id, rng)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// Point is one measurement: X is the thread count (or other sweep value),
+// Y the metric.
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one line of a plot.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// SubPlot is one panel of a figure (e.g. one workload mix).
+type SubPlot struct {
+	Name   string
+	YLabel string
+	Series []Series
+}
+
+// Figure is a reproduced paper figure or table.
+type Figure struct {
+	ID       string // e.g. "fig3.3"
+	Title    string
+	XLabel   string
+	SubPlots []SubPlot
+}
+
+// Print renders the figure as aligned text tables, one per subplot, with
+// one row per X value and one column per series — the same rows/series the
+// paper plots.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, sp := range f.SubPlots {
+		fmt.Fprintf(w, "\n-- %s (%s) --\n", sp.Name, sp.YLabel)
+		fmt.Fprintf(w, "%-10s", f.XLabel)
+		for _, s := range sp.Series {
+			fmt.Fprintf(w, "%16s", s.Name)
+		}
+		fmt.Fprintln(w)
+		if len(sp.Series) == 0 {
+			continue
+		}
+		for i := range sp.Series[0].Points {
+			fmt.Fprintf(w, "%-10d", sp.Series[0].Points[i].X)
+			for _, s := range sp.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(w, "%16.3f", s.Points[i].Y)
+				} else {
+					fmt.Fprintf(w, "%16s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}

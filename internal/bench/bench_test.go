@@ -1,0 +1,128 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// smokeCfg is an ultra-short configuration for harness plumbing tests.
+func smokeCfg() bench.Config {
+	return bench.Config{
+		Threads: []int{1, 2},
+		Warmup:  2 * time.Millisecond,
+		Measure: 10 * time.Millisecond,
+	}
+}
+
+func TestThroughputCountsWork(t *testing.T) {
+	cfg := smokeCfg()
+	n := 0
+	y := bench.Throughput(cfg, 1, func(id int, _ *randT) { n++ })
+	if y <= 0 {
+		t.Fatalf("throughput = %f, want > 0", y)
+	}
+	if n == 0 {
+		t.Fatal("work never ran")
+	}
+}
+
+// randT aliases the rand type to keep the closure signature readable.
+type randT = randAlias
+
+func TestFigurePrintFormat(t *testing.T) {
+	fig := bench.Figure{
+		ID: "figX", Title: "test", XLabel: "threads",
+		SubPlots: []bench.SubPlot{{
+			Name: "w", YLabel: "tx/sec",
+			Series: []bench.Series{
+				{Name: "A", Points: []bench.Point{{X: 1, Y: 2.5}, {X: 2, Y: 5}}},
+				{Name: "B", Points: []bench.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}},
+			},
+		}},
+	}
+	var sb strings.Builder
+	fig.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"figX", "A", "B", "2.500", "threads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs a representative subset of the experiments end
+// to end with tiny windows, checking they produce well-formed output with
+// the expected series.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke experiments take a few seconds each")
+	}
+	cases := map[string][]string{
+		"fig3.3":   {"Lazy", "PessimisticBoosted", "OptimisticBoosted"},
+		"fig3.6":   {"PessimisticBoosted", "OptimisticBoosted"},
+		"fig3.7":   {"tx-size-5"},
+		"fig4.2":   {"NOrec", "TL2", "OTB-NOrec", "OTB-TL2"},
+		"fig4.4":   {"OTB-NOrec", "skip-list"},
+		"table5.1": {"genome", "ssca2", "labyrinth"},
+		"fig5.6":   {"NOrec", "RTC", "events/tx"},
+		"fig5.8":   {"RingSW", "RTC"},
+		"fig5.11":  {"RTC-0sec", "RTC-1sec", "RTC-2sec"},
+		"fig6.2":   {"NOrec", "InvalSTM", "RInval-V3"},
+		"fig6.7":   {"RInval-V1", "RInval-V2", "RInval-V3"},
+	}
+	cfg := smokeCfg()
+	for id, wants := range cases {
+		t.Run(id, func(t *testing.T) {
+			e, ok := bench.Find(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			var sb strings.Builder
+			e.Run(cfg, &sb)
+			out := sb.String()
+			if len(out) == 0 {
+				t.Fatal("no output")
+			}
+			for _, w := range wants {
+				if !strings.Contains(out, w) {
+					t.Fatalf("output of %s missing %q:\n%s", id, w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3.3", "fig3.4", "fig3.5", "fig3.6", "fig3.7",
+		"fig4.2", "fig4.3", "fig4.4",
+		"table5.1", "fig5.5", "fig5.6", "fig5.7", "fig5.8", "fig5.9",
+		"fig5.10", "fig5.11",
+		"fig6.2", "fig6.3", "fig6.7", "fig6.8",
+		"abl.validation", "abl.locks", "abl.ddthreshold", "abl.fairness",
+	}
+	for _, id := range want {
+		if _, ok := bench.Find(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if got := len(bench.Experiments()); got != len(want) {
+		t.Errorf("registry has %d experiments, want %d", got, len(want))
+	}
+}
+
+func TestSetWorkloadKeyDisjointness(t *testing.T) {
+	wl := bench.SetWorkload{InitialSize: 64, KeyRange: 512, WritePct: 100, OpsPerTx: 4}
+	gen := wl.NewSetWorker(0)
+	rng := newRand()
+	for i := 0; i < 200; i++ {
+		for _, op := range gen(rng) {
+			if op.Kind == bench.OpAdd && op.Key%2 == 0 {
+				t.Fatalf("worker added even key %d (reserved for population)", op.Key)
+			}
+		}
+	}
+}

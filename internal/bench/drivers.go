@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/boosting"
+	"repro/internal/integrate"
+	"repro/internal/otb"
+	"repro/internal/stm"
+	"repro/internal/stmds"
+)
+
+// SetOpKind identifies a set operation in a generated transaction.
+type SetOpKind int8
+
+// Set operation kinds.
+const (
+	OpAdd SetOpKind = iota
+	OpRemove
+	OpContains
+)
+
+// SetOp is one generated set operation.
+type SetOp struct {
+	Kind SetOpKind
+	Key  int64
+}
+
+// SetDriver executes a batch of set operations as one transaction on some
+// implementation (lazy, boosted, OTB, pure STM, or integrated).
+type SetDriver interface {
+	Name() string
+	// RunTx executes ops atomically (or, for the lazy baseline, merely
+	// sequentially — it has no transactions, as the paper notes).
+	RunTx(ops []SetOp)
+	// Stop releases background resources.
+	Stop()
+}
+
+// --- Lazy (non-transactional upper bound) ---
+
+// concSet abstracts the lazy sets.
+type concSet interface {
+	Add(int64) bool
+	Remove(int64) bool
+	Contains(int64) bool
+}
+
+type lazyDriver struct{ set concSet }
+
+// NewLazyDriver wraps a lazy concurrent set (no transactional support).
+func NewLazyDriver(set concSet) SetDriver { return &lazyDriver{set: set} }
+
+func (d *lazyDriver) Name() string { return "Lazy" }
+func (d *lazyDriver) Stop()        {}
+func (d *lazyDriver) RunTx(ops []SetOp) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			d.set.Add(op.Key)
+		case OpRemove:
+			d.set.Remove(op.Key)
+		default:
+			d.set.Contains(op.Key)
+		}
+	}
+}
+
+// --- Pessimistic boosting ---
+
+type boostedDriver struct{ set *boosting.Set }
+
+// NewBoostedDriver wraps a pessimistically boosted set.
+func NewBoostedDriver(set *boosting.Set) SetDriver { return &boostedDriver{set: set} }
+
+func (d *boostedDriver) Name() string { return "PessimisticBoosted" }
+func (d *boostedDriver) Stop()        {}
+func (d *boostedDriver) RunTx(ops []SetOp) {
+	boosting.Atomic(nil, nil, func(tx *boosting.Tx) {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpAdd:
+				d.set.Add(tx, op.Key)
+			case OpRemove:
+				d.set.Remove(tx, op.Key)
+			default:
+				d.set.Contains(tx, op.Key)
+			}
+		}
+	})
+}
+
+// --- OTB ---
+
+// otbSet abstracts the two OTB sets.
+type otbSet interface {
+	Add(*otb.Tx, int64) bool
+	Remove(*otb.Tx, int64) bool
+	Contains(*otb.Tx, int64) bool
+}
+
+type otbDriver struct{ set otbSet }
+
+// NewOTBDriver wraps an optimistically boosted set.
+func NewOTBDriver(set otbSet) SetDriver { return &otbDriver{set: set} }
+
+func (d *otbDriver) Name() string { return "OptimisticBoosted" }
+func (d *otbDriver) Stop()        {}
+func (d *otbDriver) RunTx(ops []SetOp) {
+	otb.Atomic(nil, func(tx *otb.Tx) {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpAdd:
+				d.set.Add(tx, op.Key)
+			case OpRemove:
+				d.set.Remove(tx, op.Key)
+			default:
+				d.set.Contains(tx, op.Key)
+			}
+		}
+	})
+}
+
+// --- Pure STM structures ---
+
+// stmSet abstracts the stmds set-like structures.
+type stmSet interface {
+	Add(stm.Tx, int64) bool
+	Remove(stm.Tx, int64) bool
+	Contains(stm.Tx, int64) bool
+}
+
+// rbAsSet adapts the red-black tree's Insert/Delete naming.
+type rbAsSet struct{ t *stmds.RBTree }
+
+// RBAsSet exposes an RBTree through the generic set interface.
+func RBAsSet(t *stmds.RBTree) interface {
+	Add(stm.Tx, int64) bool
+	Remove(stm.Tx, int64) bool
+	Contains(stm.Tx, int64) bool
+} {
+	return rbAsSet{t}
+}
+
+func (a rbAsSet) Add(tx stm.Tx, k int64) bool      { return a.t.Insert(tx, k) }
+func (a rbAsSet) Remove(tx stm.Tx, k int64) bool   { return a.t.Delete(tx, k) }
+func (a rbAsSet) Contains(tx stm.Tx, k int64) bool { return a.t.Contains(tx, k) }
+
+type stmDriver struct {
+	name string
+	alg  stm.Algorithm
+	set  stmSet
+}
+
+// NewSTMDriver runs set operations as transactions of alg over a pure-STM
+// structure.
+func NewSTMDriver(name string, alg stm.Algorithm, set stmSet) SetDriver {
+	return &stmDriver{name: name, alg: alg, set: set}
+}
+
+func (d *stmDriver) Name() string { return d.name }
+func (d *stmDriver) Stop()        { d.alg.Stop() }
+func (d *stmDriver) RunTx(ops []SetOp) {
+	d.alg.Atomic(func(tx stm.Tx) {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpAdd:
+				d.set.Add(tx, op.Key)
+			case OpRemove:
+				d.set.Remove(tx, op.Key)
+			default:
+				d.set.Contains(tx, op.Key)
+			}
+		}
+	})
+}
+
+// --- Integrated (Chapter 4) ---
+
+type integDriver struct {
+	alg integrate.Algorithm
+	set otbSet
+}
+
+// NewIntegratedDriver runs set operations inside an OTB-NOrec / OTB-TL2
+// context.
+func NewIntegratedDriver(alg integrate.Algorithm, set otbSet) SetDriver {
+	return &integDriver{alg: alg, set: set}
+}
+
+func (d *integDriver) Name() string { return d.alg.Name() }
+func (d *integDriver) Stop()        { d.alg.Stop() }
+func (d *integDriver) RunTx(ops []SetOp) {
+	d.alg.Atomic(func(ctx *integrate.Ctx) {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpAdd:
+				d.set.Add(ctx.Sem(), op.Key)
+			case OpRemove:
+				d.set.Remove(ctx.Sem(), op.Key)
+			default:
+				d.set.Contains(ctx.Sem(), op.Key)
+			}
+		}
+	})
+}
+
+// SetWorkload generates the paper's set micro-benchmark mixes: WritePct
+// percent of operations are writes, split evenly between adds of fresh keys
+// and removes of keys this worker added earlier (so writes are mostly
+// successful, as Section 3.3 requires), the rest are contains over the full
+// range. Populated keys are even (multiples of the populate step) and
+// worker-added keys are odd, so transient writes never erode the initial
+// population and the structure size stays stable around InitialSize.
+type SetWorkload struct {
+	InitialSize int
+	KeyRange    int64
+	WritePct    int
+	OpsPerTx    int
+}
+
+// workerState carries a worker's private queue of previously added keys.
+type workerState struct {
+	added []int64
+	flip  bool
+}
+
+// NewSetWorker returns a per-worker transaction generator over the
+// workload. Seed it by pre-populating the structure through Populate.
+func (w SetWorkload) NewSetWorker(id int) func(rng *rand.Rand) []SetOp {
+	st := &workerState{}
+	ops := make([]SetOp, w.OpsPerTx)
+	return func(rng *rand.Rand) []SetOp {
+		for i := range ops {
+			if rng.IntN(100) < w.WritePct {
+				if st.flip && len(st.added) > 0 {
+					last := len(st.added) - 1
+					ops[i] = SetOp{Kind: OpRemove, Key: st.added[last]}
+					st.added = st.added[:last]
+				} else {
+					k := rng.Int64N(w.KeyRange) | 1 // odd: disjoint from population
+					ops[i] = SetOp{Kind: OpAdd, Key: k}
+					st.added = append(st.added, k)
+				}
+				st.flip = !st.flip
+			} else {
+				ops[i] = SetOp{Kind: OpContains, Key: rng.Int64N(w.KeyRange)}
+			}
+		}
+		return ops
+	}
+}
+
+// Populate fills the structure to the workload's initial size with evenly
+// spread even keys (single-threaded, before measurement).
+func (w SetWorkload) Populate(d SetDriver) {
+	step := w.KeyRange / int64(w.InitialSize)
+	if step < 2 {
+		step = 2
+	}
+	ops := make([]SetOp, 0, 64)
+	for k := int64(0); k < int64(w.InitialSize); k++ {
+		ops = append(ops, SetOp{Kind: OpAdd, Key: k * step})
+		if len(ops) == 64 {
+			d.RunTx(ops)
+			ops = ops[:0]
+		}
+	}
+	if len(ops) > 0 {
+		d.RunTx(ops)
+	}
+}

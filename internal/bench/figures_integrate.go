@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/integrate"
+	"repro/internal/mem"
+	"repro/internal/otb"
+	"repro/internal/stm"
+	"repro/internal/stm/norec"
+	"repro/internal/stm/tl2"
+	"repro/internal/stmds"
+)
+
+// chapter4Mixes are the two workloads of Figures 4.2–4.3 (one operation per
+// transaction, as in the DEUCE set benchmark).
+func chapter4Mixes() []setMix {
+	return []setMix{
+		{"80pct add/remove, 20pct contains", 80, 1},
+		{"50pct add/remove, 50pct contains", 50, 1},
+	}
+}
+
+// Fig42 reproduces Figure 4.2: linked-list set, 512 elements, pure-STM
+// baselines vs the integrated OTB contexts.
+func Fig42(cfg Config) Figure {
+	drivers := []func() SetDriver{
+		func() SetDriver { return NewSTMDriver("NOrec", norec.New(), stmds.NewList(1<<22)) },
+		func() SetDriver { return NewSTMDriver("TL2", tl2.New(), stmds.NewList(1<<22)) },
+		func() SetDriver { return NewIntegratedDriver(integrate.NewOTBNOrec(), otb.NewListSet()) },
+		func() SetDriver { return NewIntegratedDriver(integrate.NewOTBTL2(), otb.NewListSet()) },
+	}
+	return setFigure(cfg, "fig4.2", "linked-list set, 512 elements (pure STM vs OTB integration)",
+		512, chapter4Mixes(), drivers)
+}
+
+// Fig43 reproduces Figure 4.3: skip-list set, 4K elements.
+func Fig43(cfg Config) Figure {
+	drivers := []func() SetDriver{
+		func() SetDriver { return NewSTMDriver("NOrec", norec.New(), stmds.NewSkipList(1<<20)) },
+		func() SetDriver { return NewSTMDriver("TL2", tl2.New(), stmds.NewSkipList(1<<20)) },
+		func() SetDriver { return NewIntegratedDriver(integrate.NewOTBNOrec(), otb.NewSkipSet()) },
+		func() SetDriver { return NewIntegratedDriver(integrate.NewOTBTL2(), otb.NewSkipSet()) },
+	}
+	return setFigure(cfg, "fig4.3", "skip-list set, 4K elements (pure STM vs OTB integration)",
+		4096, chapter4Mixes(), drivers)
+}
+
+// alg7Counters are Algorithm 7's six shared counters (success/failure per
+// operation type), updated inside the same transaction as the set op.
+type alg7Counters struct {
+	cells [6]*mem.Cell
+}
+
+func newAlg7Counters() *alg7Counters {
+	var c alg7Counters
+	for i := range c.cells {
+		c.cells[i] = mem.NewCell(0)
+	}
+	return &c
+}
+
+// counterIndex maps (op, outcome) to a counter slot.
+func counterIndex(op int, ok bool) int {
+	idx := op * 2 // 0:add 1:remove 2:contains
+	if !ok {
+		idx++
+	}
+	return idx
+}
+
+// Fig44 reproduces Figure 4.4: the integration test case (Algorithm 7) —
+// each transaction performs one set operation (50% contains, 50%
+// add/remove) and increments the matching shared counter.
+func Fig44(cfg Config) Figure {
+	fig := Figure{
+		ID:     "fig4.4",
+		Title:  "Algorithm 7: one set op + shared counter update per transaction",
+		XLabel: "threads",
+	}
+	for _, skip := range []bool{false, true} {
+		name := "linked-list"
+		if skip {
+			name = "skip-list"
+		}
+		sp := SubPlot{Name: name, YLabel: "tx/sec"}
+		for _, mkD := range fig44Drivers(skip) {
+			var s Series
+			for _, th := range cfg.Threads {
+				run := mkD()
+				s.Name = run.name
+				s.Points = append(s.Points, Point{X: th, Y: run.measure(cfg, th)})
+				run.stop()
+			}
+			sp.Series = append(sp.Series, s)
+		}
+		fig.SubPlots = append(fig.SubPlots, sp)
+	}
+	return fig
+}
+
+// fig44Run is one prepared Algorithm 7 measurement.
+type fig44Run struct {
+	name    string
+	measure func(cfg Config, threads int) float64
+	stop    func()
+}
+
+// fig44Drivers builds fresh-run factories for the four series.
+func fig44Drivers(skip bool) []func() fig44Run {
+	const size = 512
+	const keyRange = int64(size) * 8
+
+	mkSTM := func(name string, alg stm.Algorithm, set stmSet) fig44Run {
+		stmPopulate(alg, set, size, keyRange)
+		cnt := newAlg7Counters()
+		return fig44Run{
+			name: name,
+			measure: func(cfg Config, th int) float64 {
+				return Throughput(cfg, th, func(id int, rng *rand.Rand) {
+					op := alg7Op(rng)
+					key := rng.Int64N(keyRange)
+					alg.Atomic(func(tx stm.Tx) {
+						var ok bool
+						switch op {
+						case 0:
+							ok = set.Add(tx, key)
+						case 1:
+							ok = set.Remove(tx, key)
+						default:
+							ok = set.Contains(tx, key)
+						}
+						idx := counterIndex(op, ok)
+						tx.Write(cnt.cells[idx], tx.Read(cnt.cells[idx])+1)
+					})
+				})
+			},
+			stop: alg.Stop,
+		}
+	}
+	mkInteg := func(alg integrate.Algorithm, set otbSet) fig44Run {
+		otbPopulate(set, size, keyRange)
+		cnt := newAlg7Counters()
+		return fig44Run{
+			name: alg.Name(),
+			measure: func(cfg Config, th int) float64 {
+				return Throughput(cfg, th, func(id int, rng *rand.Rand) {
+					op := alg7Op(rng)
+					key := rng.Int64N(keyRange)
+					alg.Atomic(func(ctx *integrate.Ctx) {
+						var ok bool
+						switch op {
+						case 0:
+							ok = set.Add(ctx.Sem(), key)
+						case 1:
+							ok = set.Remove(ctx.Sem(), key)
+						default:
+							ok = set.Contains(ctx.Sem(), key)
+						}
+						idx := counterIndex(op, ok)
+						ctx.Write(cnt.cells[idx], ctx.Read(cnt.cells[idx])+1)
+					})
+				})
+			},
+			stop: alg.Stop,
+		}
+	}
+	if skip {
+		return []func() fig44Run{
+			func() fig44Run { return mkSTM("NOrec", norec.New(), stmds.NewSkipList(1<<20)) },
+			func() fig44Run { return mkSTM("TL2", tl2.New(), stmds.NewSkipList(1<<20)) },
+			func() fig44Run { return mkInteg(integrate.NewOTBNOrec(), otb.NewSkipSet()) },
+			func() fig44Run { return mkInteg(integrate.NewOTBTL2(), otb.NewSkipSet()) },
+		}
+	}
+	return []func() fig44Run{
+		func() fig44Run { return mkSTM("NOrec", norec.New(), stmds.NewList(1<<22)) },
+		func() fig44Run { return mkSTM("TL2", tl2.New(), stmds.NewList(1<<22)) },
+		func() fig44Run { return mkInteg(integrate.NewOTBNOrec(), otb.NewListSet()) },
+		func() fig44Run { return mkInteg(integrate.NewOTBTL2(), otb.NewListSet()) },
+	}
+}
+
+// alg7Op draws an operation: 50% contains, 25% add, 25% remove.
+func alg7Op(rng *rand.Rand) int {
+	switch rng.IntN(4) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// stmPopulate seeds a pure-STM set single-threaded using the same
+// algorithm instance.
+func stmPopulate(alg stm.Algorithm, set stmSet, size int, keyRange int64) {
+	step := keyRange / int64(size)
+	if step == 0 {
+		step = 1
+	}
+	for k := int64(0); k < int64(size); k++ {
+		key := k * step
+		alg.Atomic(func(tx stm.Tx) { set.Add(tx, key) })
+	}
+}
+
+// otbPopulate seeds an OTB set single-threaded in batched transactions.
+func otbPopulate(set otbSet, size int, keyRange int64) {
+	step := keyRange / int64(size)
+	if step == 0 {
+		step = 1
+	}
+	for k := int64(0); k < int64(size); k += 64 {
+		lo, hi := k, min(k+64, int64(size))
+		otb.Atomic(nil, func(tx *otb.Tx) {
+			for i := lo; i < hi; i++ {
+				set.Add(tx, i*step)
+			}
+		})
+	}
+}

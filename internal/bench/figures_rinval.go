@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+
+	"repro/internal/rinval"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/stm/invalstm"
+	"repro/internal/stm/norec"
+	"repro/internal/stmds"
+)
+
+// profiledAlg is an algorithm that can expose per-phase timing.
+type profiledAlg interface {
+	stm.Algorithm
+	SetProfile(*stm.Profile)
+}
+
+// chapter6ProfiledAlgs builds the three algorithms of the critical-path
+// study with profilers attached.
+func chapter6ProfiledAlgs() []func() (profiledAlg, *stm.Profile) {
+	mk := func(a profiledAlg) (profiledAlg, *stm.Profile) {
+		p := &stm.Profile{}
+		a.SetProfile(p)
+		return a, p
+	}
+	return []func() (profiledAlg, *stm.Profile){
+		func() (profiledAlg, *stm.Profile) { return mk(norec.New()) },
+		func() (profiledAlg, *stm.Profile) { return mk(invalstm.New()) },
+		func() (profiledAlg, *stm.Profile) { return mk(rinval.New(rinval.V3)) },
+	}
+}
+
+// breakdownSeries converts a profile snapshot into the three bars of
+// Figures 6.2–6.3, normalized to the given baseline total.
+func breakdownSeries(name string, snap stm.ProfileSnapshot, baseTotal int64) []Point {
+	if baseTotal == 0 {
+		baseTotal = 1
+	}
+	return []Point{
+		{X: 0, Y: float64(snap.ValidationNS) / float64(baseTotal)},
+		{X: 1, Y: float64(snap.CommitNS) / float64(baseTotal)},
+		{X: 2, Y: float64(snap.OtherNS()) / float64(baseTotal)},
+	}
+}
+
+// Fig62 reproduces Figure 6.2: validation/commit/other share of the
+// critical path on a red-black tree, normalized to NOrec's total at the
+// same thread count. X encodes the component (0=validation, 1=commit,
+// 2=other).
+func Fig62(cfg Config) Figure {
+	fig := Figure{
+		ID:     "fig6.2",
+		Title:  "critical-path breakdown on red-black tree (normalized to NOrec; x: 0=validation 1=commit 2=other)",
+		XLabel: "component",
+	}
+	totalTxs := 20000
+	if cfg.Measure.Milliseconds() < 500 {
+		totalTxs = 2000
+	}
+	threads := 8
+	if len(cfg.Threads) > 0 && cfg.Threads[len(cfg.Threads)-1] < 8 {
+		threads = cfg.Threads[len(cfg.Threads)-1]
+	}
+	sp := SubPlot{Name: "64K tree, 50% writes", YLabel: "fraction of NOrec total"}
+	var baseTotal int64
+	for _, mkAlg := range chapter6ProfiledAlgs() {
+		alg, prof := mkAlg()
+		tree := stmds.NewRBTree(1 << 21)
+		set := RBAsSet(tree)
+		wl := SetWorkload{InitialSize: 64 * 1024, KeyRange: 512 * 1024, WritePct: 50, OpsPerTx: 1}
+		d := NewSTMDriver(alg.Name(), alg, set)
+		wl.Populate(d)
+		gens := make([]func(*rand.Rand) []SetOp, threads)
+		for i := range gens {
+			gens[i] = wl.NewSetWorker(i)
+		}
+		TimedRun(threads, totalTxs, func(id int, rng *rand.Rand) {
+			d.RunTx(gens[id](rng))
+		})
+		snap := prof.Snapshot()
+		if baseTotal == 0 {
+			baseTotal = snap.TotalNS // NOrec runs first
+		}
+		sp.Series = append(sp.Series, Series{
+			Name:   alg.Name(),
+			Points: breakdownSeries(alg.Name(), snap, baseTotal),
+		})
+		d.Stop()
+	}
+	fig.SubPlots = append(fig.SubPlots, sp)
+	return fig
+}
+
+// Fig63 reproduces Figure 6.3: the same breakdown on the STAMP profiles.
+func Fig63(cfg Config) Figure {
+	fig := Figure{
+		ID:     "fig6.3",
+		Title:  "critical-path breakdown on STAMP profiles (normalized to NOrec; x: 0=validation 1=commit 2=other)",
+		XLabel: "component",
+	}
+	totalTxs := 20000
+	if cfg.Measure.Milliseconds() < 500 {
+		totalTxs = 2000
+	}
+	const threads = 8
+	for _, app := range stamp.Apps() {
+		sp := SubPlot{Name: app.Name, YLabel: "fraction of NOrec total"}
+		var baseTotal int64
+		for _, mkAlg := range chapter6ProfiledAlgs() {
+			alg, prof := mkAlg()
+			w := stamp.NewWorkload(app)
+			var sink atomic.Uint64
+			TimedRun(threads, totalTxs, func(id int, rng *rand.Rand) {
+				sink.Add(w.RunTx(alg, rng))
+			})
+			snap := prof.Snapshot()
+			if baseTotal == 0 {
+				baseTotal = snap.TotalNS
+			}
+			sp.Series = append(sp.Series, Series{
+				Name:   alg.Name(),
+				Points: breakdownSeries(alg.Name(), snap, baseTotal),
+			})
+			alg.Stop()
+		}
+		fig.SubPlots = append(fig.SubPlots, sp)
+	}
+	return fig
+}
+
+// Fig67 reproduces Figure 6.7: red-black tree throughput — NOrec and
+// InvalSTM vs the three RInval versions.
+func Fig67(cfg Config) Figure {
+	mixes := []setMix{
+		{"50pct reads", 50, 1},
+		{"80pct reads", 20, 1},
+	}
+	mkSet := func() stmSet { return RBAsSet(stmds.NewRBTree(1 << 21)) }
+	drivers := []func() SetDriver{
+		func() SetDriver { return NewSTMDriver("NOrec", norec.New(), mkSet()) },
+		func() SetDriver { return NewSTMDriver("InvalSTM", invalstm.New(), mkSet()) },
+		func() SetDriver { return NewSTMDriver("RInval-V1", rinval.New(rinval.V1), mkSet()) },
+		func() SetDriver { return NewSTMDriver("RInval-V2", rinval.New(rinval.V2), mkSet()) },
+		func() SetDriver { return NewSTMDriver("RInval-V3", rinval.New(rinval.V3), mkSet()) },
+	}
+	return setFigure(cfg, "fig6.7", "red-black tree, 64K elements (invalidation family)",
+		64*1024, mixes, drivers)
+}
+
+// Fig68 reproduces Figure 6.8: STAMP execution time for the invalidation
+// family.
+func Fig68(cfg Config) Figure {
+	return stampExecTime(cfg, "fig6.8", []func() stm.Algorithm{
+		func() stm.Algorithm { return norec.New() },
+		func() stm.Algorithm { return invalstm.New() },
+		func() stm.Algorithm { return rinval.New(rinval.V1) },
+		func() stm.Algorithm { return rinval.New(rinval.V3) },
+	})
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"repro/internal/boosting"
+	"repro/internal/otb"
+)
+
+// PQOpKind identifies a priority-queue operation.
+type PQOpKind int8
+
+// Priority queue operation kinds.
+const (
+	PQAdd PQOpKind = iota
+	PQRemoveMin
+)
+
+// PQOp is one generated queue operation.
+type PQOp struct {
+	Kind PQOpKind
+	Key  int64
+}
+
+// PQDriver executes a batch of queue operations as one transaction.
+type PQDriver interface {
+	Name() string
+	RunTx(ops []PQOp)
+	Stop()
+}
+
+// --- Pessimistic boosting ---
+
+type boostedPQDriver struct{ q *boosting.PQ }
+
+// NewBoostedPQDriver wraps a pessimistically boosted queue.
+func NewBoostedPQDriver(q *boosting.PQ) PQDriver { return &boostedPQDriver{q: q} }
+
+func (d *boostedPQDriver) Name() string { return "PessimisticBoosted" }
+func (d *boostedPQDriver) Stop()        {}
+func (d *boostedPQDriver) RunTx(ops []PQOp) {
+	boosting.Atomic(nil, nil, func(tx *boosting.Tx) {
+		for _, op := range ops {
+			if op.Kind == PQAdd {
+				d.q.Add(tx, op.Key)
+			} else {
+				d.q.RemoveMin(tx)
+			}
+		}
+	})
+}
+
+// --- OTB ---
+
+type otbHeapPQDriver struct{ q *otb.HeapPQ }
+
+// NewOTBHeapPQDriver wraps the semi-optimistic heap queue.
+func NewOTBHeapPQDriver(q *otb.HeapPQ) PQDriver { return &otbHeapPQDriver{q: q} }
+
+func (d *otbHeapPQDriver) Name() string { return "OptimisticBoosted" }
+func (d *otbHeapPQDriver) Stop()        {}
+func (d *otbHeapPQDriver) RunTx(ops []PQOp) {
+	otb.Atomic(nil, func(tx *otb.Tx) {
+		for _, op := range ops {
+			if op.Kind == PQAdd {
+				d.q.Add(tx, op.Key)
+			} else {
+				d.q.RemoveMin(tx)
+			}
+		}
+	})
+}
+
+type otbSkipPQDriver struct{ q *otb.SkipPQ }
+
+// NewOTBSkipPQDriver wraps the fully optimistic skip-list queue.
+func NewOTBSkipPQDriver(q *otb.SkipPQ) PQDriver { return &otbSkipPQDriver{q: q} }
+
+func (d *otbSkipPQDriver) Name() string { return "OptimisticBoosted" }
+func (d *otbSkipPQDriver) Stop()        {}
+func (d *otbSkipPQDriver) RunTx(ops []PQOp) {
+	otb.Atomic(nil, func(tx *otb.Tx) {
+		for _, op := range ops {
+			if op.Kind == PQAdd {
+				d.q.Add(tx, op.Key)
+			} else {
+				d.q.RemoveMin(tx)
+			}
+		}
+	})
+}

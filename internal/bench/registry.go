@@ -1,0 +1,60 @@
+package bench
+
+import "io"
+
+// Experiment is one reproducible artifact of the paper's evaluation.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(cfg Config, w io.Writer)
+}
+
+// figExp adapts a Figure generator to an Experiment.
+func figExp(id, desc string, gen func(Config) Figure) Experiment {
+	return Experiment{ID: id, Desc: desc, Run: func(cfg Config, w io.Writer) {
+		f := gen(cfg)
+		f.Print(w)
+	}}
+}
+
+// Experiments lists every table and figure of the evaluation sections, in
+// paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		figExp("fig3.3", "linked-list set 512, Lazy vs pessimistic vs OTB", Fig33),
+		figExp("fig3.4", "skip-list set 512, Lazy vs pessimistic vs OTB", Fig34),
+		figExp("fig3.5", "skip-list set 64K, Lazy vs pessimistic vs OTB", Fig35),
+		figExp("fig3.6", "heap priority queue 512, tx sizes 1 and 5", Fig36),
+		figExp("fig3.7", "skip-list priority queue 512, tx sizes 1 and 5", Fig37),
+		figExp("fig4.2", "linked-list 512, pure STM vs OTB integration", Fig42),
+		figExp("fig4.3", "skip-list 4K, pure STM vs OTB integration", Fig43),
+		figExp("fig4.4", "Algorithm 7 mixed set+memory transactions", Fig44),
+		{ID: "table5.1", Desc: "NOrec commit-time ratio on STAMP profiles",
+			Run: func(cfg Config, w io.Writer) { Table51(cfg, w) }},
+		figExp("fig5.5", "red-black tree 64K, RingSW/NOrec/TL2/RTC", Fig55),
+		figExp("fig5.6", "contention events per tx (cache-miss proxy), NOrec vs RTC", Fig56),
+		figExp("fig5.7", "hash map 10K/256 buckets, RingSW/NOrec/TL2/RTC", Fig57),
+		figExp("fig5.8", "doubly linked list 500, RingSW/NOrec/TL2/RTC", Fig58),
+		figExp("fig5.9", "red-black tree under multiprogramming", Fig59),
+		figExp("fig5.10", "STAMP execution time, RingSW/NOrec/TL2/RTC", Fig510),
+		figExp("fig5.11", "RTC dependency-detector count sweep (0/1/2)", Fig511),
+		figExp("fig6.2", "critical-path breakdown on red-black tree", Fig62),
+		figExp("fig6.3", "critical-path breakdown on STAMP profiles", Fig63),
+		figExp("fig6.7", "red-black tree 64K, invalidation family", Fig67),
+		figExp("fig6.8", "STAMP execution time, invalidation family", Fig68),
+		figExp("abl.validation", "ablation: OTB per-operation validation optimization", AblValidation),
+		figExp("abl.locks", "ablation: OTB-NOrec semantic-lock skipping", AblLocks),
+		figExp("abl.ddthreshold", "ablation: RTC dependency-detection threshold", AblDDThreshold),
+		figExp("abl.fairness", "ablation: RTC contention-aware server scheduling", AblFairness),
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,93 @@
+// Package bloom implements the fixed-size bloom filters used for conflict
+// and dependency detection: RingSTM commit filters, InvalSTM read/write
+// filters, and RTC's independent-transaction detector.
+//
+// Filters are 1024 bits (the RSTM default the paper uses) with two hash
+// probes per key, and support the only three operations the algorithms
+// need: add, intersection test, and union.
+package bloom
+
+import "math/bits"
+
+// Words is the number of 64-bit words in a Filter (1024 bits).
+const Words = 16
+
+// Filter is a 1024-bit bloom filter. The zero value is empty.
+type Filter [Words]uint64
+
+// hash1 and hash2 derive two independent probe positions from a key using
+// 64-bit mixing (splitmix64 finalizer constants).
+func hash1(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key
+}
+
+func hash2(key uint64) uint64 {
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 29
+	key *= 0x9e3779b97f4a7c15
+	key ^= key >> 32
+	return key
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := hash1(key), hash2(key)
+	f[(h1>>6)%Words] |= 1 << (h1 & 63)
+	f[(h2>>6)%Words] |= 1 << (h2 & 63)
+}
+
+// MayContain reports whether key may have been added (false positives are
+// possible; false negatives are not).
+func (f *Filter) MayContain(key uint64) bool {
+	h1, h2 := hash1(key), hash2(key)
+	if f[(h1>>6)%Words]&(1<<(h1&63)) == 0 {
+		return false
+	}
+	return f[(h2>>6)%Words]&(1<<(h2&63)) != 0
+}
+
+// Intersects reports whether the two filters share any set bit. Two
+// transactions whose filters do not intersect are guaranteed independent.
+func (f *Filter) Intersects(g *Filter) bool {
+	for i := range f {
+		if f[i]&g[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union ors g into f.
+func (f *Filter) Union(g *Filter) {
+	for i := range f {
+		f[i] |= g[i]
+	}
+}
+
+// Clear empties the filter.
+func (f *Filter) Clear() {
+	*f = Filter{}
+}
+
+// Empty reports whether no key has been added.
+func (f *Filter) Empty() bool {
+	for _, w := range f {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits, a cheap density measure used by
+// adaptive policies and tests.
+func (f *Filter) PopCount() int {
+	n := 0
+	for _, w := range f {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

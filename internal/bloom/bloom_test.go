@@ -1,0 +1,102 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint64, probe uint64) bool {
+		var fl Filter
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	var f Filter
+	if !f.Empty() {
+		t.Fatal("fresh filter should be empty")
+	}
+	if f.MayContain(42) {
+		t.Fatal("empty filter must not contain anything")
+	}
+	var g Filter
+	g.Add(1)
+	if f.Intersects(&g) {
+		t.Fatal("empty filter intersects nothing")
+	}
+	g.Clear()
+	if !g.Empty() {
+		t.Fatal("Clear should empty the filter")
+	}
+}
+
+func TestIntersectsIffSharedBits(t *testing.T) {
+	var a, b Filter
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	// Disjoint keys usually (not always) give disjoint filters; assert only
+	// the guaranteed direction: a shared key forces intersection.
+	b.Add(2)
+	if !a.Intersects(&b) {
+		t.Fatal("filters sharing key 2 must intersect")
+	}
+	if !b.Intersects(&a) {
+		t.Fatal("Intersects must be symmetric")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	var a, b Filter
+	a.Add(1)
+	b.Add(2)
+	a.Union(&b)
+	if !a.MayContain(1) || !a.MayContain(2) {
+		t.Fatal("union must contain both sides' keys")
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	var f Filter
+	const inserted = 64
+	for i := 0; i < inserted; i++ {
+		f.Add(rng.Uint64())
+	}
+	hits := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(rng.Uint64()) {
+			hits++
+		}
+	}
+	// 64 keys × 2 probes over 1024 bits: expected fp rate ≈ (128/1024)² ≈ 1.5%.
+	if rate := float64(hits) / probes; rate > 0.10 {
+		t.Fatalf("false positive rate %.3f too high for 64 keys", rate)
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	var f Filter
+	if f.PopCount() != 0 {
+		t.Fatal("empty filter has zero bits")
+	}
+	f.Add(1)
+	n := f.PopCount()
+	if n != 1 && n != 2 {
+		t.Fatalf("one key sets 1 or 2 bits, got %d", n)
+	}
+}

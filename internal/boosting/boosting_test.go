@@ -1,0 +1,232 @@
+package boosting
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/conc"
+)
+
+func TestBoostedSetSequential(t *testing.T) {
+	for name, base := range map[string]BlackBoxSet{
+		"list": conc.NewLazyList(),
+		"skip": conc.NewLazySkipList(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := NewSet(base, 64)
+			Atomic(nil, nil, func(tx *Tx) {
+				if !s.Add(tx, 1) || !s.Add(tx, 2) {
+					t.Error("adds should succeed")
+				}
+				if s.Add(tx, 1) {
+					t.Error("duplicate add should fail")
+				}
+				if !s.Contains(tx, 2) {
+					t.Error("contains should see eager add")
+				}
+			})
+			Atomic(nil, nil, func(tx *Tx) {
+				if !s.Remove(tx, 1) || s.Remove(tx, 1) {
+					t.Error("remove semantics wrong")
+				}
+			})
+			if !base.Contains(2) || base.Contains(1) {
+				t.Error("final state wrong")
+			}
+		})
+	}
+}
+
+func TestBoostedSetAbortRollsBack(t *testing.T) {
+	base := conc.NewLazyList()
+	s := NewSet(base, 64)
+	attempts := 0
+	Atomic(nil, nil, func(tx *Tx) {
+		attempts++
+		s.Add(tx, 10)
+		s.Remove(tx, 10)
+		s.Add(tx, 20)
+		if attempts == 1 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if !base.Contains(20) {
+		t.Fatal("20 should be present after retry commit")
+	}
+	if !base.Contains(10) {
+		// add(10) then remove(10) leaves 10 present only if both replayed;
+		// within a committed tx the pair nets to present:false? No: add
+		// succeeds then remove succeeds, so 10 ends absent.
+		t.Log("10 absent as expected")
+	}
+	if base.Contains(10) {
+		t.Fatal("10 should be absent (added then removed)")
+	}
+}
+
+func TestBoostedSetPairInvariant(t *testing.T) {
+	const (
+		pairs   = 16
+		offset  = 500
+		workers = 6
+		txsEach = 150
+	)
+	base := conc.NewLazySkipList()
+	s := NewSet(base, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 7))
+			for i := 0; i < txsEach; i++ {
+				k := int64(rng.IntN(pairs))
+				Atomic(nil, nil, func(tx *Tx) {
+					if s.Contains(tx, k) {
+						s.Remove(tx, k)
+						s.Remove(tx, k+offset)
+					} else {
+						s.Add(tx, k)
+						s.Add(tx, k+offset)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	for k := int64(0); k < pairs; k++ {
+		if base.Contains(k) != base.Contains(k+offset) {
+			t.Fatalf("pair invariant broken for %d", k)
+		}
+	}
+}
+
+func TestBoostedPQSequential(t *testing.T) {
+	q := NewPQ()
+	Atomic(nil, nil, func(tx *Tx) {
+		q.Add(tx, 5)
+		q.Add(tx, 1)
+		q.Add(tx, 3)
+	})
+	var order []int64
+	Atomic(nil, nil, func(tx *Tx) {
+		for {
+			k, ok := q.RemoveMin(tx)
+			if !ok {
+				break
+			}
+			order = append(order, k)
+		}
+	})
+	want := []int64{1, 3, 5}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestBoostedPQAbortRestoresQueue(t *testing.T) {
+	q := NewPQ()
+	Atomic(nil, nil, func(tx *Tx) { q.Add(tx, 1); q.Add(tx, 2) })
+	attempts := 0
+	Atomic(nil, nil, func(tx *Tx) {
+		attempts++
+		if k, ok := q.RemoveMin(tx); !ok || k != 1 {
+			t.Errorf("RemoveMin = %d,%v; want 1", k, ok)
+		}
+		q.Add(tx, 0)
+		if attempts == 1 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	var order []int64
+	Atomic(nil, nil, func(tx *Tx) {
+		for {
+			k, ok := q.RemoveMin(tx)
+			if !ok {
+				break
+			}
+			order = append(order, k)
+		}
+	})
+	want := []int64{0, 2}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("remaining = %v, want %v", order, want)
+	}
+}
+
+func TestBoostedPQConcurrentConservation(t *testing.T) {
+	const workers = 6
+	const txsEach = 100
+	q := NewPQ()
+	Atomic(nil, nil, func(tx *Tx) {
+		for i := int64(0); i < 50; i++ {
+			q.Add(tx, i)
+		}
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := 0; i < txsEach; i++ {
+				v := base*100_000 + int64(i) + 1000
+				Atomic(nil, nil, func(tx *Tx) {
+					q.Add(tx, v)
+					if _, ok := q.RemoveMin(tx); !ok {
+						t.Error("unexpected empty queue")
+					}
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := q.Len(); got != 50 {
+		t.Fatalf("Len = %d, want 50", got)
+	}
+}
+
+func TestLockTableUpgrade(t *testing.T) {
+	tbl := NewLockTable(16)
+	l := tbl.For(1)
+	Atomic(nil, nil, func(tx *Tx) {
+		tx.AcquireRead(l)
+		tx.AcquireWrite(l) // upgrade must succeed: sole reader
+		tx.AcquireWrite(l) // idempotent
+		tx.AcquireRead(l)  // read under write hold is a no-op
+	})
+	if l.state.Load() != 0 {
+		t.Fatalf("lock not fully released: state=%d", l.state.Load())
+	}
+}
+
+func TestLockTableConflictAborts(t *testing.T) {
+	tbl := NewLockTable(16)
+	l := tbl.For(1)
+	// Simulate a foreign write holder.
+	if !l.tryWrite() {
+		t.Fatal("tryWrite")
+	}
+	done := make(chan abort.Stats, 1)
+	go func() {
+		var stats abort.Stats
+		Atomic(&stats, nil, func(tx *Tx) {
+			tx.AcquireRead(l) // blocks, aborts, retries until released
+		})
+		done <- stats
+	}()
+	// Let it spin through at least one timeout-abort, then release.
+	for i := 0; i < 3; i++ {
+		stats := abort.Stats{}
+		_ = stats
+	}
+	l.releaseWrite()
+	stats := <-done
+	if stats.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", stats.Commits)
+	}
+}

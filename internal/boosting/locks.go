@@ -1,0 +1,212 @@
+// Package boosting implements Herlihy & Koskinen's (pessimistic)
+// transactional boosting [PPoPP 2008], the baseline OTB is evaluated
+// against: a semantic layer of abstract read/write locks acquired eagerly at
+// operation time and held to transaction end (two-phase locking), plus a
+// semantic undo log of inverse operations replayed on abort. The underlying
+// concurrent data structures (package conc) are used as black boxes.
+package boosting
+
+import (
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/spin"
+)
+
+// acquireAttempts bounds lock acquisition; exceeding it aborts the
+// transaction (timeout-based deadlock avoidance, as in the original
+// boosting implementation).
+const acquireAttempts = 64
+
+// RWLock is an abstract reader/writer lock: state counts readers, or is -1
+// when write-held. A waiting-writers gate gives writers priority — without
+// it, a stream of commutative readers (e.g. priority-queue Adds holding the
+// shared side) starves RemoveMin writers indefinitely, livelocking the
+// whole queue. Locks are transaction-scoped; a Tx tracks what it holds and
+// releases everything at commit or abort.
+type RWLock struct {
+	state   atomic.Int64
+	waiting atomic.Int64 // writers currently spinning for the lock
+	_       spin.Pad
+}
+
+// tryRead increments the reader count unless a writer holds the lock or is
+// waiting for it (writer priority).
+func (l *RWLock) tryRead() bool {
+	if l.waiting.Load() > 0 {
+		return false
+	}
+	s := l.state.Load()
+	return s >= 0 && l.state.CompareAndSwap(s, s+1)
+}
+
+// tryWrite acquires exclusively when the lock is free.
+func (l *RWLock) tryWrite() bool {
+	return l.state.CompareAndSwap(0, -1)
+}
+
+// tryUpgrade turns a sole read hold into a write hold.
+func (l *RWLock) tryUpgrade() bool {
+	return l.state.CompareAndSwap(1, -1)
+}
+
+func (l *RWLock) releaseRead()  { l.state.Add(-1) }
+func (l *RWLock) releaseWrite() { l.state.Store(0) }
+
+// downgradeFromUpgrade reverts an upgraded lock back to a read hold.
+func (l *RWLock) downgradeFromUpgrade() { l.state.Store(1) }
+
+// LockTable stripes abstract per-key locks, standing in for the original's
+// lock-per-key hash map.
+type LockTable struct {
+	stripes []RWLock
+	mask    uint64
+}
+
+// NewLockTable creates a table with n stripes (rounded up to a power of
+// two).
+func NewLockTable(n int) *LockTable {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return &LockTable{stripes: make([]RWLock, size), mask: uint64(size - 1)}
+}
+
+// For returns the lock guarding key.
+func (t *LockTable) For(key int64) *RWLock {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return &t.stripes[(h>>32)&t.mask]
+}
+
+// lockMode distinguishes how a Tx holds an RWLock.
+type lockMode int8
+
+const (
+	readHeld lockMode = iota
+	writeHeld
+	upgradedHeld // write-held, but was read-held first (release restores read? no: released fully)
+)
+
+type heldLock struct {
+	lock *RWLock
+	mode lockMode
+}
+
+// Tx is a pessimistic-boosting transaction: the set of abstract locks held
+// and the semantic undo log of inverse operations.
+type Tx struct {
+	held []heldLock
+	undo []func()
+	ctr  *spin.Counters
+}
+
+// Atomic runs fn as a boosted transaction, retrying on abort. Stats and
+// counters may be nil.
+func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
+	tx := &Tx{ctr: ctr}
+	abort.Run(stats,
+		func() {
+			tx.held = tx.held[:0]
+			tx.undo = tx.undo[:0]
+		},
+		func() {
+			fn(tx)
+			tx.commit()
+		},
+		func(abort.Reason) { tx.rollback() },
+	)
+}
+
+// OnAbort registers an inverse operation to replay if the transaction
+// aborts. Inverses run in reverse registration order.
+func (tx *Tx) OnAbort(inverse func()) {
+	tx.undo = append(tx.undo, inverse)
+}
+
+// AcquireRead takes (or confirms) a shared hold on l, aborting on timeout.
+func (tx *Tx) AcquireRead(l *RWLock) {
+	if tx.holds(l) {
+		return // read or write hold both admit reading
+	}
+	tx.spinAcquire(l, (*RWLock).tryRead)
+	tx.held = append(tx.held, heldLock{lock: l, mode: readHeld})
+}
+
+// AcquireWrite takes (or upgrades to) an exclusive hold on l, aborting on
+// timeout. The waiting-writer gate is raised for the duration of the spin
+// so incoming readers stand aside.
+func (tx *Tx) AcquireWrite(l *RWLock) {
+	for i := range tx.held {
+		h := &tx.held[i]
+		if h.lock != l {
+			continue
+		}
+		if h.mode != readHeld {
+			return // already exclusive
+		}
+		tx.spinAcquireWrite(l, (*RWLock).tryUpgrade)
+		h.mode = upgradedHeld
+		return
+	}
+	tx.spinAcquireWrite(l, (*RWLock).tryWrite)
+	tx.held = append(tx.held, heldLock{lock: l, mode: writeHeld})
+}
+
+// spinAcquireWrite raises the waiting-writer gate around the spin; the
+// deferred decrement also runs when the spin aborts the transaction.
+func (tx *Tx) spinAcquireWrite(l *RWLock, try func(*RWLock) bool) {
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
+	tx.spinAcquire(l, try)
+}
+
+// spinAcquire retries try with backoff, aborting after acquireAttempts.
+func (tx *Tx) spinAcquire(l *RWLock, try func(*RWLock) bool) {
+	var b spin.Backoff
+	for i := 0; i < acquireAttempts; i++ {
+		if try(l) {
+			return
+		}
+		tx.ctr.IncCAS()
+		b.Wait()
+	}
+	abort.Retry(abort.LockBusy)
+}
+
+func (tx *Tx) holds(l *RWLock) bool {
+	for i := range tx.held {
+		if tx.held[i].lock == l {
+			return true
+		}
+	}
+	return false
+}
+
+// commit releases all abstract locks; eager writes are already in place.
+func (tx *Tx) commit() {
+	tx.releaseAll()
+	tx.undo = tx.undo[:0]
+}
+
+// rollback replays the undo log in reverse and releases all locks.
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.undo = tx.undo[:0]
+	tx.releaseAll()
+}
+
+func (tx *Tx) releaseAll() {
+	for i := len(tx.held) - 1; i >= 0; i-- {
+		h := tx.held[i]
+		switch h.mode {
+		case readHeld:
+			h.lock.releaseRead()
+		default:
+			h.lock.releaseWrite()
+		}
+	}
+	tx.held = tx.held[:0]
+}

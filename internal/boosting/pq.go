@@ -1,0 +1,127 @@
+package boosting
+
+import (
+	"sync"
+
+	"repro/internal/conc"
+)
+
+// BlackBoxPQ is the concurrent priority queue interface the boosted queue
+// wraps without inspecting. conc.HeapPQ satisfies it directly;
+// conc.SkipPQ via SkipPQAdapter.
+type BlackBoxPQ interface {
+	Add(key int64)
+	Min() (int64, bool)
+	RemoveMin() (int64, bool)
+	Len() int
+}
+
+// SkipPQAdapter adapts conc.SkipPQ (whose Add reports duplicates) to
+// BlackBoxPQ.
+type SkipPQAdapter struct{ Q *conc.SkipPQ }
+
+// Add inserts key, ignoring the duplicate indication.
+func (a SkipPQAdapter) Add(key int64) { a.Q.Add(key) }
+
+// Min returns the smallest queued key.
+func (a SkipPQAdapter) Min() (int64, bool) { return a.Q.Min() }
+
+// RemoveMin removes and returns the smallest key.
+func (a SkipPQAdapter) RemoveMin() (int64, bool) { return a.Q.RemoveMin() }
+
+// Len returns the queue size.
+func (a SkipPQAdapter) Len() int { return a.Q.Len() }
+
+// PQ is the pessimistically boosted priority queue of the paper's
+// Algorithm 4: a concurrent queue guarded by one global abstract
+// readers/writer lock. Add operations commute, so they take the shared
+// side; Min and RemoveMin are non-commutative with everything and take the
+// exclusive side. Rolled-back Adds are recorded as logically deleted
+// "holders" that RemoveMin skips, because the queue has no native inverse
+// for Add.
+type PQ struct {
+	lock RWLock
+	pq   BlackBoxPQ
+
+	mu      sync.Mutex
+	deleted map[int64]int // key -> pending logical deletions
+}
+
+// NewPQ creates an empty boosted priority queue over a concurrent heap.
+func NewPQ() *PQ { return NewPQOver(conc.NewHeapPQ()) }
+
+// NewPQOver boosts an arbitrary concurrent priority queue.
+func NewPQOver(q BlackBoxPQ) *PQ {
+	return &PQ{pq: q, deleted: make(map[int64]int)}
+}
+
+// Add inserts key within tx (duplicates allowed).
+func (q *PQ) Add(tx *Tx, key int64) {
+	tx.AcquireRead(&q.lock)
+	q.pq.Add(key)
+	tx.OnAbort(func() { q.markDeleted(key) })
+}
+
+// Min returns the smallest live key within tx; ok is false when empty.
+func (q *PQ) Min(tx *Tx) (int64, bool) {
+	tx.AcquireWrite(&q.lock)
+	for {
+		key, ok := q.pq.Min()
+		if !ok {
+			return 0, false
+		}
+		if !q.consumeDeleted(key) {
+			return key, true
+		}
+		q.pq.RemoveMin() // discard the logically deleted holder
+	}
+}
+
+// RemoveMin removes and returns the smallest live key within tx; ok is
+// false when empty.
+func (q *PQ) RemoveMin(tx *Tx) (int64, bool) {
+	tx.AcquireWrite(&q.lock)
+	for {
+		key, ok := q.pq.RemoveMin()
+		if !ok {
+			return 0, false
+		}
+		if q.consumeDeleted(key) {
+			continue // skip a rolled-back Add
+		}
+		tx.OnAbort(func() { q.pq.Add(key) })
+		return key, true
+	}
+}
+
+// markDeleted flags one pending instance of key as logically deleted.
+func (q *PQ) markDeleted(key int64) {
+	q.mu.Lock()
+	q.deleted[key]++
+	q.mu.Unlock()
+}
+
+// consumeDeleted consumes one logical deletion of key if present.
+func (q *PQ) consumeDeleted(key int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.deleted[key] > 0 {
+		q.deleted[key]--
+		if q.deleted[key] == 0 {
+			delete(q.deleted, key)
+		}
+		return true
+	}
+	return false
+}
+
+// Len returns the number of live queued keys (reporting only).
+func (q *PQ) Len() int {
+	q.mu.Lock()
+	pending := 0
+	for _, n := range q.deleted {
+		pending += n
+	}
+	q.mu.Unlock()
+	return q.pq.Len() - pending
+}

@@ -1,0 +1,53 @@
+package boosting
+
+// BlackBoxSet is the concurrent set interface the boosted set wraps without
+// inspecting — the "black box" discipline of pessimistic boosting. Both
+// conc.LazyList and conc.LazySkipList satisfy it.
+type BlackBoxSet interface {
+	Add(key int64) bool
+	Remove(key int64) bool
+	Contains(key int64) bool
+}
+
+// Set is a pessimistically boosted set: each operation eagerly acquires the
+// abstract lock for its key (shared for Contains, exclusive for
+// Add/Remove), applies immediately to the underlying concurrent set, and
+// registers its inverse for rollback.
+type Set struct {
+	locks *LockTable
+	set   BlackBoxSet
+}
+
+// NewSet boosts the given concurrent set with a table of n abstract lock
+// stripes.
+func NewSet(set BlackBoxSet, n int) *Set {
+	return &Set{locks: NewLockTable(n), set: set}
+}
+
+// Add inserts key within tx, returning false if present.
+func (s *Set) Add(tx *Tx, key int64) bool {
+	tx.AcquireWrite(s.locks.For(key))
+	if !s.set.Add(key) {
+		return false
+	}
+	tx.OnAbort(func() { s.set.Remove(key) })
+	return true
+}
+
+// Remove deletes key within tx, returning false if absent.
+func (s *Set) Remove(tx *Tx, key int64) bool {
+	tx.AcquireWrite(s.locks.For(key))
+	if !s.set.Remove(key) {
+		return false
+	}
+	tx.OnAbort(func() { s.set.Add(key) })
+	return true
+}
+
+// Contains reports within tx whether key is present. Unlike the lazy set's
+// wait-free contains, the boosted version must take the abstract read lock
+// to preserve opacity — one of the costs OTB eliminates.
+func (s *Set) Contains(tx *Tx, key int64) bool {
+	tx.AcquireRead(s.locks.For(key))
+	return s.set.Contains(key)
+}

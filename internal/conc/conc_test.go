@@ -1,0 +1,283 @@
+package conc
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// set abstracts the two lazy sets for shared tests.
+type set interface {
+	Add(int64) bool
+	Remove(int64) bool
+	Contains(int64) bool
+	Len() int
+	Keys() []int64
+}
+
+func sets() map[string]func() set {
+	return map[string]func() set{
+		"LazyList":     func() set { return NewLazyList() },
+		"LazySkipList": func() set { return NewLazySkipList() },
+	}
+}
+
+func TestSetSequential(t *testing.T) {
+	for name, mk := range sets() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if !s.Add(3) || !s.Add(1) || !s.Add(2) {
+				t.Fatal("adds should succeed")
+			}
+			if s.Add(2) {
+				t.Fatal("duplicate add should fail")
+			}
+			if !s.Contains(2) || s.Contains(9) {
+				t.Fatal("contains wrong")
+			}
+			if !s.Remove(2) || s.Remove(2) {
+				t.Fatal("remove semantics wrong")
+			}
+			want := []int64{1, 3}
+			got := s.Keys()
+			if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+				t.Fatalf("Keys = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestSetMatchesModel(t *testing.T) {
+	for name, mk := range sets() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				s := mk()
+				model := map[int64]bool{}
+				for _, op := range ops {
+					key := int64(op % 128)
+					switch (op / 128) % 3 {
+					case 0:
+						if s.Add(key) != !model[key] {
+							return false
+						}
+						model[key] = true
+					case 1:
+						if s.Remove(key) != model[key] {
+							return false
+						}
+						delete(model, key)
+					default:
+						if s.Contains(key) != model[key] {
+							return false
+						}
+					}
+				}
+				return s.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSetConcurrentDisjoint(t *testing.T) {
+	for name, mk := range sets() {
+		t.Run(name, func(t *testing.T) {
+			const workers = 8
+			const each = 200
+			s := mk()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base int64) {
+					defer wg.Done()
+					for i := int64(0); i < each; i++ {
+						if !s.Add(base*each + i) {
+							t.Errorf("Add failed")
+						}
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+			if got := s.Len(); got != workers*each {
+				t.Fatalf("Len = %d, want %d", got, workers*each)
+			}
+		})
+	}
+}
+
+func TestSetConcurrentMixed(t *testing.T) {
+	for name, mk := range sets() {
+		t.Run(name, func(t *testing.T) {
+			const workers = 8
+			const opsEach = 500
+			const keyRange = 64
+			s := mk()
+			var adds, removes [workers]int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(uint64(id+1), 42))
+					for i := 0; i < opsEach; i++ {
+						key := int64(rng.IntN(keyRange))
+						switch rng.IntN(3) {
+						case 0:
+							if s.Add(key) {
+								adds[id]++
+							}
+						case 1:
+							if s.Remove(key) {
+								removes[id]++
+							}
+						default:
+							s.Contains(key)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			var totalAdds, totalRemoves int64
+			for w := 0; w < workers; w++ {
+				totalAdds += adds[w]
+				totalRemoves += removes[w]
+			}
+			if got := int64(s.Len()); got != totalAdds-totalRemoves {
+				t.Fatalf("Len = %d, want adds-removes = %d", got, totalAdds-totalRemoves)
+			}
+		})
+	}
+}
+
+func TestHeapPQOrdering(t *testing.T) {
+	q := NewHeapPQ()
+	in := []int64{5, 3, 8, 1, 9, 2, 2}
+	for _, k := range in {
+		q.Add(k)
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	for _, want := range in {
+		got, ok := q.RemoveMin()
+		if !ok || got != want {
+			t.Fatalf("RemoveMin = %d,%v; want %d", got, ok, want)
+		}
+	}
+	if _, ok := q.RemoveMin(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestSeqHeapProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		var h SeqHeap
+		for _, k := range keys {
+			h.Add(k)
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, want := range sorted {
+			got, ok := h.RemoveMin()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := h.RemoveMin()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqHeapRemoveOne(t *testing.T) {
+	var h SeqHeap
+	for _, k := range []int64{4, 4, 2, 7} {
+		h.Add(k)
+	}
+	if !h.RemoveOne(4) {
+		t.Fatal("RemoveOne(4) should succeed")
+	}
+	if h.RemoveOne(99) {
+		t.Fatal("RemoveOne(99) should fail")
+	}
+	var out []int64
+	for {
+		k, ok := h.RemoveMin()
+		if !ok {
+			break
+		}
+		out = append(out, k)
+	}
+	want := []int64{2, 4, 7}
+	if len(out) != 3 || out[0] != want[0] || out[1] != want[1] || out[2] != want[2] {
+		t.Fatalf("remaining = %v, want %v", out, want)
+	}
+}
+
+func TestSkipPQConcurrent(t *testing.T) {
+	const total = 500
+	q := NewSkipPQ()
+	for i := int64(1); i <= total; i++ {
+		q.Add(i)
+	}
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k, ok := q.RemoveMin()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[k] {
+					t.Errorf("key %d dequeued twice", k)
+				}
+				seen[k] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("dequeued %d keys, want %d", len(seen), total)
+	}
+}
+
+func TestHeapPQConcurrent(t *testing.T) {
+	const workers = 8
+	const each = 300
+	q := NewHeapPQ()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < each; i++ {
+				q.Add(base*each + i)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := q.Len(); got != workers*each {
+		t.Fatalf("Len = %d, want %d", got, workers*each)
+	}
+	prev := int64(-1)
+	for {
+		k, ok := q.RemoveMin()
+		if !ok {
+			break
+		}
+		if k < prev {
+			t.Fatalf("heap order violated: %d after %d", k, prev)
+		}
+		prev = k
+	}
+}

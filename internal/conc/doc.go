@@ -1,0 +1,11 @@
+// Package conc implements the highly concurrent, non-transactional data
+// structures the paper builds on: the lazy linked-list set and lazy
+// skip-list set of Heller et al. / Herlihy et al., a lock-based binary-heap
+// priority queue, and a skip-list priority queue.
+//
+// These play two roles in the reproduction:
+//   - they are the "Lazy" series of Figures 3.3–3.5 (the non-transactional
+//     upper bound OTB is measured against), and
+//   - pessimistic transactional boosting (internal/boosting) wraps them as
+//     black boxes, exactly as Herlihy & Koskinen's methodology prescribes.
+package conc

@@ -1,0 +1,149 @@
+package conc
+
+import "sync"
+
+// HeapPQ is a lock-based binary min-heap priority queue with duplicate keys
+// allowed. It stands in for Java's concurrent heap as the underlying object
+// of the pessimistically boosted priority queue, and for Java's sequential
+// PriorityQueue inside the semi-optimistic OTB heap queue (where it is used
+// without the lock by the single lock-holder).
+type HeapPQ struct {
+	mu   sync.Mutex
+	heap []int64
+}
+
+// NewHeapPQ creates an empty queue.
+func NewHeapPQ() *HeapPQ { return &HeapPQ{} }
+
+// Add inserts key (duplicates allowed).
+func (q *HeapPQ) Add(key int64) {
+	q.mu.Lock()
+	q.heap = append(q.heap, key)
+	siftUp(q.heap, len(q.heap)-1)
+	q.mu.Unlock()
+}
+
+// Min returns the smallest key without removing it; ok is false when empty.
+func (q *HeapPQ) Min() (key int64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0], true
+}
+
+// RemoveMin removes and returns the smallest key; ok is false when empty.
+func (q *HeapPQ) RemoveMin() (key int64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	key = q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		siftDown(q.heap, 0)
+	}
+	return key, true
+}
+
+// Len returns the number of queued keys.
+func (q *HeapPQ) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// SeqHeap is the unsynchronized binary min-heap used where the caller
+// provides exclusion: the OTB semi-optimistic queue (shared state accessed
+// only by the global-lock holder) and per-transaction local queues.
+type SeqHeap struct {
+	heap []int64
+}
+
+// Add inserts key.
+func (h *SeqHeap) Add(key int64) {
+	h.heap = append(h.heap, key)
+	siftUp(h.heap, len(h.heap)-1)
+}
+
+// Min returns the smallest key; ok is false when empty.
+func (h *SeqHeap) Min() (key int64, ok bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	return h.heap[0], true
+}
+
+// RemoveMin removes and returns the smallest key; ok is false when empty.
+func (h *SeqHeap) RemoveMin() (key int64, ok bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	key = h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap = h.heap[:last]
+	if last > 0 {
+		siftDown(h.heap, 0)
+	}
+	return key, true
+}
+
+// RemoveOne deletes one instance of key, returning false if absent. It is
+// O(n) and exists for rollback paths only.
+func (h *SeqHeap) RemoveOne(key int64) bool {
+	for i, k := range h.heap {
+		if k != key {
+			continue
+		}
+		last := len(h.heap) - 1
+		h.heap[i] = h.heap[last]
+		h.heap = h.heap[:last]
+		if i < last {
+			siftDown(h.heap, i)
+			siftUp(h.heap, i)
+		}
+		return true
+	}
+	return false
+}
+
+// Len returns the number of queued keys.
+func (h *SeqHeap) Len() int { return len(h.heap) }
+
+// Clear empties the heap, retaining capacity.
+func (h *SeqHeap) Clear() { h.heap = h.heap[:0] }
+
+func siftUp(h []int64, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDown(h []int64, i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		small := i
+		if left < n && h[left] < h[small] {
+			small = left
+		}
+		if right < n && h[right] < h[small] {
+			small = right
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

@@ -1,0 +1,131 @@
+package conc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// listNode is one element of a LazyList. Deletion is split into a logical
+// phase (setting marked) and a physical phase (unlinking), so wait-free
+// readers can skip over logically deleted nodes.
+type listNode struct {
+	key    int64
+	next   atomic.Pointer[listNode]
+	marked atomic.Bool
+	mu     sync.Mutex
+}
+
+// LazyList is the lazy linked-list set of Heller et al. [OPODIS 2005]:
+// unmonitored traversal, per-node locking with post-lock validation, and a
+// wait-free Contains. Keys range over int64 exclusive of the sentinels
+// (math.MinInt64, math.MaxInt64).
+type LazyList struct {
+	head *listNode
+}
+
+// NewLazyList creates an empty set.
+func NewLazyList() *LazyList {
+	tail := &listNode{key: math.MaxInt64}
+	head := &listNode{key: math.MinInt64}
+	head.next.Store(tail)
+	return &LazyList{head: head}
+}
+
+// locate returns the adjacent pair (pred, curr) with
+// pred.key < key <= curr.key.
+func (l *LazyList) locate(key int64) (pred, curr *listNode) {
+	pred = l.head
+	curr = pred.next.Load()
+	for curr.key < key {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+// validate checks, with locks held, that pred and curr are unmarked and
+// still adjacent.
+func validate(pred, curr *listNode) bool {
+	return !pred.marked.Load() && !curr.marked.Load() && pred.next.Load() == curr
+}
+
+// Add inserts key, returning false if it was already present.
+func (l *LazyList) Add(key int64) bool {
+	for {
+		pred, curr := l.locate(key)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if validate(pred, curr) {
+			if curr.key == key {
+				curr.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			n := &listNode{key: key}
+			n.next.Store(curr)
+			pred.next.Store(n)
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+	}
+}
+
+// Remove deletes key, returning false if it was absent.
+func (l *LazyList) Remove(key int64) bool {
+	for {
+		pred, curr := l.locate(key)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if validate(pred, curr) {
+			if curr.key != key {
+				curr.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			curr.marked.Store(true) // logical deletion
+			pred.next.Store(curr.next.Load())
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+	}
+}
+
+// Contains reports whether key is present. It is wait-free: no locks, one
+// traversal, and a final marked check.
+func (l *LazyList) Contains(key int64) bool {
+	curr := l.head
+	for curr.key < key {
+		curr = curr.next.Load()
+	}
+	return curr.key == key && !curr.marked.Load()
+}
+
+// Len counts the unmarked elements (excluding sentinels). It is not
+// linearizable and is intended for tests and reporting.
+func (l *LazyList) Len() int {
+	n := 0
+	for curr := l.head.next.Load(); curr.key != math.MaxInt64; curr = curr.next.Load() {
+		if !curr.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the unmarked keys in ascending order (tests only).
+func (l *LazyList) Keys() []int64 {
+	var out []int64
+	for curr := l.head.next.Load(); curr.key != math.MaxInt64; curr = curr.next.Load() {
+		if !curr.marked.Load() {
+			out = append(out, curr.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package conc
+
+import "repro/internal/spin"
+
+// SkipPQ is a skip-list-based concurrent priority queue in the style of
+// Lotan & Shavit, built on the lazy skip list: Add inserts into the ordered
+// set and RemoveMin claims the leftmost unclaimed node. Keys are unique, as
+// in the paper's implementation.
+type SkipPQ struct {
+	list *LazySkipList
+}
+
+// NewSkipPQ creates an empty queue.
+func NewSkipPQ() *SkipPQ { return &SkipPQ{list: NewLazySkipList()} }
+
+// Add inserts key, returning false if it was already queued.
+func (q *SkipPQ) Add(key int64) bool { return q.list.Add(key) }
+
+// Min returns the smallest queued key; ok is false when empty.
+func (q *SkipPQ) Min() (int64, bool) { return q.list.Min() }
+
+// RemoveMin removes and returns the smallest key; ok is false when empty.
+// Contending removers race to delete the current minimum and retry on loss.
+func (q *SkipPQ) RemoveMin() (int64, bool) {
+	var b spin.Backoff
+	for {
+		key, ok := q.list.Min()
+		if !ok {
+			return 0, false
+		}
+		if q.list.Remove(key) {
+			return key, true
+		}
+		b.Wait() // lost the race for this minimum
+	}
+}
+
+// Len returns the number of queued keys (reporting only).
+func (q *SkipPQ) Len() int { return q.list.Len() }

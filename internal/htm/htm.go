@@ -1,0 +1,298 @@
+// Package htm emulates a best-effort hardware transactional memory in the
+// style of Intel TSX, and builds the hybrid TM of the paper's Section 7.1.1
+// on top of it.
+//
+// Real HTM cannot be expressed in portable Go, so the emulation preserves
+// the programming model rather than the mechanism: hardware transactions
+// have a bounded read/write footprint (capacity aborts, like TSX's
+// L1-bounded buffers), abort with a reason code on conflict, may abort
+// spuriously (best-effort: no progress guarantee), and subscribe to the
+// software path's lock so hardware and software transactions are mutually
+// atomic. Conflicts are detected value-based at a short commit arbitration
+// point, the emulation's stand-in for cache-coherence conflict detection.
+package htm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// AbortCode classifies why a hardware transaction failed.
+type AbortCode int
+
+// Hardware abort codes (mirroring TSX's abort reasons).
+const (
+	// Conflict: another transaction committed over this one's footprint.
+	Conflict AbortCode = iota
+	// Capacity: the read or write footprint exceeded the hardware bound.
+	Capacity
+	// LockSubscription: the software fallback held the lock.
+	LockSubscription
+)
+
+// String returns the abort code's name.
+func (c AbortCode) String() string {
+	switch c {
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case LockSubscription:
+		return "lock-subscription"
+	default:
+		return "unknown"
+	}
+}
+
+// Default hardware footprint bounds (words). TSX is bounded by L1; these
+// defaults are deliberately small so capacity fallbacks are exercised.
+const (
+	DefaultReadCap  = 128
+	DefaultWriteCap = 32
+)
+
+// Options configure a hybrid TM instance.
+type Options struct {
+	// ReadCap / WriteCap bound the hardware footprint (0 = defaults).
+	ReadCap, WriteCap int
+	// Retries is how many hardware attempts precede the software fallback
+	// (0 = 3, the usual TSX retry policy).
+	Retries int
+}
+
+// hwAbort carries an AbortCode through the emulated transaction's unwind.
+type hwAbort struct{ code AbortCode }
+
+// TM is a hybrid transactional memory: transactions run in the emulated
+// HTM first and fall back to an integrated NOrec-style software path after
+// repeated hardware aborts. Hardware commits subscribe to the software
+// clock, so the two paths serialize correctly against each other.
+type TM struct {
+	clock    spin.SeqLock // shared by hardware commits and software path
+	readCap  int
+	writeCap int
+	retries  int
+	ctr      spin.Counters
+	stats    struct {
+		hwCommits atomic.Uint64
+		swCommits atomic.Uint64
+		hwAborts  [3]atomic.Uint64 // by AbortCode
+	}
+	pool sync.Pool
+}
+
+// New creates a hybrid TM.
+func New(opts Options) *TM {
+	t := &TM{
+		readCap:  opts.ReadCap,
+		writeCap: opts.WriteCap,
+		retries:  opts.Retries,
+	}
+	if t.readCap == 0 {
+		t.readCap = DefaultReadCap
+	}
+	if t.writeCap == 0 {
+		t.writeCap = DefaultWriteCap
+	}
+	if t.retries == 0 {
+		t.retries = 3
+	}
+	t.pool.New = func() any { return &htx{tm: t} }
+	return t
+}
+
+// Name implements stm.Algorithm.
+func (t *TM) Name() string { return "HybridHTM" }
+
+// Counters implements stm.Algorithm.
+func (t *TM) Counters() *spin.Counters { return &t.ctr }
+
+// Stop implements stm.Algorithm; there are no background goroutines.
+func (t *TM) Stop() {}
+
+// HWCommits and SWCommits report where transactions committed; the ratio
+// is the hybrid's effectiveness measure.
+func (t *TM) HWCommits() uint64 { return t.stats.hwCommits.Load() }
+
+// SWCommits reports commits that took the software fallback.
+func (t *TM) SWCommits() uint64 { return t.stats.swCommits.Load() }
+
+// HWAborts reports hardware aborts by code.
+func (t *TM) HWAborts(code AbortCode) uint64 { return t.stats.hwAborts[code].Load() }
+
+// htx is a transaction descriptor shared by the hardware and software
+// paths (the software path simply ignores the capacity bounds).
+type htx struct {
+	tm       *TM
+	hardware bool
+	snapshot uint64
+	reads    []stm.ReadEntry
+	writes   stm.WriteSet
+}
+
+// Atomic implements stm.Algorithm: up to retries hardware attempts, then
+// the software fallback (which cannot fail permanently).
+func (t *TM) Atomic(fn func(stm.Tx)) {
+	x := t.pool.Get().(*htx)
+	defer func() {
+		x.reads = x.reads[:0]
+		x.writes.Reset()
+		t.pool.Put(x)
+	}()
+	var b spin.Backoff
+	for attempt := 0; attempt < t.retries; attempt++ {
+		code, ok := t.tryHardware(x, fn)
+		if ok {
+			t.stats.hwCommits.Add(1)
+			return
+		}
+		t.stats.hwAborts[code].Add(1)
+		if code == Capacity {
+			break // a bigger footprint will not fit next time either
+		}
+		b.Wait()
+	}
+	t.software(x, fn)
+	t.stats.swCommits.Add(1)
+}
+
+// tryHardware runs one emulated hardware attempt.
+func (t *TM) tryHardware(x *htx, fn func(stm.Tx)) (code AbortCode, ok bool) {
+	x.hardware = true
+	x.reads = x.reads[:0]
+	x.writes.Reset()
+	// Lock subscription: a hardware transaction cannot start while the
+	// software path holds the clock.
+	start := t.clock.Load()
+	if spin.IsLocked(start) {
+		return LockSubscription, false
+	}
+	x.snapshot = start
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if ha, isHW := p.(hwAbort); isHW {
+			code, ok = ha.code, false
+			return
+		}
+		if _, isRetry := p.(abort.Signal); isRetry {
+			// An explicit software retry inside a hardware attempt aborts
+			// the hardware transaction like any other conflict.
+			code, ok = Conflict, false
+			return
+		}
+		panic(p)
+	}()
+	fn(x)
+	// Commit arbitration: a brief exclusive window standing in for the
+	// cache-coherence commit point.
+	if !t.clock.TryLock(x.snapshot) {
+		return Conflict, false
+	}
+	for i := range x.reads {
+		if x.reads[i].Cell.Load() != x.reads[i].Val {
+			t.clock.UnlockUnchanged()
+			return Conflict, false
+		}
+	}
+	x.writes.Publish()
+	t.clock.Unlock()
+	return 0, true
+}
+
+// software runs the NOrec-style fallback to completion.
+func (t *TM) software(x *htx, fn func(stm.Tx)) {
+	x.hardware = false
+	abort.Run(nil,
+		func() {
+			x.reads = x.reads[:0]
+			x.writes.Reset()
+			x.snapshot = t.clock.WaitUnlocked(&t.ctr)
+		},
+		func() {
+			fn(x)
+			x.swCommit()
+		},
+		func(abort.Reason) {},
+	)
+}
+
+// Read implements stm.Tx for both paths.
+func (x *htx) Read(c *mem.Cell) uint64 {
+	if v, ok := x.writes.Get(c); ok {
+		return v
+	}
+	if x.hardware {
+		if len(x.reads) >= x.tm.readCap {
+			panic(hwAbort{Capacity})
+		}
+		v := c.Load()
+		// Eager conflict subscription: any clock movement aborts the
+		// hardware transaction immediately (as a coherence event would).
+		if x.tm.clock.Load() != x.snapshot {
+			panic(hwAbort{Conflict})
+		}
+		x.reads = append(x.reads, stm.ReadEntry{Cell: c, Val: v})
+		return v
+	}
+	v := c.Load()
+	for x.snapshot != x.tm.clock.Load() {
+		x.snapshot = x.validate()
+		v = c.Load()
+	}
+	x.reads = append(x.reads, stm.ReadEntry{Cell: c, Val: v})
+	return v
+}
+
+// Write implements stm.Tx for both paths.
+func (x *htx) Write(c *mem.Cell, v uint64) {
+	if x.hardware && x.writes.Len() >= x.tm.writeCap {
+		if _, seen := x.writes.Get(c); !seen {
+			panic(hwAbort{Capacity})
+		}
+	}
+	x.writes.Put(c, v)
+}
+
+// validate is the software path's value-based validation.
+func (x *htx) validate() uint64 {
+	var b spin.Backoff
+	for {
+		ts := x.tm.clock.Load()
+		if spin.IsLocked(ts) {
+			x.tm.ctr.IncSpin()
+			b.Wait()
+			continue
+		}
+		for i := range x.reads {
+			if x.reads[i].Cell.Load() != x.reads[i].Val {
+				abort.Retry(abort.Conflict)
+			}
+		}
+		if ts == x.tm.clock.Load() {
+			return ts
+		}
+	}
+}
+
+// swCommit publishes the software write set under the shared clock.
+func (x *htx) swCommit() {
+	if x.writes.Len() == 0 {
+		return
+	}
+	for !x.tm.clock.TryLock(x.snapshot) {
+		x.tm.ctr.IncCAS()
+		x.snapshot = x.validate()
+	}
+	x.writes.Publish()
+	x.tm.clock.Unlock()
+}
+
+var _ stm.Algorithm = (*TM)(nil)

@@ -1,0 +1,185 @@
+package htm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestSmallTransactionsCommitInHardware(t *testing.T) {
+	tm := htm.New(htm.Options{})
+	c := mem.NewCell(0)
+	for i := 0; i < 100; i++ {
+		tm.Atomic(func(tx stm.Tx) { tx.Write(c, tx.Read(c)+1) })
+	}
+	if c.Load() != 100 {
+		t.Fatalf("counter = %d, want 100", c.Load())
+	}
+	if tm.HWCommits() != 100 || tm.SWCommits() != 0 {
+		t.Fatalf("hw=%d sw=%d; uncontended small txns must all commit in hardware",
+			tm.HWCommits(), tm.SWCommits())
+	}
+}
+
+func TestCapacityFallsBackToSoftware(t *testing.T) {
+	tm := htm.New(htm.Options{ReadCap: 8, WriteCap: 4})
+	cells := make([]*mem.Cell, 32)
+	for i := range cells {
+		cells[i] = mem.NewCell(1)
+	}
+	tm.Atomic(func(tx stm.Tx) {
+		var sum uint64
+		for _, c := range cells { // 32 reads > ReadCap 8
+			sum += tx.Read(c)
+		}
+		tx.Write(cells[0], sum)
+	})
+	if tm.SWCommits() != 1 {
+		t.Fatalf("sw commits = %d, want 1 (capacity overflow)", tm.SWCommits())
+	}
+	if tm.HWAborts(htm.Capacity) == 0 {
+		t.Fatal("expected a capacity abort")
+	}
+	if cells[0].Load() != 32 {
+		t.Fatalf("cells[0] = %d, want 32", cells[0].Load())
+	}
+}
+
+func TestWriteCapacityFallsBack(t *testing.T) {
+	tm := htm.New(htm.Options{WriteCap: 4})
+	cells := make([]*mem.Cell, 16)
+	for i := range cells {
+		cells[i] = mem.NewCell(0)
+	}
+	tm.Atomic(func(tx stm.Tx) {
+		for i, c := range cells {
+			tx.Write(c, uint64(i+1))
+		}
+	})
+	if tm.SWCommits() != 1 {
+		t.Fatalf("sw commits = %d, want 1", tm.SWCommits())
+	}
+	for i, c := range cells {
+		if c.Load() != uint64(i+1) {
+			t.Fatalf("cells[%d] = %d", i, c.Load())
+		}
+	}
+}
+
+func TestHybridConservation(t *testing.T) {
+	tm := htm.New(htm.Options{ReadCap: 8, WriteCap: 4})
+	const accounts = 12
+	const initial = 100
+	cells := make([]*mem.Cell, accounts)
+	for i := range cells {
+		cells[i] = mem.NewCell(initial)
+	}
+	const workers = 6
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				from := (seed + i) % accounts
+				to := (seed*7 + i*3 + 1) % accounts
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				tm.Atomic(func(tx stm.Tx) {
+					a := tx.Read(cells[from])
+					b := tx.Read(cells[to])
+					if a == 0 {
+						return
+					}
+					tx.Write(cells[from], a-1)
+					tx.Write(cells[to], b+1)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, c := range cells {
+		total += c.Load()
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d", total, accounts*initial)
+	}
+	if tm.HWCommits()+tm.SWCommits() != workers*each {
+		t.Fatalf("hw+sw = %d, want %d", tm.HWCommits()+tm.SWCommits(), workers*each)
+	}
+	t.Logf("hardware: %d, software: %d, conflicts: %d",
+		tm.HWCommits(), tm.SWCommits(), tm.HWAborts(htm.Conflict))
+}
+
+func TestHardwareSoftwareMutualAtomicity(t *testing.T) {
+	// Small (hardware-eligible) and large (software-bound) transactions
+	// update the same invariant pair; no execution may tear it.
+	tm := htm.New(htm.Options{ReadCap: 4, WriteCap: 2})
+	a, b := mem.NewCell(0), mem.NewCell(0)
+	pad := make([]*mem.Cell, 16)
+	for i := range pad {
+		pad[i] = mem.NewCell(0)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // hardware-sized writer
+		defer wg.Done()
+		for i := uint64(1); ; i += 2 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tm.Atomic(func(tx stm.Tx) {
+				tx.Write(a, i)
+				tx.Write(b, i)
+			})
+		}
+	}()
+	go func() { // software-sized writer (footprint exceeds the caps)
+		defer wg.Done()
+		for i := uint64(2); ; i += 2 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tm.Atomic(func(tx stm.Tx) {
+				var sum uint64
+				for _, p := range pad {
+					sum += tx.Read(p)
+				}
+				tx.Write(a, i+sum)
+				tx.Write(b, i+sum)
+				for _, p := range pad {
+					tx.Write(p, 0)
+				}
+			})
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		tm.Atomic(func(tx stm.Tx) {
+			va, vb := tx.Read(a), tx.Read(b)
+			if va != vb {
+				t.Errorf("torn read across paths: a=%d b=%d", va, vb)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAlgorithmInterface(t *testing.T) {
+	var alg stm.Algorithm = htm.New(htm.Options{})
+	if alg.Name() != "HybridHTM" {
+		t.Fatalf("Name = %q", alg.Name())
+	}
+	alg.Stop()
+}

@@ -1,0 +1,86 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCellIDsUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		c := NewCell(uint64(i))
+		if c.ID() == 0 {
+			t.Fatal("cell id must be non-zero")
+		}
+		if seen[c.ID()] {
+			t.Fatalf("duplicate cell id %d", c.ID())
+		}
+		seen[c.ID()] = true
+		if c.Load() != uint64(i) {
+			t.Fatalf("Load = %d, want %d", c.Load(), i)
+		}
+	}
+}
+
+func TestArenaAlloc(t *testing.T) {
+	a := NewArena(10)
+	if a.Cap() != 10 || a.Len() != 0 {
+		t.Fatalf("fresh arena: cap=%d len=%d", a.Cap(), a.Len())
+	}
+	first := a.Alloc(3)
+	second := a.Alloc(2)
+	if second != first+3 {
+		t.Fatalf("allocations not consecutive: %d then %d", first, second)
+	}
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", a.Len())
+	}
+	c := a.Cell(first + 1)
+	c.Store(42)
+	if a.Cell(first+1).Load() != 42 {
+		t.Fatal("cell mutation lost")
+	}
+	if a.Cell(first).ID() == a.Cell(second).ID() {
+		t.Fatal("arena cells must have distinct ids")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation should panic")
+		}
+	}()
+	a := NewArena(4)
+	a.Alloc(5)
+}
+
+func TestArenaConcurrentAlloc(t *testing.T) {
+	a := NewArena(8000)
+	const workers = 8
+	const each = 100
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				base := a.Alloc(10)
+				mu.Lock()
+				for k := base; k < base+10; k++ {
+					if seen[k] {
+						t.Errorf("cell %d allocated twice", k)
+					}
+					seen[k] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*each*10 {
+		t.Fatalf("allocated %d distinct cells, want %d", len(seen), workers*each*10)
+	}
+}

@@ -1,0 +1,90 @@
+package otb
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func TestHashSetSequential(t *testing.T) {
+	s := NewHashSet(16)
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 1) || !s.Add(tx, 17) || !s.Add(tx, 33) {
+			t.Error("adds should succeed")
+		}
+		if s.Add(tx, 1) {
+			t.Error("duplicate add should fail")
+		}
+		if !s.Contains(tx, 17) || s.Contains(tx, 2) {
+			t.Error("contains wrong")
+		}
+		if !s.Remove(tx, 17) || s.Remove(tx, 17) {
+			t.Error("remove semantics wrong")
+		}
+	})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestHashSetCrossBucketAtomicity(t *testing.T) {
+	s := NewHashSet(8)
+	const pairs = 24
+	const offset = 1 << 30 // lands in a different bucket for most keys
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 9))
+			for i := 0; i < 150; i++ {
+				k := int64(rng.IntN(pairs)) + 1
+				Atomic(nil, func(tx *Tx) {
+					if s.Contains(tx, k) {
+						s.Remove(tx, k)
+						s.Remove(tx, k+offset)
+					} else {
+						s.Add(tx, k)
+						s.Add(tx, k+offset)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	for k := int64(1); k <= pairs; k++ {
+		var lo, hi bool
+		run(t, func(tx *Tx) {
+			lo = s.Contains(tx, k)
+			hi = s.Contains(tx, k+offset)
+		})
+		if lo != hi {
+			t.Fatalf("cross-bucket pair invariant broken for %d", k)
+		}
+	}
+}
+
+func TestHashSetDisjointBucketsScale(t *testing.T) {
+	s := NewHashSet(64)
+	const workers = 8
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < each; i++ {
+				k := base*each + i
+				Atomic(nil, func(tx *Tx) {
+					if !s.Add(tx, k) {
+						t.Errorf("Add(%d) failed", k)
+					}
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := s.Len(); got != workers*each {
+		t.Fatalf("Len = %d, want %d", got, workers*each)
+	}
+}

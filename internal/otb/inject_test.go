@@ -1,0 +1,140 @@
+package otb
+
+import (
+	"testing"
+
+	"repro/internal/abort"
+)
+
+// TestCommitAbortsWhenNodeLockedExternally injects a held semantic lock on
+// a node in the write-set path and checks that commit aborts (LockBusy) and
+// succeeds once the lock is released.
+func TestCommitAbortsWhenNodeLockedExternally(t *testing.T) {
+	s := NewListSet()
+	run(t, func(tx *Tx) { s.Add(tx, 10); s.Add(tx, 30) })
+
+	// Lock node 10 (the pred of an insert of 20) as a foreign holder.
+	victim := s.head.next.Load() // node 10
+	if victim.key != 10 {
+		t.Fatalf("unexpected layout: first key %d", victim.key)
+	}
+	if _, ok := victim.lock.TryLock(); !ok {
+		t.Fatal("could not take foreign lock")
+	}
+
+	// Drive one attempt by hand: PreCommit must abort with LockBusy.
+	tx := NewTx(nil)
+	s.Add(tx, 20)
+	func() {
+		defer func() {
+			sig, ok := recover().(abort.Signal)
+			if !ok {
+				t.Fatalf("expected abort signal, got %v", sig)
+			}
+			if sig.Reason != abort.LockBusy {
+				t.Fatalf("reason = %v, want LockBusy", sig.Reason)
+			}
+		}()
+		tx.Commit()
+		t.Fatal("commit should have aborted under a foreign lock")
+	}()
+	tx.Rollback()
+
+	// After the foreign holder releases, the same transaction succeeds.
+	victim.lock.UnlockUnchanged()
+	run(t, func(tx *Tx) { s.Add(tx, 20) })
+	want := []int64{10, 20, 30}
+	if got := s.Keys(); !equalKeys(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+// TestValidationFailsWhenNodeRemovedUnderneath checks that a transaction
+// whose read set is invalidated by a concurrent committed remove aborts and
+// retries rather than committing a stale answer.
+func TestValidationFailsWhenNodeRemovedUnderneath(t *testing.T) {
+	s := NewListSet()
+	run(t, func(tx *Tx) { s.Add(tx, 5) })
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		present := s.Contains(tx, 5)
+		if attempts == 1 {
+			if !present {
+				t.Error("first attempt should see 5")
+			}
+			// A concurrent transaction removes 5 and commits.
+			done := make(chan struct{})
+			go func() {
+				Atomic(nil, func(tx2 *Tx) { s.Remove(tx2, 5) })
+				close(done)
+			}()
+			<-done
+			// Our presentOnly entry for 5 is now invalid; the next
+			// operation's post-validation must abort us.
+			s.Contains(tx, 99)
+			t.Error("post-validation should have aborted attempt 1")
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}
+
+// TestSkipSetValidationAbortsOnConflict is the skip-list analogue.
+func TestSkipSetValidationAbortsOnConflict(t *testing.T) {
+	s := NewSkipSet()
+	run(t, func(tx *Tx) { s.Add(tx, 5) })
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		present := s.Contains(tx, 5)
+		if attempts == 1 {
+			if !present {
+				t.Error("first attempt should see 5")
+			}
+			done := make(chan struct{})
+			go func() {
+				Atomic(nil, func(tx2 *Tx) { s.Remove(tx2, 5) })
+				close(done)
+			}()
+			<-done
+			s.Contains(tx, 99)
+			t.Error("post-validation should have aborted attempt 1")
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}
+
+// TestAbsentEntryInvalidatedByInsert checks the adjacency (readAbsent)
+// validation: a concurrent insert between pred and curr must doom a
+// transaction that reported the key absent.
+func TestAbsentEntryInvalidatedByInsert(t *testing.T) {
+	s := NewListSet()
+	run(t, func(tx *Tx) { s.Add(tx, 1); s.Add(tx, 9) })
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		present := s.Contains(tx, 5)
+		if attempts == 1 {
+			if present {
+				t.Error("5 should be absent initially")
+			}
+			done := make(chan struct{})
+			go func() {
+				Atomic(nil, func(tx2 *Tx) { s.Add(tx2, 5) })
+				close(done)
+			}()
+			<-done
+			s.Contains(tx, 99) // triggers post-validation
+			t.Error("adjacency validation should have aborted attempt 1")
+		} else if !present {
+			t.Error("retry should observe 5 present")
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}

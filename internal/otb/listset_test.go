@@ -1,0 +1,267 @@
+package otb
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abort"
+)
+
+// run executes fn in a standalone OTB transaction.
+func run(t *testing.T, fn func(*Tx)) {
+	t.Helper()
+	Atomic(nil, fn)
+}
+
+func TestListSetSequentialSemantics(t *testing.T) {
+	s := NewListSet()
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 5) {
+			t.Error("first Add(5) should succeed")
+		}
+		if s.Add(tx, 5) {
+			t.Error("duplicate Add(5) in same tx should fail")
+		}
+		if !s.Contains(tx, 5) {
+			t.Error("Contains(5) should see pending add")
+		}
+		if s.Contains(tx, 7) {
+			t.Error("Contains(7) should be false")
+		}
+	})
+	if got := s.Keys(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Keys = %v, want [5]", got)
+	}
+	run(t, func(tx *Tx) {
+		if !s.Remove(tx, 5) {
+			t.Error("Remove(5) should succeed")
+		}
+		if s.Remove(tx, 5) {
+			t.Error("second Remove(5) in same tx should fail")
+		}
+		if s.Contains(tx, 5) {
+			t.Error("Contains(5) should see pending remove")
+		}
+	})
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestListSetElimination(t *testing.T) {
+	s := NewListSet()
+	// Add then Remove in one transaction cancel without touching the list.
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 9) {
+			t.Error("Add(9)")
+		}
+		if !s.Remove(tx, 9) {
+			t.Error("Remove(9) should eliminate the pending add")
+		}
+		if s.Contains(tx, 9) {
+			t.Error("9 should be absent after elimination")
+		}
+	})
+	if s.Len() != 0 {
+		t.Fatal("set should be empty after eliminated pair")
+	}
+
+	// Remove then Add of an existing key also eliminate, leaving it present.
+	run(t, func(tx *Tx) { s.Add(tx, 3) })
+	run(t, func(tx *Tx) {
+		if !s.Remove(tx, 3) {
+			t.Error("Remove(3)")
+		}
+		if !s.Add(tx, 3) {
+			t.Error("Add(3) should eliminate the pending remove")
+		}
+	})
+	if got := s.Keys(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Keys = %v, want [3]", got)
+	}
+}
+
+func TestListSetMultiOpCommitOrdering(t *testing.T) {
+	s := NewListSet()
+	run(t, func(tx *Tx) {
+		s.Add(tx, 1)
+		s.Add(tx, 5)
+	})
+	// Figure 3.2(a): two inserts between the same pair of nodes.
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 2) || !s.Add(tx, 3) {
+			t.Error("both adds should succeed")
+		}
+	})
+	want := []int64{1, 2, 3, 5}
+	if got := s.Keys(); !equalKeys(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	// Figure 3.2(b): add 4 and remove 5 in one transaction.
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 4) || !s.Remove(tx, 5) {
+			t.Error("add 4 / remove 5 should succeed")
+		}
+	})
+	want = []int64{1, 2, 3, 4}
+	if got := s.Keys(); !equalKeys(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	// Two removes of adjacent keys.
+	run(t, func(tx *Tx) {
+		if !s.Remove(tx, 2) || !s.Remove(tx, 3) {
+			t.Error("both removes should succeed")
+		}
+	})
+	want = []int64{1, 4}
+	if got := s.Keys(); !equalKeys(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestListSetAbortRollsBackNothing(t *testing.T) {
+	s := NewListSet()
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		s.Add(tx, 42)
+		if attempts == 1 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if got := s.Keys(); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Keys = %v, want [42]", got)
+	}
+}
+
+// TestListSetPairInvariant runs concurrent transactions that atomically add
+// or remove a (k, k+offset) pair; at every quiescent point each pair must be
+// present or absent together.
+func TestListSetPairInvariant(t *testing.T) {
+	const (
+		pairs   = 32
+		offset  = 1000
+		workers = 8
+		txsEach = 200
+	)
+	s := NewListSet()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+			for i := 0; i < txsEach; i++ {
+				k := int64(rng.IntN(pairs))
+				Atomic(nil, func(tx *Tx) {
+					if s.Contains(tx, k) {
+						s.Remove(tx, k)
+						s.Remove(tx, k+offset)
+					} else {
+						s.Add(tx, k)
+						s.Add(tx, k+offset)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	keys := s.Keys()
+	present := map[int64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	for k := int64(0); k < pairs; k++ {
+		if present[k] != present[k+offset] {
+			t.Fatalf("pair invariant broken for %d: low=%v high=%v", k, present[k], present[k+offset])
+		}
+	}
+}
+
+// TestListSetConcurrentDisjoint checks that transactions on disjoint keys
+// all commit and the final set matches the sequential expectation.
+func TestListSetConcurrentDisjoint(t *testing.T) {
+	const workers = 8
+	const each = 100
+	s := NewListSet()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < each; i++ {
+				k := base*each + i
+				Atomic(nil, func(tx *Tx) {
+					if !s.Add(tx, k) {
+						t.Errorf("Add(%d) failed", k)
+					}
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := s.Len(); got != workers*each {
+		t.Fatalf("Len = %d, want %d", got, workers*each)
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not strictly ascending at %d: %v >= %v", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestListSetMatchesModel applies a random operation sequence both to the
+// OTB set (one op per transaction) and to a map model, comparing outcomes.
+func TestListSetMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewListSet()
+		model := map[int64]bool{}
+		for _, op := range ops {
+			key := int64(op % 64)
+			var got bool
+			switch (op / 64) % 3 {
+			case 0:
+				run(t, func(tx *Tx) { got = s.Add(tx, key) })
+				want := !model[key]
+				if got != want {
+					return false
+				}
+				model[key] = true
+			case 1:
+				run(t, func(tx *Tx) { got = s.Remove(tx, key) })
+				want := model[key]
+				if got != want {
+					return false
+				}
+				delete(model, key)
+			default:
+				run(t, func(tx *Tx) { got = s.Contains(tx, key) })
+				if got != model[key] {
+					return false
+				}
+			}
+		}
+		return len(model) == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalKeys(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

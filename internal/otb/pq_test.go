@@ -1,0 +1,242 @@
+package otb
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/abort"
+)
+
+func TestHeapPQSequential(t *testing.T) {
+	q := NewHeapPQ()
+	run(t, func(tx *Tx) {
+		q.Add(tx, 5)
+		q.Add(tx, 1)
+		q.Add(tx, 3)
+	})
+	var order []int64
+	run(t, func(tx *Tx) {
+		for {
+			k, ok := q.RemoveMin(tx)
+			if !ok {
+				break
+			}
+			order = append(order, k)
+		}
+	})
+	if !equalKeys(order, []int64{1, 3, 5}) {
+		t.Fatalf("dequeue order = %v, want [1 3 5]", order)
+	}
+}
+
+func TestHeapPQLocalAddsVisibleToRemoveMin(t *testing.T) {
+	q := NewHeapPQ()
+	run(t, func(tx *Tx) {
+		q.Add(tx, 10)
+		// The pending local add must be flushed before the first RemoveMin.
+		k, ok := q.RemoveMin(tx)
+		if !ok || k != 10 {
+			t.Errorf("RemoveMin = %d,%v; want 10,true", k, ok)
+		}
+	})
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestHeapPQAbortRollsBack(t *testing.T) {
+	q := NewHeapPQ()
+	run(t, func(tx *Tx) { q.Add(tx, 1); q.Add(tx, 2) })
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		k, ok := q.RemoveMin(tx)
+		if !ok || k != 1 {
+			t.Errorf("RemoveMin = %d,%v; want 1,true", k, ok)
+		}
+		q.Add(tx, 7)
+		if attempts == 1 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	var order []int64
+	run(t, func(tx *Tx) {
+		for {
+			k, ok := q.RemoveMin(tx)
+			if !ok {
+				break
+			}
+			order = append(order, k)
+		}
+	})
+	if !equalKeys(order, []int64{2, 7}) {
+		t.Fatalf("remaining = %v, want [2 7]", order)
+	}
+}
+
+func TestHeapPQConcurrentConservation(t *testing.T) {
+	const workers = 6
+	const txsEach = 150
+	q := NewHeapPQ()
+	seed := func(tx *Tx) {
+		for i := int64(0); i < 100; i++ {
+			q.Add(tx, i*7)
+		}
+	}
+	run(t, seed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := 0; i < txsEach; i++ {
+				v := base*1_000_000 + int64(i) + 1000
+				Atomic(nil, func(tx *Tx) {
+					q.Add(tx, v)
+					if _, ok := q.RemoveMin(tx); !ok {
+						t.Error("queue unexpectedly empty")
+					}
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := q.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100 (add/removeMin pairs conserve size)", got)
+	}
+}
+
+func TestSkipPQSequential(t *testing.T) {
+	q := NewSkipPQ()
+	run(t, func(tx *Tx) {
+		for _, k := range []int64{5, 1, 3} {
+			if !q.Add(tx, k) {
+				t.Errorf("Add(%d)", k)
+			}
+		}
+	})
+	run(t, func(tx *Tx) {
+		if k, ok := q.Min(tx); !ok || k != 1 {
+			t.Errorf("Min = %d,%v; want 1,true", k, ok)
+		}
+	})
+	var order []int64
+	run(t, func(tx *Tx) {
+		for {
+			k, ok := q.RemoveMin(tx)
+			if !ok {
+				break
+			}
+			order = append(order, k)
+		}
+	})
+	if !equalKeys(order, []int64{1, 3, 5}) {
+		t.Fatalf("dequeue order = %v, want [1 3 5]", order)
+	}
+}
+
+func TestSkipPQLocalVsShared(t *testing.T) {
+	q := NewSkipPQ()
+	run(t, func(tx *Tx) { q.Add(tx, 10); q.Add(tx, 20) })
+	// A locally added smaller key must win over the shared minimum.
+	run(t, func(tx *Tx) {
+		q.Add(tx, 5)
+		if k, ok := q.RemoveMin(tx); !ok || k != 5 {
+			t.Errorf("RemoveMin = %d,%v; want 5,true", k, ok)
+		}
+		if k, ok := q.RemoveMin(tx); !ok || k != 10 {
+			t.Errorf("RemoveMin = %d,%v; want 10,true", k, ok)
+		}
+	})
+	if got := q.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestSkipPQEmpty(t *testing.T) {
+	q := NewSkipPQ()
+	run(t, func(tx *Tx) {
+		if _, ok := q.RemoveMin(tx); ok {
+			t.Error("RemoveMin on empty queue should report empty")
+		}
+		if _, ok := q.Min(tx); ok {
+			t.Error("Min on empty queue should report empty")
+		}
+	})
+}
+
+func TestSkipPQConcurrentDrain(t *testing.T) {
+	const total = 400
+	const workers = 4
+	q := NewSkipPQ()
+	run(t, func(tx *Tx) {
+		for i := int64(1); i <= total; i++ {
+			q.Add(tx, i)
+		}
+	})
+	var mu sync.Mutex
+	var drained []int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var k int64
+				var ok bool
+				Atomic(nil, func(tx *Tx) { k, ok = q.RemoveMin(tx) })
+				if !ok {
+					return
+				}
+				mu.Lock()
+				drained = append(drained, k)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(drained) != total {
+		t.Fatalf("drained %d keys, want %d", len(drained), total)
+	}
+	sort.Slice(drained, func(i, j int) bool { return drained[i] < drained[j] })
+	for i, k := range drained {
+		if k != int64(i+1) {
+			t.Fatalf("drained[%d] = %d, want %d (no key lost or duplicated)", i, k, i+1)
+		}
+	}
+}
+
+func TestSkipPQInterleavedAddRemove(t *testing.T) {
+	const workers = 6
+	const txsEach = 100
+	q := NewSkipPQ()
+	run(t, func(tx *Tx) {
+		for i := int64(0); i < 50; i++ {
+			q.Add(tx, i*1000)
+		}
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed*31))
+			for i := 0; i < txsEach; i++ {
+				v := int64(seed)*10_000_000 + int64(i) + 100_000
+				_ = rng
+				Atomic(nil, func(tx *Tx) {
+					q.Add(tx, v)
+					if _, ok := q.RemoveMin(tx); !ok {
+						t.Error("unexpected empty queue")
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if got := q.Len(); got != 50 {
+		t.Fatalf("Len = %d, want 50", got)
+	}
+}

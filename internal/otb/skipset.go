@@ -1,0 +1,499 @@
+package otb
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/spin"
+)
+
+// maxLevel is the number of skip-list levels.
+const maxLevel = 20
+
+// snode is an OTB skip-list node: the lazy skip-list layout plus a
+// versioned semantic lock.
+type snode struct {
+	id          uint64
+	key         int64
+	next        [maxLevel]atomic.Pointer[snode]
+	topLevel    int
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	lock        spin.VersionedLock
+}
+
+func newSNode(key int64, topLevel int) *snode {
+	return &snode{id: nodeSeq.Add(1), key: key, topLevel: topLevel}
+}
+
+// SkipSet is the optimistically boosted skip-list set (Section 3.2.1): the
+// same three-step structure as ListSet, with per-level predecessor arrays
+// in the semantic entries and the paper's level-aware validation
+// optimizations.
+type SkipSet struct {
+	head *snode
+	// fullValidation ablates the level-aware validation optimization:
+	// every read entry validates adjacency at all populated levels.
+	fullValidation bool
+}
+
+// NewSkipSet creates an empty set. Keys exclude the int64 sentinels.
+func NewSkipSet() *SkipSet {
+	tail := newSNode(math.MaxInt64, maxLevel-1)
+	tail.fullyLinked.Store(true)
+	head := newSNode(math.MinInt64, maxLevel-1)
+	for i := range head.next {
+		head.next[i].Store(tail)
+	}
+	head.fullyLinked.Store(true)
+	return &SkipSet{head: head}
+}
+
+// NewSkipSetFullValidation creates a set with the level-aware validation
+// optimization ablated. For the ablation benches only.
+func NewSkipSetFullValidation() *SkipSet {
+	s := NewSkipSet()
+	s.fullValidation = true
+	return s
+}
+
+// skipReadKind selects which of the paper's validation rules applies.
+type skipReadKind int8
+
+const (
+	skipPresentOnly skipReadKind = iota // successful contains / unsuccessful add
+	skipBottomOnly                      // unsuccessful remove / contains
+	skipFull                            // successful add / remove
+)
+
+// skipRead is a semantic read entry.
+type skipRead struct {
+	kind     skipReadKind
+	curr     *snode // the key's node (present cases) or bottom-level succ
+	topLevel int    // levels validated for skipFull entries
+	preds    [maxLevel]*snode
+	succs    [maxLevel]*snode
+}
+
+// skipWrite is a semantic write (redo) entry.
+type skipWrite struct {
+	key      int64
+	isAdd    bool
+	topLevel int    // tower height: new node's (add) or victim's (remove)
+	victim   *snode // remove only
+	preds    [maxLevel]*snode
+}
+
+// skipState is the per-transaction state for one SkipSet.
+type skipState struct {
+	reads    []skipRead
+	writes   []skipWrite
+	locked   []*snode
+	lockSnap []uint64
+}
+
+// reset recycles the state for a new transaction.
+func (st *skipState) reset() {
+	st.reads = st.reads[:0]
+	st.writes = st.writes[:0]
+	st.locked = st.locked[:0]
+	st.lockSnap = st.lockSnap[:0]
+}
+
+func (s *SkipSet) state(tx *Tx) *skipState {
+	return tx.Attach(s, func() any { return &skipState{} }).(*skipState)
+}
+
+func (s *SkipSet) peekState(tx *Tx) *skipState {
+	if st, ok := tx.state[s]; ok {
+		return st.(*skipState)
+	}
+	return nil
+}
+
+// find fills preds/succs with key's per-level neighbours in the shared
+// structure and returns the highest level at which key was found, or -1.
+func (s *SkipSet) find(key int64, preds, succs *[maxLevel]*snode) int {
+	found := -1
+	pred := s.head
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr.key < key {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+		if found == -1 && curr.key == key {
+			found = level
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+	return found
+}
+
+// randomTower draws a tower height with geometric distribution p=1/2.
+func randomTower() int {
+	lvl := 0
+	for lvl < maxLevel-1 && rand.Uint64()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// Add inserts key within tx, returning false if already present.
+func (s *SkipSet) Add(tx *Tx, key int64) bool { return s.op(tx, key, opAdd) }
+
+// Remove deletes key within tx, returning false if absent.
+func (s *SkipSet) Remove(tx *Tx, key int64) bool { return s.op(tx, key, opRemove) }
+
+// Contains reports within tx whether key is present, lock-free.
+func (s *SkipSet) Contains(tx *Tx, key int64) bool { return s.op(tx, key, opContains) }
+
+func (s *SkipSet) op(tx *Tx, key int64, kind opKind) bool {
+	checkKey(key)
+	st := s.state(tx)
+
+	// Step 1: local write-set check with elimination (as in ListSet).
+	if i := st.findWrite(key); i >= 0 {
+		isAdd := st.writes[i].isAdd
+		switch {
+		case isAdd && kind == opAdd:
+			return false
+		case isAdd && kind == opContains:
+			return true
+		case isAdd && kind == opRemove:
+			st.deleteWrite(i)
+			return true
+		case !isAdd && kind == opAdd:
+			st.deleteWrite(i)
+			return true
+		default:
+			return false
+		}
+	}
+
+	// Step 2: unmonitored probabilistic traversal.
+	var preds, succs [maxLevel]*snode
+	found := s.find(key, &preds, &succs)
+
+	// A found node still being linked by another commit: wait, as in the
+	// lazy skip list.
+	if found != -1 {
+		var b spin.Backoff
+		for !succs[found].fullyLinked.Load() {
+			b.Wait()
+		}
+	}
+
+	// Step 3: post-validate the whole transaction.
+	tx.PostValidate()
+
+	// Step 4: outcome and semantic entries.
+	var curr *snode
+	present := false
+	if found != -1 {
+		curr = succs[found]
+		present = !curr.marked.Load()
+	}
+	presentKind, absentKind := skipPresentOnly, skipBottomOnly
+	presentTop := 0
+	if s.fullValidation {
+		presentKind, absentKind = skipFull, skipFull
+		if curr != nil {
+			presentTop = curr.topLevel
+		}
+	}
+	switch kind {
+	case opContains:
+		if present {
+			st.reads = append(st.reads, skipRead{kind: presentKind, curr: curr, topLevel: presentTop, preds: preds, succs: succs})
+		} else {
+			st.reads = append(st.reads, skipRead{kind: absentKind, preds: preds, succs: succs})
+		}
+		return present
+	case opAdd:
+		if present {
+			st.reads = append(st.reads, skipRead{kind: presentKind, curr: curr, topLevel: presentTop, preds: preds, succs: succs})
+			return false
+		}
+		top := randomTower()
+		st.reads = append(st.reads, skipRead{kind: skipFull, topLevel: top, preds: preds, succs: succs})
+		st.writes = append(st.writes, skipWrite{key: key, isAdd: true, topLevel: top, preds: preds})
+		return true
+	default: // opRemove
+		if !present {
+			st.reads = append(st.reads, skipRead{kind: absentKind, preds: preds, succs: succs})
+			return false
+		}
+		st.reads = append(st.reads, skipRead{
+			kind: skipFull, curr: curr, topLevel: curr.topLevel, preds: preds, succs: succs,
+		})
+		st.writes = append(st.writes, skipWrite{
+			key: key, isAdd: false, topLevel: curr.topLevel, victim: curr, preds: preds,
+		})
+		return true
+	}
+}
+
+func (st *skipState) findWrite(key int64) int {
+	for i := range st.writes {
+		if st.writes[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func (st *skipState) deleteWrite(i int) {
+	last := len(st.writes) - 1
+	st.writes[i] = st.writes[last]
+	st.writes = st.writes[:last]
+}
+
+func (st *skipState) owns(n *snode) bool {
+	for _, l := range st.locked {
+		if l == n {
+			return true
+		}
+	}
+	return false
+}
+
+// involved appends the nodes whose locks guard entry e.
+func (e *skipRead) involved(buf []*snode) []*snode {
+	switch e.kind {
+	case skipPresentOnly:
+		return append(buf, e.curr)
+	case skipBottomOnly:
+		return append(buf, e.preds[0], e.succs[0])
+	default:
+		for l := 0; l <= e.topLevel; l++ {
+			buf = append(buf, e.preds[l], e.succs[l])
+		}
+		return buf
+	}
+}
+
+// check re-evaluates the entry's semantic condition using the paper's
+// level-aware rules.
+func (e *skipRead) check() bool {
+	switch e.kind {
+	case skipPresentOnly:
+		return !e.curr.marked.Load()
+	case skipBottomOnly:
+		return !e.preds[0].marked.Load() && !e.succs[0].marked.Load() &&
+			e.preds[0].next[0].Load() == e.succs[0]
+	default:
+		for l := 0; l <= e.topLevel; l++ {
+			if e.preds[l].marked.Load() || e.succs[l].marked.Load() ||
+				e.preds[l].next[l].Load() != e.succs[l] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ValidateWithLocks implements the three-phase validation of Algorithm 2
+// over skip-list entries.
+func (s *SkipSet) ValidateWithLocks(tx *Tx) bool {
+	st := s.peekState(tx)
+	if st == nil || len(st.reads) == 0 {
+		return true
+	}
+	var scratch [2 * maxLevel]*snode
+	st.lockSnap = st.lockSnap[:0]
+	for i := range st.reads {
+		for _, n := range st.reads[i].involved(scratch[:0]) {
+			if st.owns(n) {
+				st.lockSnap = append(st.lockSnap, ownedVersion)
+				continue
+			}
+			v := n.lock.Sample()
+			if spin.IsLocked(v) {
+				return false
+			}
+			st.lockSnap = append(st.lockSnap, v)
+		}
+	}
+	if !s.ValidateWithoutLocks(tx) {
+		return false
+	}
+	k := 0
+	for i := range st.reads {
+		for _, n := range st.reads[i].involved(scratch[:0]) {
+			v := st.lockSnap[k]
+			k++
+			if v == ownedVersion {
+				continue
+			}
+			if n.lock.Sample() != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ValidateWithoutLocks re-checks only the semantic conditions.
+func (s *SkipSet) ValidateWithoutLocks(tx *Tx) bool {
+	st := s.peekState(tx)
+	if st == nil {
+		return true
+	}
+	for i := range st.reads {
+		if !st.reads[i].check() {
+			return false
+		}
+	}
+	return true
+}
+
+// PreCommit locks, in allocation order, the distinct predecessor towers of
+// every write (all levels), plus the victim for removes.
+func (s *SkipSet) PreCommit(tx *Tx) {
+	st := s.peekState(tx)
+	if st == nil || len(st.writes) == 0 {
+		return
+	}
+	var toLock []*snode
+	add := func(n *snode) {
+		for _, m := range toLock {
+			if m == n {
+				return
+			}
+		}
+		toLock = append(toLock, n)
+	}
+	for i := range st.writes {
+		w := &st.writes[i]
+		for l := 0; l <= w.topLevel; l++ {
+			add(w.preds[l])
+		}
+		if !w.isAdd {
+			add(w.victim)
+		}
+	}
+	sort.Slice(toLock, func(i, j int) bool { return toLock[i].id < toLock[j].id })
+	for _, n := range toLock {
+		if _, ok := n.lock.TryLock(); !ok {
+			tx.Counters().IncCAS()
+			abort.Retry(abort.LockBusy)
+		}
+		st.locked = append(st.locked, n)
+	}
+}
+
+// OnCommit publishes the write set in descending key order, re-traversing
+// each level from the saved predecessor so that this transaction's earlier
+// publications are observed (each level independently, as the paper notes).
+func (s *SkipSet) OnCommit(tx *Tx) {
+	st := s.peekState(tx)
+	if st == nil || len(st.writes) == 0 {
+		return
+	}
+	sort.Slice(st.writes, func(i, j int) bool { return st.writes[i].key > st.writes[j].key })
+	for i := range st.writes {
+		w := &st.writes[i]
+		if w.isAdd {
+			n := newSNode(w.key, w.topLevel)
+			n.lock.TryLock() // created locked until the commit finishes
+			// Link bottom-up: once a reader can reach n at some level, all
+			// lower next pointers are already set.
+			for l := 0; l <= w.topLevel; l++ {
+				pred, succ := retraverse(w.preds[l], w.key, l)
+				n.next[l].Store(succ)
+				pred.next[l].Store(n)
+			}
+			n.fullyLinked.Store(true)
+			st.locked = append(st.locked, n)
+		} else {
+			w.victim.marked.Store(true)
+			for l := w.topLevel; l >= 0; l-- {
+				pred, _ := retraverse(w.preds[l], w.key, l)
+				pred.next[l].Store(w.victim.next[l].Load())
+			}
+		}
+	}
+}
+
+// retraverse advances from the saved predecessor to the current (pred,
+// succ) pair for key at the given level. Only nodes written by this same
+// commit can have appeared in the interval, so the walk is short and safe.
+func retraverse(pred *snode, key int64, level int) (*snode, *snode) {
+	curr := pred.next[level].Load()
+	for curr.key < key {
+		pred = curr
+		curr = pred.next[level].Load()
+	}
+	return pred, curr
+}
+
+// PostCommit releases all semantic locks, bumping versions.
+func (s *SkipSet) PostCommit(tx *Tx) {
+	st := s.peekState(tx)
+	if st == nil {
+		return
+	}
+	for _, n := range st.locked {
+		n.lock.Unlock()
+	}
+	st.locked = st.locked[:0]
+}
+
+// OnAbort releases locks without publishing, restoring versions.
+func (s *SkipSet) OnAbort(tx *Tx) {
+	st := s.peekState(tx)
+	if st == nil {
+		return
+	}
+	for _, n := range st.locked {
+		n.lock.UnlockUnchanged()
+	}
+	st.locked = st.locked[:0]
+}
+
+// Dirty reports whether the transaction has pending writes on this set.
+func (s *SkipSet) Dirty(tx *Tx) bool {
+	st := s.peekState(tx)
+	return st != nil && len(st.writes) > 0
+}
+
+// Min returns the smallest present key in the shared structure (used by the
+// skip-list priority queue's traversal step; consistency is established by
+// the caller's semantic entries).
+func (s *SkipSet) Min() (int64, bool) {
+	for curr := s.head.next[0].Load(); curr.key != math.MaxInt64; curr = curr.next[0].Load() {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			return curr.key, true
+		}
+	}
+	return 0, false
+}
+
+// Len counts the present elements (not linearizable; tests and reporting).
+func (s *SkipSet) Len() int {
+	n := 0
+	for curr := s.head.next[0].Load(); curr.key != math.MaxInt64; curr = curr.next[0].Load() {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the present keys in ascending order (tests only).
+func (s *SkipSet) Keys() []int64 {
+	var out []int64
+	for curr := s.head.next[0].Load(); curr.key != math.MaxInt64; curr = curr.next[0].Load() {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			out = append(out, curr.key)
+		}
+	}
+	return out
+}
+
+var _ Datastructure = (*SkipSet)(nil)

@@ -1,0 +1,172 @@
+package otb
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkipSetSequentialSemantics(t *testing.T) {
+	s := NewSkipSet()
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 5) {
+			t.Error("first Add(5) should succeed")
+		}
+		if s.Add(tx, 5) {
+			t.Error("duplicate Add(5) in same tx should fail")
+		}
+		if !s.Contains(tx, 5) {
+			t.Error("Contains(5) should see pending add")
+		}
+		if s.Remove(tx, 7) {
+			t.Error("Remove(7) should fail")
+		}
+	})
+	if got := s.Keys(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Keys = %v, want [5]", got)
+	}
+	run(t, func(tx *Tx) {
+		if !s.Remove(tx, 5) {
+			t.Error("Remove(5) should succeed")
+		}
+		if s.Contains(tx, 5) {
+			t.Error("Contains(5) should see pending remove")
+		}
+	})
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestSkipSetMultiOpCommit(t *testing.T) {
+	s := NewSkipSet()
+	run(t, func(tx *Tx) {
+		for _, k := range []int64{10, 50} {
+			s.Add(tx, k)
+		}
+	})
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 20) || !s.Add(tx, 30) || !s.Add(tx, 40) {
+			t.Error("adds should succeed")
+		}
+	})
+	want := []int64{10, 20, 30, 40, 50}
+	if got := s.Keys(); !equalKeys(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	run(t, func(tx *Tx) {
+		if !s.Add(tx, 45) || !s.Remove(tx, 50) || !s.Remove(tx, 20) {
+			t.Error("mixed ops should succeed")
+		}
+	})
+	want = []int64{10, 30, 40, 45}
+	if got := s.Keys(); !equalKeys(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestSkipSetPairInvariant(t *testing.T) {
+	const (
+		pairs   = 32
+		offset  = 1000
+		workers = 8
+		txsEach = 200
+	)
+	s := NewSkipSet()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0x5a5a5a))
+			for i := 0; i < txsEach; i++ {
+				k := int64(rng.IntN(pairs))
+				Atomic(nil, func(tx *Tx) {
+					if s.Contains(tx, k) {
+						s.Remove(tx, k)
+						s.Remove(tx, k+offset)
+					} else {
+						s.Add(tx, k)
+						s.Add(tx, k+offset)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	present := map[int64]bool{}
+	for _, k := range s.Keys() {
+		present[k] = true
+	}
+	for k := int64(0); k < pairs; k++ {
+		if present[k] != present[k+offset] {
+			t.Fatalf("pair invariant broken for %d", k)
+		}
+	}
+}
+
+func TestSkipSetConcurrentDisjoint(t *testing.T) {
+	const workers = 8
+	const each = 100
+	s := NewSkipSet()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < each; i++ {
+				k := base*each + i
+				Atomic(nil, func(tx *Tx) {
+					if !s.Add(tx, k) {
+						t.Errorf("Add(%d) failed", k)
+					}
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := s.Len(); got != workers*each {
+		t.Fatalf("Len = %d, want %d", got, workers*each)
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not strictly ascending: %v >= %v", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestSkipSetMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSkipSet()
+		model := map[int64]bool{}
+		for _, op := range ops {
+			key := int64(op % 64)
+			var got bool
+			switch (op / 64) % 3 {
+			case 0:
+				run(t, func(tx *Tx) { got = s.Add(tx, key) })
+				if got != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				run(t, func(tx *Tx) { got = s.Remove(tx, key) })
+				if got != model[key] {
+					return false
+				}
+				delete(model, key)
+			default:
+				run(t, func(tx *Tx) { got = s.Contains(tx, key) })
+				if got != model[key] {
+					return false
+				}
+			}
+		}
+		return len(model) == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

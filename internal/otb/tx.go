@@ -1,0 +1,261 @@
+// Package otb implements Optimistic Transactional Boosting, the paper's
+// primary contribution: transactional versions of lazy data structures that
+// traverse without instrumentation, record semantic read/write sets,
+// post-validate after every operation (opacity), and defer all physical
+// modification to a two-phase-locked commit.
+//
+// Four boosted structures are provided, matching the paper:
+//
+//   - ListSet: linked-list set (Algorithms 1–3)
+//   - SkipSet: skip-list set (Section 3.2.1)
+//   - HeapPQ: semi-optimistic heap priority queue (Algorithm 5)
+//   - SkipPQ: skip-list priority queue (Algorithm 6)
+//
+// Standalone use goes through Atomic:
+//
+//	set := otb.NewListSet()
+//	otb.Atomic(nil, func(tx *otb.Tx) {
+//		set.Add(tx, 1)
+//		set.Add(tx, 2)
+//	})
+//
+// For mixed transactions that also read and write STM memory, see package
+// integrate, which drives the same structures through the Chapter 4
+// OTB-DS interface (PreCommit / OnCommit / PostCommit / OnAbort /
+// Validate[Without]Locks).
+package otb
+
+import (
+	"sync"
+
+	"repro/internal/abort"
+	"repro/internal/spin"
+)
+
+// Datastructure is the OTB-DS interface of Chapter 4: the sub-routines an
+// STM context calls to drive a boosted structure through commit and
+// validation. Every OTB structure in this package implements it.
+type Datastructure interface {
+	// PreCommit acquires the semantic locks covering the transaction's
+	// write set, aborting (via panic) if any is busy.
+	PreCommit(tx *Tx)
+	// OnCommit publishes the semantic write set to the shared structure.
+	// Semantic locks must already be held.
+	OnCommit(tx *Tx)
+	// PostCommit releases the semantic locks after a successful commit.
+	PostCommit(tx *Tx)
+	// OnAbort releases any semantic locks still held by an aborting
+	// transaction without publishing anything.
+	OnAbort(tx *Tx)
+	// ValidateWithLocks checks the semantic read set, including that the
+	// involved nodes are not locked by other transactions (sampling lock
+	// versions around the semantic check).
+	ValidateWithLocks(tx *Tx) bool
+	// ValidateWithoutLocks checks only the semantic conditions of the read
+	// set, for callers that synchronize by other means (e.g. the OTB-NOrec
+	// context, whose global lock already excludes writers).
+	ValidateWithoutLocks(tx *Tx) bool
+	// Dirty reports whether the transaction has pending semantic writes on
+	// this structure (used by integration contexts for their read-only
+	// commit fast path).
+	Dirty(tx *Tx) bool
+}
+
+// Tx is a semantic transaction over any number of OTB data structures. It
+// tracks which structures were touched (in first-touch order), holds their
+// per-transaction semantic read/write sets, and coordinates validation and
+// two-phase-locked commit across all of them.
+type Tx struct {
+	attached []Datastructure
+	state    map[Datastructure]any
+	ctr      *spin.Counters
+
+	// validator, when non-nil, replaces the default post-validation
+	// strategy (ValidateWithLocks on every attached structure). The
+	// integration contexts install their own co-validation of memory and
+	// semantic read sets here.
+	validator func(*Tx)
+}
+
+// NewTx creates a transaction descriptor. Counters may be nil. Most callers
+// should use Atomic instead; NewTx is exported for the integration layer,
+// which embeds the semantic transaction inside an STM context.
+func NewTx(ctr *spin.Counters) *Tx {
+	return &Tx{state: make(map[Datastructure]any), ctr: ctr}
+}
+
+// SetValidator replaces the post-validation strategy (the paper's
+// onOperationValidate). Passing nil restores the standalone default.
+func (tx *Tx) SetValidator(f func(*Tx)) { tx.validator = f }
+
+// HasSemanticWrites reports whether any attached structure has pending
+// semantic writes.
+func (tx *Tx) HasSemanticWrites() bool {
+	for _, ds := range tx.attached {
+		if ds.Dirty(tx) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateAllWithoutLocks checks the semantic conditions of every attached
+// structure, without lock checks.
+func (tx *Tx) ValidateAllWithoutLocks() bool {
+	for _, ds := range tx.attached {
+		if !ds.ValidateWithoutLocks(tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateAllWithLocks checks every attached structure including semantic
+// lock status.
+func (tx *Tx) ValidateAllWithLocks() bool {
+	for _, ds := range tx.attached {
+		if !ds.ValidateWithLocks(tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// PreCommitAll / OnCommitAll / PostCommitAll / OnAbortAll drive the
+// commit sub-routines of every attached structure; the integration
+// contexts sequence them around their memory commit.
+
+// PreCommitAll acquires semantic locks on every attached structure.
+func (tx *Tx) PreCommitAll() {
+	for _, ds := range tx.attached {
+		ds.PreCommit(tx)
+	}
+}
+
+// OnCommitAll publishes the semantic write sets of every attached structure.
+func (tx *Tx) OnCommitAll() {
+	for _, ds := range tx.attached {
+		ds.OnCommit(tx)
+	}
+}
+
+// PostCommitAll releases semantic locks on every attached structure.
+func (tx *Tx) PostCommitAll() {
+	for _, ds := range tx.attached {
+		ds.PostCommit(tx)
+	}
+}
+
+// OnAbortAll releases anything held by an aborting transaction.
+func (tx *Tx) OnAbortAll() {
+	for _, ds := range tx.attached {
+		ds.OnAbort(tx)
+	}
+}
+
+// Counters returns the contention counters (possibly nil).
+func (tx *Tx) Counters() *spin.Counters { return tx.ctr }
+
+// txState is implemented by per-structure transaction states that can be
+// recycled across transactions.
+type txState interface{ reset() }
+
+// Attach registers ds with the transaction (idempotent) and returns its
+// per-transaction state, creating it with mk on first touch. States are
+// cached across transactions on the same descriptor and reset on re-attach.
+func (tx *Tx) Attach(ds Datastructure, mk func() any) any {
+	for _, a := range tx.attached {
+		if a == ds {
+			return tx.state[ds]
+		}
+	}
+	st, ok := tx.state[ds]
+	if !ok {
+		st = mk()
+		tx.state[ds] = st
+	} else if r, ok := st.(txState); ok {
+		r.reset()
+	}
+	tx.attached = append(tx.attached, ds)
+	return st
+}
+
+// Attached returns the structures touched by this transaction in
+// first-touch order.
+func (tx *Tx) Attached() []Datastructure { return tx.attached }
+
+// Reset clears the transaction for reuse. Cached per-structure states are
+// retained and reset lazily on their next Attach.
+func (tx *Tx) Reset() {
+	tx.attached = tx.attached[:0]
+}
+
+// PostValidate runs after every operation: it validates the semantic read
+// sets of all attached structures (guaranteeing opacity, as NOrec does at
+// the memory level), aborting on failure. Integration contexts install a
+// replacement strategy via SetValidator.
+func (tx *Tx) PostValidate() {
+	if tx.validator != nil {
+		tx.validator(tx)
+		return
+	}
+	if !tx.ValidateAllWithLocks() {
+		abort.Retry(abort.Conflict)
+	}
+}
+
+// Commit runs the standalone two-phase commit across all attached
+// structures: acquire all semantic locks, validate all read sets, publish
+// all write sets, release. Any failure aborts (the rollback path releases
+// acquired locks via OnAbort).
+func (tx *Tx) Commit() {
+	for _, ds := range tx.attached {
+		ds.PreCommit(tx)
+	}
+	for _, ds := range tx.attached {
+		if !ds.ValidateWithLocks(tx) {
+			abort.Retry(abort.Conflict)
+		}
+	}
+	for _, ds := range tx.attached {
+		ds.OnCommit(tx)
+	}
+	for _, ds := range tx.attached {
+		ds.PostCommit(tx)
+	}
+}
+
+// Rollback releases anything held by an aborting transaction and clears it.
+func (tx *Tx) Rollback() {
+	for _, ds := range tx.attached {
+		ds.OnAbort(tx)
+	}
+	tx.Reset()
+}
+
+// txPool recycles standalone transaction descriptors (and their state maps)
+// across Atomic calls.
+var txPool = sync.Pool{New: func() any { return NewTx(nil) }}
+
+// Atomic runs fn as a standalone OTB transaction, retrying on abort until
+// it commits. Stats may be nil.
+func Atomic(stats *abort.Stats, fn func(*Tx)) {
+	AtomicCtr(stats, nil, fn)
+}
+
+// AtomicCtr is Atomic with contention counters attached to the transaction.
+func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
+	tx := txPool.Get().(*Tx)
+	tx.ctr = ctr
+	abort.Run(stats,
+		func() { tx.Reset() },
+		func() {
+			fn(tx)
+			tx.Commit()
+		},
+		func(abort.Reason) { tx.Rollback() },
+	)
+	tx.Reset()
+	tx.ctr = nil
+	txPool.Put(tx)
+}

@@ -1,0 +1,183 @@
+package otb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/abort"
+)
+
+// TestCrossStructureAtomicity moves tokens between two sets and a priority
+// queue in single transactions while readers check, transactionally, that
+// the views stay consistent.
+func TestCrossStructureAtomicity(t *testing.T) {
+	setA := NewListSet()
+	setB := NewSkipSet()
+	const tokens = 24
+	run(t, func(tx *Tx) {
+		for i := int64(1); i <= tokens; i++ {
+			setA.Add(tx, i)
+		}
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Movers bounce tokens A<->B.
+	for m := 0; m < 4; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for r := 0; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64((m*13+r)%tokens) + 1
+				Atomic(nil, func(tx *Tx) {
+					if setA.Remove(tx, k) {
+						setB.Add(tx, k)
+					} else if setB.Remove(tx, k) {
+						setA.Add(tx, k)
+					}
+				})
+			}
+		}(m)
+	}
+	// Readers: each token must be in exactly one set at any snapshot.
+	for r := 0; r < 500; r++ {
+		k := int64(r%tokens) + 1
+		Atomic(nil, func(tx *Tx) {
+			inA := setA.Contains(tx, k)
+			inB := setB.Contains(tx, k)
+			if inA == inB {
+				t.Errorf("token %d: inA=%v inB=%v (must be in exactly one)", k, inA, inB)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	if got := setA.Len() + setB.Len(); got != tokens {
+		t.Fatalf("tokens = %d, want %d", got, tokens)
+	}
+}
+
+// TestSetAndQueueInOneTx exercises a set and a heap queue in the same
+// transaction, with an abort injected on the first attempt.
+func TestSetAndQueueInOneTx(t *testing.T) {
+	set := NewListSet()
+	q := NewHeapPQ()
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		set.Add(tx, 7)
+		q.Add(tx, 7)
+		if attempts == 1 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if set.Len() != 1 || q.Len() != 1 {
+		t.Fatalf("set=%d q=%d, want 1,1", set.Len(), q.Len())
+	}
+	// The aborted attempt must not have leaked a queue element.
+	var first int64
+	run(t, func(tx *Tx) { first, _ = q.RemoveMin(tx) })
+	if first != 7 {
+		t.Fatalf("min = %d, want 7", first)
+	}
+	var empty bool
+	run(t, func(tx *Tx) { _, ok := q.RemoveMin(tx); empty = !ok })
+	if !empty {
+		t.Fatal("queue should be empty after one RemoveMin")
+	}
+}
+
+func TestHasSemanticWrites(t *testing.T) {
+	set := NewListSet()
+	run(t, func(tx *Tx) { set.Add(tx, 1) })
+	Atomic(nil, func(tx *Tx) {
+		if tx.HasSemanticWrites() {
+			t.Error("fresh tx has no writes")
+		}
+		set.Contains(tx, 1)
+		if tx.HasSemanticWrites() {
+			t.Error("contains is not a write")
+		}
+		set.Add(tx, 2)
+		if !tx.HasSemanticWrites() {
+			t.Error("pending add is a write")
+		}
+		set.Remove(tx, 2) // eliminates
+		if tx.HasSemanticWrites() {
+			t.Error("eliminated pair leaves no writes")
+		}
+	})
+}
+
+func TestValidatorReplacement(t *testing.T) {
+	set := NewListSet()
+	calls := 0
+	tx := NewTx(nil)
+	tx.SetValidator(func(*Tx) { calls++ })
+	set.Add(tx, 5)
+	set.Contains(tx, 5)
+	if calls != 1 {
+		// Contains(5) hits the write set and skips traversal+validation;
+		// only the Add traversed.
+		t.Fatalf("validator calls = %d, want 1", calls)
+	}
+	set.Contains(tx, 6)
+	if calls != 2 {
+		t.Fatalf("validator calls = %d, want 2", calls)
+	}
+	tx.Commit()
+	if set.Len() != 1 {
+		t.Fatal("manual commit failed")
+	}
+}
+
+func TestStateRecycling(t *testing.T) {
+	// The pooled Tx must not leak state between transactions.
+	set := NewListSet()
+	for i := 0; i < 50; i++ {
+		k := int64(i % 5)
+		Atomic(nil, func(tx *Tx) {
+			if set.Contains(tx, k) {
+				set.Remove(tx, k)
+			} else {
+				set.Add(tx, k)
+			}
+		})
+	}
+	// 50 toggles of 5 keys: each key toggled 10 times, ending absent.
+	if set.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after even toggle counts", set.Len())
+	}
+}
+
+func TestExplicitRetryReason(t *testing.T) {
+	var stats abort.Stats
+	tries := 0
+	Atomic(&stats, func(tx *Tx) {
+		tries++
+		if tries < 4 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	if stats.Aborts != 3 || stats.Commits != 1 {
+		t.Fatalf("stats = %+v, want 3 aborts 1 commit", stats)
+	}
+}
+
+func TestSentinelKeysRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sentinel key should panic")
+		}
+	}()
+	s := NewListSet()
+	run(t, func(tx *Tx) { s.Remove(tx, math.MaxInt64) })
+}

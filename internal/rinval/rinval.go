@@ -1,0 +1,406 @@
+// Package rinval implements Remote Invalidation (Chapter 6): an
+// invalidation-based STM (InvalSTM's conflict model) whose commit and
+// invalidation routines execute on dedicated server goroutines, in three
+// versions matching the paper:
+//
+//   - V1 replaces InvalSTM's global spin lock with remote execution: one
+//     commit server both publishes the write set and invalidates
+//     conflicting in-flight transactions.
+//   - V2 runs commit and invalidation concurrently on two servers inside
+//     the same commit window; the client is answered when both finish.
+//   - V3 accelerates commit: the client is released as soon as its writes
+//     are published, while the invalidation server finishes the window in
+//     the background (the window stays closed to readers until then, which
+//     preserves opacity).
+//
+// Like InvalSTM, readers never validate their read sets: committers doom
+// conflicting readers through bloom-filter intersection, making per-read
+// overhead constant instead of NOrec's quadratic incremental validation.
+package rinval
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/bloom"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+	"repro/internal/stm/invalstm"
+)
+
+// Version selects the RInval variant.
+type Version int
+
+// The three versions of Chapter 6.
+const (
+	V1 Version = 1 + iota // remote commit + invalidation on one server
+	V2                    // commit and invalidation in parallel servers
+	V3                    // client released after publish; invalidation async
+)
+
+// Request states.
+const (
+	stateReady int32 = iota
+	statePending
+	stateAborted
+)
+
+// DefaultClients is the default request-array size.
+const DefaultClients = 64
+
+// request is one slot of the cache-aligned requests array.
+type request struct {
+	state atomic.Int32
+	tx    *txDesc
+	_     spin.Pad
+}
+
+// txDesc is a client transaction context.
+type txDesc struct {
+	slot   int // registry slot (descs index)
+	writes stm.WriteSet
+	wf     bloom.Filter
+}
+
+// STM is an RInval instance. Stop must be called to release its servers.
+type STM struct {
+	version Version
+	clock   spin.SeqLock
+	descs   []invalstm.Desc
+	reqs    []request
+	clients chan *client
+	ctr     spin.Counters
+	prof    *stm.Profile
+
+	// Commit/invalidation server rendezvous (V2, V3). The committer's slot
+	// and write filter are copied here before the window opens, because V3
+	// releases the client before invalidation finishes and the client's
+	// next transaction reuses (and clears) its own filter.
+	invalReq  atomic.Int32 // request index whose invalidation is wanted, or -1
+	invalDone atomic.Bool
+	invalSlot int
+	invalWF   bloom.Filter
+
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// New creates an RInval instance of the given version with the default
+// client capacity and starts its servers.
+func New(version Version) *STM { return NewWithClients(version, DefaultClients) }
+
+// NewWithClients creates an RInval instance with an explicit request-array
+// size.
+func NewWithClients(version Version, n int) *STM {
+	s := &STM{
+		version: version,
+		descs:   make([]invalstm.Desc, n),
+		reqs:    make([]request, n),
+		clients: make(chan *client, n),
+	}
+	s.invalReq.Store(-1)
+	for i := 0; i < n; i++ {
+		s.clients <- &client{s: s, tx: &txDesc{slot: i}}
+	}
+	s.wg.Add(1)
+	go s.commitServer()
+	if version != V1 {
+		s.wg.Add(1)
+		go s.invalServer()
+	}
+	return s
+}
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string {
+	switch s.version {
+	case V1:
+		return "RInval-V1"
+	case V2:
+		return "RInval-V2"
+	default:
+		return "RInval-V3"
+	}
+}
+
+// SetProfile attaches a critical-path profiler (may be nil).
+func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop shuts down the servers; callers drain their workers first.
+func (s *STM) Stop() {
+	s.stop.Store(true)
+	s.wg.Wait()
+}
+
+// Commits and Aborts report lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// client is a transaction descriptor bound to one registry slot and one
+// request slot.
+type client struct {
+	s  *STM
+	tx *txDesc
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	c := <-s.clients
+	total := s.prof.Now()
+	d := &s.descs[c.tx.slot]
+	d.Active.Store(true)
+	abort.Run(nil,
+		c.begin,
+		func() {
+			fn(c)
+			c.commit()
+		},
+		func(r abort.Reason) {
+			if r == abort.Invalidated {
+				d.Starved.Add(1)
+			}
+			s.stats.aborts.Add(1)
+		},
+	)
+	d.Starved.Store(0)
+	d.ClearFilter()
+	d.Active.Store(false)
+	s.stats.commits.Add(1)
+	s.prof.AddTotal(total, true)
+	s.clients <- c
+}
+
+func (c *client) begin() {
+	d := &c.s.descs[c.tx.slot]
+	d.ClearFilter()
+	d.Invalidated.Store(false)
+	c.tx.writes.Reset()
+	c.tx.wf.Clear()
+}
+
+// Read implements stm.Tx: publish the read filter bit, read under a stable
+// even timestamp, and check the doomed flag (constant work per read).
+func (c *client) Read(cell *mem.Cell) uint64 {
+	if v, ok := c.tx.writes.Get(cell); ok {
+		return v
+	}
+	d := &c.s.descs[c.tx.slot]
+	publishRead(d, cell.ID())
+	start := c.s.prof.Now()
+	defer c.s.prof.AddValidation(start)
+	var b spin.Backoff
+	for {
+		ts := c.s.clock.WaitUnlocked(&c.s.ctr)
+		v := cell.Load()
+		if c.s.clock.Load() == ts {
+			if d.Invalidated.Load() {
+				abort.Retry(abort.Invalidated)
+			}
+			return v
+		}
+		b.Wait()
+	}
+}
+
+// publishRead sets the bloom bits for key in the shared descriptor.
+func publishRead(d *invalstm.Desc, key uint64) {
+	var f bloom.Filter
+	f.Add(key)
+	for i, w := range f {
+		if w != 0 {
+			d.ReadFilter[i].Or(w)
+		}
+	}
+}
+
+// Write implements stm.Tx.
+func (c *client) Write(cell *mem.Cell, v uint64) {
+	c.tx.wf.Add(cell.ID())
+	c.tx.writes.Put(cell, v)
+}
+
+// commit posts the request to the commit server and waits for the verdict.
+func (c *client) commit() {
+	d := &c.s.descs[c.tx.slot]
+	if c.tx.writes.Len() == 0 {
+		if d.Invalidated.Load() {
+			abort.Retry(abort.Invalidated)
+		}
+		return
+	}
+	start := c.s.prof.Now()
+	defer c.s.prof.AddCommit(start)
+	req := &c.s.reqs[c.tx.slot]
+	req.tx = c.tx
+	req.state.Store(statePending)
+	var b spin.Backoff
+	for {
+		st := req.state.Load()
+		if st == stateReady {
+			return
+		}
+		if st == stateAborted {
+			abort.Retry(abort.Invalidated)
+		}
+		c.s.ctr.IncSpin()
+		b.Wait()
+	}
+}
+
+// commitServer executes commit requests serially.
+func (s *STM) commitServer() {
+	defer s.wg.Done()
+	var b spin.Backoff
+	for !s.stop.Load() {
+		progressed := false
+		for i := range s.reqs {
+			req := &s.reqs[i]
+			if req.state.Load() != statePending {
+				continue
+			}
+			progressed = true
+			t := req.tx
+			if s.descs[t.slot].Invalidated.Load() {
+				req.state.Store(stateAborted)
+				continue
+			}
+			if s.starvedConflict(t) {
+				// Contention manager: defer to a starving doomed reader
+				// instead of invalidating it yet again.
+				req.state.Store(stateAborted)
+				continue
+			}
+			switch s.version {
+			case V1:
+				s.commitV1(req, t)
+			case V2:
+				s.commitV2(req, t)
+			default:
+				s.commitV3(req, t)
+			}
+		}
+		if !progressed {
+			b.Wait()
+		} else {
+			b.Reset()
+		}
+	}
+}
+
+// commitV1: one server publishes and invalidates inside the window.
+func (s *STM) commitV1(req *request, t *txDesc) {
+	s.lockClock()
+	t.writes.Publish()
+	s.invalidate(t.slot, &t.wf)
+	s.clock.Unlock()
+	req.state.Store(stateReady)
+}
+
+// commitV2: the invalidation server dooms readers concurrently with the
+// write-set publication; the client is answered when both are done.
+func (s *STM) commitV2(req *request, t *txDesc) {
+	s.lockClock()
+	s.openInval(t)
+	t.writes.Publish()
+	s.waitInval()
+	s.clock.Unlock()
+	req.state.Store(stateReady)
+}
+
+// commitV3: the client is released right after publication; the window is
+// closed (and readers released) once the invalidation server finishes.
+func (s *STM) commitV3(req *request, t *txDesc) {
+	s.lockClock()
+	s.openInval(t)
+	t.writes.Publish()
+	req.state.Store(stateReady)
+	s.waitInval()
+	s.clock.Unlock()
+}
+
+func (s *STM) lockClock() {
+	ts := s.clock.Load()
+	if !s.clock.TryLock(ts) {
+		panic("rinval: commit server lost the clock")
+	}
+}
+
+// openInval hands the committer's slot and write filter to the
+// invalidation server. The atomic store of invalReq publishes the copies.
+func (s *STM) openInval(t *txDesc) {
+	s.invalSlot = t.slot
+	s.invalWF = t.wf
+	s.invalDone.Store(false)
+	s.invalReq.Store(int32(t.slot))
+}
+
+// waitInval blocks until the invalidation server finishes the open window.
+func (s *STM) waitInval() {
+	var b spin.Backoff
+	for !s.invalDone.Load() {
+		if s.stop.Load() {
+			return
+		}
+		b.Wait()
+	}
+}
+
+// starvedConflict reports whether committing t would doom a transaction
+// the contention manager says t must defer to.
+func (s *STM) starvedConflict(t *txDesc) bool {
+	mine := s.descs[t.slot].Starved.Load()
+	for i := range s.descs {
+		if i == t.slot {
+			continue
+		}
+		d := &s.descs[i]
+		if d.Active.Load() && d.IntersectsWrite(&t.wf) &&
+			invalstm.ShouldDefer(d, i, mine, t.slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate dooms every active transaction (other than the committer at
+// slot) whose read filter intersects the committed write filter.
+func (s *STM) invalidate(slot int, wf *bloom.Filter) {
+	for i := range s.descs {
+		if i == slot {
+			continue
+		}
+		d := &s.descs[i]
+		if d.Active.Load() && d.IntersectsWrite(wf) {
+			d.Invalidated.Store(true)
+		}
+	}
+}
+
+// invalServer runs the invalidation routine for V2/V3 windows.
+func (s *STM) invalServer() {
+	defer s.wg.Done()
+	var b spin.Backoff
+	for !s.stop.Load() {
+		if s.invalReq.Load() < 0 {
+			b.Wait()
+			continue
+		}
+		s.invalidate(s.invalSlot, &s.invalWF)
+		s.invalReq.Store(-1)
+		s.invalDone.Store(true)
+		b.Reset()
+	}
+}
+
+var _ stm.Algorithm = (*STM)(nil)

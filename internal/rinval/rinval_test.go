@@ -1,0 +1,222 @@
+package rinval_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rinval"
+	"repro/internal/stm"
+)
+
+func versions() []rinval.Version {
+	return []rinval.Version{rinval.V1, rinval.V2, rinval.V3}
+}
+
+func TestCounterIncrement(t *testing.T) {
+	for _, v := range versions() {
+		s := rinval.New(v)
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Stop()
+			const workers = 8
+			const each = 200
+			c := mem.NewCell(0)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						s.Atomic(func(tx stm.Tx) { tx.Write(c, tx.Read(c)+1) })
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Load(); got != workers*each {
+				t.Fatalf("counter = %d, want %d", got, workers*each)
+			}
+		})
+	}
+}
+
+func TestBankInvariant(t *testing.T) {
+	for _, v := range versions() {
+		s := rinval.New(v)
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Stop()
+			const accounts = 24
+			const initial = 50
+			cells := make([]*mem.Cell, accounts)
+			for i := range cells {
+				cells[i] = mem.NewCell(initial)
+			}
+			const workers = 6
+			const each = 120
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						from := (seed*13 + i) % accounts
+						to := (seed + i*7 + 1) % accounts
+						if from == to {
+							to = (to + 1) % accounts
+						}
+						s.Atomic(func(tx stm.Tx) {
+							a := tx.Read(cells[from])
+							b := tx.Read(cells[to])
+							if a == 0 {
+								return
+							}
+							tx.Write(cells[from], a-1)
+							tx.Write(cells[to], b+1)
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total uint64
+			for _, c := range cells {
+				total += c.Load()
+			}
+			if total != accounts*initial {
+				t.Fatalf("total = %d, want %d", total, accounts*initial)
+			}
+		})
+	}
+}
+
+func TestReadConsistency(t *testing.T) {
+	for _, v := range versions() {
+		s := rinval.New(v)
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Stop()
+			a, b := mem.NewCell(0), mem.NewCell(0)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := uint64(1); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.Atomic(func(tx stm.Tx) {
+						tx.Write(a, i)
+						tx.Write(b, i)
+					})
+				}
+			}()
+			for i := 0; i < 1000; i++ {
+				s.Atomic(func(tx stm.Tx) {
+					va, vb := tx.Read(a), tx.Read(b)
+					if va != vb {
+						t.Errorf("torn read: %d != %d", va, vb)
+					}
+				})
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestInvalidationDoomsReaders checks that a long reader conflicting with a
+// committer is actually doomed and retried rather than committing a stale
+// snapshot.
+func TestInvalidationDoomsReaders(t *testing.T) {
+	for _, v := range versions() {
+		s := rinval.New(v)
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Stop()
+			cells := make([]*mem.Cell, 8)
+			for i := range cells {
+				cells[i] = mem.NewCell(0)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := uint64(1); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.Atomic(func(tx stm.Tx) {
+						for _, c := range cells {
+							tx.Write(c, i)
+						}
+					})
+				}
+			}()
+			for i := 0; i < 500; i++ {
+				s.Atomic(func(tx stm.Tx) {
+					first := tx.Read(cells[0])
+					for _, c := range cells[1:] {
+						if got := tx.Read(c); got != first {
+							t.Errorf("inconsistent snapshot: %d != %d", got, first)
+						}
+					}
+				})
+			}
+			close(stop)
+			wg.Wait()
+			if s.Aborts() == 0 {
+				t.Log("no aborts observed (low contention on this host)")
+			}
+		})
+	}
+}
+
+// TestWriterDoesNotStarveReaders regresses the livelock where a continuous
+// writer doomed a conflicting reader on every attempt; the contention
+// manager must let the reader through.
+func TestWriterDoesNotStarveReaders(t *testing.T) {
+	for _, v := range versions() {
+		s := rinval.New(v)
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Stop()
+			cells := make([]*mem.Cell, 8)
+			for i := range cells {
+				cells[i] = mem.NewCell(0)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := uint64(1); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.Atomic(func(tx stm.Tx) {
+						for _, c := range cells {
+							tx.Write(c, i)
+						}
+					})
+				}
+			}()
+			// The reader must complete all its transactions in bounded time
+			// despite the adversarial writer.
+			for i := 0; i < 300; i++ {
+				s.Atomic(func(tx stm.Tx) {
+					first := tx.Read(cells[0])
+					for _, c := range cells[1:] {
+						if tx.Read(c) != first {
+							t.Error("torn read")
+						}
+					}
+				})
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

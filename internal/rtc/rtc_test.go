@@ -1,0 +1,166 @@
+package rtc_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rtc"
+	"repro/internal/stm"
+)
+
+func variants() map[string]rtc.Options {
+	return map[string]rtc.Options{
+		"no-dd":         {Secondaries: 0},
+		"one-secondary": {Secondaries: 1, DDThreshold: 1},
+		"two-secondary": {Secondaries: 2, DDThreshold: 1},
+	}
+}
+
+func TestCounterIncrement(t *testing.T) {
+	for name, opts := range variants() {
+		t.Run(name, func(t *testing.T) {
+			s := rtc.New(opts)
+			defer s.Stop()
+			const workers = 8
+			const each = 200
+			c := mem.NewCell(0)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						s.Atomic(func(tx stm.Tx) { tx.Write(c, tx.Read(c)+1) })
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Load(); got != workers*each {
+				t.Fatalf("counter = %d, want %d", got, workers*each)
+			}
+		})
+	}
+}
+
+func TestBankInvariant(t *testing.T) {
+	for name, opts := range variants() {
+		t.Run(name, func(t *testing.T) {
+			s := rtc.New(opts)
+			defer s.Stop()
+			const accounts = 32
+			const initial = 100
+			cells := make([]*mem.Cell, accounts)
+			for i := range cells {
+				cells[i] = mem.NewCell(initial)
+			}
+			const workers = 6
+			const each = 150
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						from := (seed*31 + i) % accounts
+						to := (seed + i*17 + 1) % accounts
+						if from == to {
+							to = (to + 1) % accounts
+						}
+						s.Atomic(func(tx stm.Tx) {
+							a := tx.Read(cells[from])
+							b := tx.Read(cells[to])
+							if a == 0 {
+								return
+							}
+							tx.Write(cells[from], a-1)
+							tx.Write(cells[to], b+1)
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total uint64
+			for _, c := range cells {
+				total += c.Load()
+			}
+			if total != accounts*initial {
+				t.Fatalf("total = %d, want %d", total, accounts*initial)
+			}
+		})
+	}
+}
+
+func TestReadConsistency(t *testing.T) {
+	s := rtc.New(rtc.Options{Secondaries: 1, DDThreshold: 1})
+	defer s.Stop()
+	a, b := mem.NewCell(0), mem.NewCell(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Atomic(func(tx stm.Tx) {
+				tx.Write(a, i)
+				tx.Write(b, i)
+			})
+		}
+	}()
+	for i := 0; i < 1500; i++ {
+		s.Atomic(func(tx stm.Tx) {
+			va, vb := tx.Read(a), tx.Read(b)
+			if va != vb {
+				t.Errorf("torn read: %d != %d", va, vb)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSecondaryCommitsIndependent drives disjoint transactions with large
+// write sets so the dependency detector has windows to fill, then checks it
+// actually committed some of them.
+func TestSecondaryCommitsIndependent(t *testing.T) {
+	s := rtc.New(rtc.Options{Secondaries: 1, DDThreshold: 2})
+	defer s.Stop()
+	const workers = 8
+	const each = 300
+	const cellsPer = 8
+	banks := make([][]*mem.Cell, workers)
+	for w := range banks {
+		banks[w] = make([]*mem.Cell, cellsPer)
+		for i := range banks[w] {
+			banks[w][i] = mem.NewCell(0)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(mine []*mem.Cell) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Atomic(func(tx stm.Tx) {
+					for _, c := range mine {
+						tx.Write(c, tx.Read(c)+1)
+					}
+				})
+			}
+		}(banks[w])
+	}
+	wg.Wait()
+	for w := range banks {
+		for i, c := range banks[w] {
+			if c.Load() != each {
+				t.Fatalf("banks[%d][%d] = %d, want %d", w, i, c.Load(), each)
+			}
+		}
+	}
+	t.Logf("secondary commits: %d of %d", s.SecondaryCommits(), s.Commits())
+}

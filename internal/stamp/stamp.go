@@ -1,0 +1,110 @@
+// Package stamp provides synthetic transaction profiles standing in for the
+// STAMP benchmark suite, which the paper uses in Chapters 5 and 6. Real
+// STAMP is a set of C programs with external inputs; what the paper's
+// evaluation actually exercises is each application's transaction *shape* —
+// read-set size, write-set size, contention, and the resulting commit-time
+// ratio (Table 5.1). Each profile here reproduces that shape over an array
+// of STM cells, with non-transactional "application work" between
+// transactions, so the same comparisons (NOrec vs RTC vs RInval vs ...) can
+// be regenerated.
+//
+// The per-application parameters were chosen so the relative commit-time
+// ratios order like Table 5.1: ssca2 ≫ kmeans ≈ genome > intruder >
+// vacation ≫ labyrinth (≈ read-only).
+package stamp
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// App is one synthetic application profile.
+type App struct {
+	// Name is the STAMP application this profile substitutes for.
+	Name string
+	// Cells is the shared-array size; smaller arrays mean more conflicts.
+	Cells int
+	// Reads and Writes are the per-transaction set sizes.
+	Reads, Writes int
+	// ReadOnlyPct is the percentage of read-only transactions.
+	ReadOnlyPct int
+	// LocalWork is the non-transactional work (iterations) between
+	// transactions, which dilutes the commit ratio relative to total time.
+	LocalWork int
+}
+
+// Apps returns the six profiles in the paper's STAMP subset.
+func Apps() []App {
+	return []App{
+		// ssca2: tiny transactions, almost all commit work, little between.
+		{Name: "ssca2", Cells: 1 << 16, Reads: 2, Writes: 2, ReadOnlyPct: 0, LocalWork: 20},
+		// kmeans: short transactions (centroid updates), moderate non-tx work.
+		{Name: "kmeans", Cells: 1 << 10, Reads: 4, Writes: 4, ReadOnlyPct: 0, LocalWork: 120},
+		// genome: medium transactions (segment dedup/insert), some read-only.
+		{Name: "genome", Cells: 1 << 14, Reads: 24, Writes: 6, ReadOnlyPct: 20, LocalWork: 150},
+		// intruder: medium transactions with higher contention queues.
+		{Name: "intruder", Cells: 1 << 9, Reads: 24, Writes: 6, ReadOnlyPct: 10, LocalWork: 400},
+		// vacation: long tree traversals, few writes.
+		{Name: "vacation", Cells: 1 << 16, Reads: 120, Writes: 8, ReadOnlyPct: 40, LocalWork: 300},
+		// labyrinth: very long, dominated by private computation over a
+		// grid copy; commits are rare and tiny relative to the transaction.
+		{Name: "labyrinth", Cells: 1 << 14, Reads: 300, Writes: 2, ReadOnlyPct: 90, LocalWork: 6000},
+	}
+}
+
+// AppByName returns the profile with the given name, or false.
+func AppByName(name string) (App, bool) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Workload is an App instantiated over a concrete cell array.
+type Workload struct {
+	App
+	cells []*mem.Cell
+}
+
+// NewWorkload allocates the shared state for the profile.
+func NewWorkload(app App) *Workload {
+	w := &Workload{App: app, cells: make([]*mem.Cell, app.Cells)}
+	for i := range w.cells {
+		w.cells[i] = mem.NewCell(uint64(i))
+	}
+	return w
+}
+
+// RunTx executes one transaction of the profile on alg, followed by the
+// profile's non-transactional work, whose checksum is returned so the
+// compiler cannot elide it (callers accumulate it into a local sink).
+// rng must be goroutine-local.
+func (w *Workload) RunTx(alg stm.Algorithm, rng *rand.Rand) uint64 {
+	readOnly := rng.IntN(100) < w.ReadOnlyPct
+	// Pre-draw the index sequence so retries replay the same footprint.
+	idx := make([]int, w.Reads)
+	for i := range idx {
+		idx[i] = rng.IntN(len(w.cells))
+	}
+	alg.Atomic(func(tx stm.Tx) {
+		var acc uint64
+		for _, i := range idx {
+			acc += tx.Read(w.cells[i])
+		}
+		if !readOnly {
+			for k := 0; k < w.Writes; k++ {
+				c := w.cells[idx[k%len(idx)]]
+				tx.Write(c, acc+uint64(k))
+			}
+		}
+	})
+	var s uint64
+	for i := 0; i < w.LocalWork; i++ {
+		s += uint64(i) * 0x9e37
+	}
+	return s
+}

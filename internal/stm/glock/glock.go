@@ -1,0 +1,79 @@
+// Package glock implements the coarse global-lock "STM": every atomic block
+// runs under a single mutex. The paper uses this as the sequential baseline
+// (RSTM's CGL) for single-thread overhead comparisons; the harness also uses
+// it as the reference executor when checking other algorithms' results.
+package glock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// STM is a global-lock instance.
+type STM struct {
+	mu    sync.Mutex
+	ctr   spin.Counters
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+}
+
+// New creates a global-lock instance.
+func New() *STM { return &STM{} }
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string { return "CGL" }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop implements stm.Algorithm; there are no background goroutines.
+func (s *STM) Stop() {}
+
+// Commits and Aborts report lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts (explicit retries only;
+// the global lock admits no conflicts).
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// tx executes reads and writes in place under the global lock, keeping an
+// undo log so explicit user retries can roll back.
+type tx struct {
+	undo []stm.WriteEntry
+}
+
+// Read implements stm.Tx.
+func (t *tx) Read(c *mem.Cell) uint64 { return c.Load() }
+
+// Write implements stm.Tx.
+func (t *tx) Write(c *mem.Cell, v uint64) {
+	t.undo = append(t.undo, stm.WriteEntry{Cell: c, Val: c.Load()})
+	c.Store(v)
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	t := &tx{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	abort.Run(nil,
+		func() { t.undo = t.undo[:0] },
+		func() { fn(t) },
+		func(abort.Reason) {
+			for i := len(t.undo) - 1; i >= 0; i-- {
+				t.undo[i].Cell.Store(t.undo[i].Val)
+			}
+			s.stats.aborts.Add(1)
+		},
+	)
+	s.stats.commits.Add(1)
+}
+
+var _ stm.Algorithm = (*STM)(nil)

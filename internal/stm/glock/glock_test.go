@@ -1,0 +1,58 @@
+package glock
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestSerializesEverything(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	const workers = 8
+	const each = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Atomic(func(tx stm.Tx) { tx.Write(c, tx.Read(c)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestExplicitRetryUndoes(t *testing.T) {
+	s := New()
+	c := mem.NewCell(5)
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		tx.Write(c, 99)
+		if attempts == 1 {
+			if tx.Read(c) != 99 {
+				t.Error("eager write should be visible")
+			}
+			abort.Retry(abort.Explicit)
+		}
+		if got := tx.Read(c); got != 99 {
+			// Second attempt starts from the restored value 5, then our
+			// fresh Write(99) applies again.
+			t.Errorf("read = %d, want 99 (rewritten this attempt)", got)
+		}
+	})
+	if attempts != 2 || c.Load() != 99 {
+		t.Fatalf("attempts=%d c=%d", attempts, c.Load())
+	}
+	if s.Aborts() != 1 {
+		t.Fatalf("aborts = %d, want 1", s.Aborts())
+	}
+}

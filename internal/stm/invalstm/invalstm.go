@@ -1,0 +1,263 @@
+// Package invalstm implements commit-time invalidation STM [Gottschlich,
+// Vachharajani & Siek, CGO 2010], the baseline that Remote Invalidation
+// (Chapter 6) extends. Instead of readers validating their own read sets
+// (quadratic in reads, as in NOrec), a committing writer invalidates every
+// in-flight transaction whose read bloom filter intersects its write bloom
+// filter, making per-read work constant.
+package invalstm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/bloom"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// MaxTxs is the size of the in-flight transaction registry.
+const MaxTxs = 256
+
+// Desc is one registry slot: the published read filter and the doomed flag
+// set by committing writers. It is exported for reuse by Remote
+// Invalidation, which shares the registry design.
+type Desc struct {
+	Active      atomic.Bool
+	Invalidated atomic.Bool
+	// Starved counts consecutive invalidation aborts; the contention
+	// manager makes committers defer to sufficiently starved transactions
+	// (InvalSTM's CM decides whether the committer, rather than the
+	// conflicting transactions, should wait or abort).
+	Starved    atomic.Uint32
+	ReadFilter [bloom.Words]atomic.Uint64
+	_          spin.Pad
+}
+
+// StarveLimit is the consecutive-abort count at which the contention
+// manager starts deferring committers to a doomed transaction.
+const StarveLimit = 4
+
+// ShouldDefer reports whether a committer with starvation level mine at
+// registry slot mySlot must defer to the conflicting transaction d at slot.
+// Non-starving committers always defer to starving transactions; among
+// starving ones the lowest slot wins. The winner's priority is stable (it
+// does not depend on the racing counters), so exactly one starving
+// transaction at a time never defers and the system always progresses.
+func ShouldDefer(d *Desc, slot int, mine uint32, mySlot int) bool {
+	if d.Starved.Load() < StarveLimit {
+		return false
+	}
+	return mine < StarveLimit || slot < mySlot
+}
+
+// ClearFilter empties the descriptor's published read filter.
+func (d *Desc) ClearFilter() {
+	for i := range d.ReadFilter {
+		d.ReadFilter[i].Store(0)
+	}
+}
+
+// IntersectsWrite reports whether the descriptor's read filter intersects a
+// committer's write filter.
+func (d *Desc) IntersectsWrite(wf *bloom.Filter) bool {
+	for i := range wf {
+		if d.ReadFilter[i].Load()&wf[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// STM is an InvalSTM instance.
+type STM struct {
+	clock spin.SeqLock
+	descs [MaxTxs]Desc
+	ctr   spin.Counters
+	prof  *stm.Profile
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+	pool sync.Pool
+}
+
+// New creates an InvalSTM instance.
+func New() *STM {
+	s := &STM{}
+	s.pool.New = func() any { return &tx{s: s, slot: -1} }
+	return s
+}
+
+// SetProfile attaches a critical-path profiler (may be nil).
+func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string { return "InvalSTM" }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop implements stm.Algorithm; InvalSTM has no background goroutines.
+func (s *STM) Stop() {}
+
+// Commits and Aborts report lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// tx is an InvalSTM transaction descriptor.
+type tx struct {
+	s      *STM
+	slot   int
+	writeF bloom.Filter
+	writes stm.WriteSet
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	t := s.pool.Get().(*tx)
+	t.acquireSlot()
+	total := s.prof.Now()
+	abort.Run(nil,
+		t.begin,
+		func() {
+			fn(t)
+			t.commit()
+		},
+		func(r abort.Reason) {
+			if r == abort.Invalidated {
+				s.descs[t.slot].Starved.Add(1)
+			}
+			s.stats.aborts.Add(1)
+		},
+	)
+	s.descs[t.slot].Starved.Store(0)
+	s.stats.commits.Add(1)
+	s.prof.AddTotal(total, true)
+	t.releaseSlot()
+	t.writeF.Clear()
+	t.writes.Reset()
+	s.pool.Put(t)
+}
+
+// acquireSlot claims a registry slot for the transaction's lifetime.
+func (t *tx) acquireSlot() {
+	var b spin.Backoff
+	for {
+		for i := range t.s.descs {
+			d := &t.s.descs[i]
+			if !d.Active.Load() && d.Active.CompareAndSwap(false, true) {
+				d.Invalidated.Store(false)
+				d.ClearFilter()
+				t.slot = i
+				return
+			}
+		}
+		b.Wait() // registry full: wait for a slot
+	}
+}
+
+func (t *tx) releaseSlot() {
+	d := &t.s.descs[t.slot]
+	d.ClearFilter()
+	d.Active.Store(false)
+	t.slot = -1
+}
+
+func (t *tx) begin() {
+	d := &t.s.descs[t.slot]
+	d.ClearFilter()
+	d.Invalidated.Store(false)
+	t.writeF.Clear()
+	t.writes.Reset()
+}
+
+func (t *tx) desc() *Desc { return &t.s.descs[t.slot] }
+
+// Read implements stm.Tx. The key is published to the read filter before the
+// value is read under a stable (even, unchanged) timestamp; a committer that
+// later overwrites the cell is thereby guaranteed to see the filter bit and
+// invalidate this transaction.
+func (t *tx) Read(c *mem.Cell) uint64 {
+	if v, ok := t.writes.Get(c); ok {
+		return v
+	}
+	d := t.desc()
+	publishRead(d, c.ID())
+	var b spin.Backoff
+	for {
+		ts := t.s.clock.WaitUnlocked(&t.s.ctr)
+		v := c.Load()
+		if t.s.clock.Load() == ts {
+			if d.Invalidated.Load() {
+				abort.Retry(abort.Invalidated)
+			}
+			return v
+		}
+		b.Wait()
+	}
+}
+
+// publishRead sets the filter bits for key in the shared descriptor.
+func publishRead(d *Desc, key uint64) {
+	var f bloom.Filter
+	f.Add(key)
+	for i, w := range f {
+		if w != 0 {
+			d.ReadFilter[i].Or(w)
+		}
+	}
+}
+
+// Write implements stm.Tx; writes are buffered and recorded in the write
+// filter used to invalidate conflicting readers at commit.
+func (t *tx) Write(c *mem.Cell, v uint64) {
+	t.writeF.Add(c.ID())
+	t.writes.Put(c, v)
+}
+
+// commit publishes the redo log under the global lock and invalidates every
+// other in-flight transaction whose read filter intersects the write set.
+func (t *tx) commit() {
+	d := t.desc()
+	if t.writes.Len() == 0 {
+		if d.Invalidated.Load() {
+			abort.Retry(abort.Invalidated)
+		}
+		return
+	}
+	start := t.s.prof.Now()
+	t.s.clock.Lock(&t.s.ctr)
+	if d.Invalidated.Load() {
+		t.s.clock.Unlock()
+		t.s.prof.AddCommit(start)
+		abort.Retry(abort.Invalidated)
+	}
+	// First pass (before publishing): find the victims, and let the
+	// contention manager defer this commit if one of them is starving.
+	mine := d.Starved.Load()
+	var victims []*Desc
+	for i := range t.s.descs {
+		od := &t.s.descs[i]
+		if i == t.slot || !od.Active.Load() || !od.IntersectsWrite(&t.writeF) {
+			continue
+		}
+		if ShouldDefer(od, i, mine, t.slot) {
+			t.s.clock.Unlock()
+			t.s.prof.AddCommit(start)
+			abort.Retry(abort.Invalidated)
+		}
+		victims = append(victims, od)
+	}
+	t.writes.Publish()
+	for _, od := range victims {
+		od.Invalidated.Store(true)
+	}
+	t.s.clock.Unlock()
+	t.s.prof.AddCommit(start)
+}
+
+var _ stm.Algorithm = (*STM)(nil)

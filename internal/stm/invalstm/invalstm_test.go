@@ -1,0 +1,91 @@
+package invalstm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := New()
+	c := mem.NewCell(1)
+	s.Atomic(func(tx stm.Tx) {
+		tx.Write(c, 2)
+		if tx.Read(c) != 2 {
+			t.Error("read-after-write must see the buffered value")
+		}
+	})
+	if c.Load() != 2 {
+		t.Fatal("commit did not publish")
+	}
+}
+
+func TestCommitterInvalidatesConflictingReader(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	readerRead := make(chan struct{})
+	writerDone := make(chan struct{})
+	attempts := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Atomic(func(tx stm.Tx) {
+			attempts++
+			tx.Read(c)
+			if attempts == 1 {
+				close(readerRead)
+				<-writerDone
+				// The writer's commit intersected our read filter, so our
+				// own (read-only) commit must abort.
+			}
+		})
+	}()
+	<-readerRead
+	s.Atomic(func(tx stm.Tx) { tx.Write(c, 1) })
+	close(writerDone)
+	wg.Wait()
+	if attempts != 2 {
+		t.Fatalf("reader attempts = %d, want 2 (doomed once)", attempts)
+	}
+}
+
+func TestShouldDeferPriority(t *testing.T) {
+	var starving, fresh Desc
+	starving.Starved.Store(StarveLimit + 2)
+	// Non-starving committers defer to a starving transaction.
+	if !ShouldDefer(&starving, 0, 0, 5) {
+		t.Error("fresh committer must defer to starving slot 0")
+	}
+	// A non-starving conflicting transaction never forces deferral.
+	if ShouldDefer(&fresh, 0, 0, 5) {
+		t.Error("must not defer to a non-starving transaction")
+	}
+	// Among starving transactions, the lowest slot wins.
+	if !ShouldDefer(&starving, 0, StarveLimit+1, 5) {
+		t.Error("slot 5 must defer to starving slot 0")
+	}
+	if ShouldDefer(&starving, 5, StarveLimit+1, 0) {
+		t.Error("slot 0 must not defer to starving slot 5")
+	}
+}
+
+func TestDescFilterRoundtrip(t *testing.T) {
+	var d Desc
+	var wf bloom.Filter
+	wf.Add(7)
+	if d.IntersectsWrite(&wf) {
+		t.Fatal("empty read filter intersects nothing")
+	}
+	publishRead(&d, 7)
+	if !d.IntersectsWrite(&wf) {
+		t.Fatal("published read of 7 must intersect a write of 7")
+	}
+	d.ClearFilter()
+	if d.IntersectsWrite(&wf) {
+		t.Fatal("cleared filter intersects nothing")
+	}
+}

@@ -1,0 +1,168 @@
+// Package norec implements NOrec [Dalessandro, Spear & Scott, PPoPP 2010]:
+// a lazy STM with no ownership records, a single global timestamped lock,
+// and value-based validation. NOrec is the base algorithm extended by OTB's
+// integration framework (Chapter 4) and by Remote Transaction Commit
+// (Chapter 5).
+//
+// Protocol summary:
+//   - Begin: wait for an even global timestamp and snapshot it.
+//   - Read: return buffered write if any; otherwise read the cell and, if
+//     the timestamp moved, re-run value-based validation until a consistent
+//     snapshot is obtained (guaranteeing opacity).
+//   - Commit (writers): CAS the timestamp from the snapshot to odd,
+//     re-validating on failure; publish the redo log; release (even).
+//     Read-only transactions commit without any shared-memory writes.
+package norec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// STM is a NOrec instance. Transactions from different STM instances are
+// not synchronized with each other.
+type STM struct {
+	clock spin.SeqLock
+	ctr   spin.Counters
+	prof  *stm.Profile
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+	pool sync.Pool
+}
+
+// New creates a NOrec instance.
+func New() *STM {
+	s := &STM{}
+	s.pool.New = func() any { return &tx{s: s} }
+	return s
+}
+
+// SetProfile attaches a critical-path profiler (may be nil). It must be set
+// before any transaction runs.
+func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string { return "NOrec" }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop implements stm.Algorithm. NOrec has no background goroutines.
+func (s *STM) Stop() {}
+
+// Commits and Aborts report the lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// Clock exposes the global sequence lock for layers that extend NOrec
+// (the OTB integration context).
+func (s *STM) Clock() *spin.SeqLock { return &s.clock }
+
+// tx is a NOrec transaction descriptor, reused across attempts.
+type tx struct {
+	s        *STM
+	snapshot uint64
+	reads    []stm.ReadEntry
+	writes   stm.WriteSet
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	t := s.pool.Get().(*tx)
+	total := s.prof.Now()
+	abort.Run(nil,
+		t.begin,
+		func() {
+			fn(t)
+			t.commit()
+		},
+		func(abort.Reason) { s.stats.aborts.Add(1) },
+	)
+	s.stats.commits.Add(1)
+	s.prof.AddTotal(total, true)
+	t.reads = t.reads[:0]
+	t.writes.Reset()
+	s.pool.Put(t)
+}
+
+func (t *tx) begin() {
+	t.reads = t.reads[:0]
+	t.writes.Reset()
+	t.snapshot = t.s.clock.WaitUnlocked(&t.s.ctr)
+}
+
+// Read implements stm.Tx with NOrec's post-read validation loop.
+func (t *tx) Read(c *mem.Cell) uint64 {
+	if v, ok := t.writes.Get(c); ok {
+		return v
+	}
+	v := c.Load()
+	for t.snapshot != t.s.clock.Load() {
+		t.snapshot = t.validate()
+		v = c.Load()
+	}
+	t.reads = append(t.reads, stm.ReadEntry{Cell: c, Val: v})
+	return v
+}
+
+// Write implements stm.Tx; writes are buffered until commit.
+func (t *tx) Write(c *mem.Cell, v uint64) {
+	t.writes.Put(c, v)
+}
+
+// validate re-checks every read value against memory, retrying until it
+// observes a quiescent (even, unchanged) timestamp. It returns the
+// validated timestamp, or aborts the transaction on a value mismatch.
+func (t *tx) validate() uint64 {
+	start := t.s.prof.Now()
+	defer t.s.prof.AddValidation(start)
+	var b spin.Backoff
+	for {
+		ts := t.s.clock.Load()
+		if spin.IsLocked(ts) {
+			t.s.ctr.IncSpin()
+			b.Wait()
+			continue
+		}
+		for i := range t.reads {
+			if t.reads[i].Cell.Load() != t.reads[i].Val {
+				abort.Retry(abort.Conflict)
+			}
+		}
+		if ts == t.s.clock.Load() {
+			return ts
+		}
+	}
+}
+
+// commit publishes the redo log under the global lock. Read-only
+// transactions return immediately: their incremental validation already
+// serialized them at the last validated snapshot.
+func (t *tx) commit() {
+	if t.writes.Len() == 0 {
+		return
+	}
+	// The commit timer is paused around validate so validation time is not
+	// double-charged (validate charges itself to the validation bucket).
+	start := t.s.prof.Now()
+	for !t.s.clock.TryLock(t.snapshot) {
+		t.s.ctr.IncCAS()
+		t.s.prof.AddCommit(start)
+		t.snapshot = t.validate()
+		start = t.s.prof.Now()
+	}
+	t.writes.Publish()
+	t.s.clock.Unlock()
+	t.s.prof.AddCommit(start)
+}
+
+var _ stm.Algorithm = (*STM)(nil)

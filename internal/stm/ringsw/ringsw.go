@@ -1,0 +1,199 @@
+// Package ringsw implements the single-writer variant of RingSTM [Spear et
+// al., SPAA 2008]: commits append a bloom filter of the write set to a
+// global ring, and readers validate by intersecting their read filter with
+// the ring entries that committed after their snapshot. RingSW is one of
+// the four algorithms in the Chapter 5 microbenchmark comparison.
+//
+// Logical time is the version of the single writer lock (as in NOrec), so a
+// ring entry committed at even timestamp ts occupies slot (ts/2) mod ring
+// size. Readers that fall more than a ring behind abort on overflow.
+package ringsw
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/bloom"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// ringSize is the number of retained commit filters.
+const ringSize = 1024
+
+// slot is one ring entry: the commit timestamp and the bloom filter of the
+// committed write set. Words are atomic so concurrent overwrite on
+// wraparound is race-free; readers detect reuse through the ts check.
+type slot struct {
+	ts     atomic.Uint64
+	filter [bloom.Words]atomic.Uint64
+}
+
+// STM is a RingSW instance.
+type STM struct {
+	clock spin.SeqLock
+	ring  [ringSize]slot
+	ctr   spin.Counters
+	prof  *stm.Profile
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+	pool sync.Pool
+}
+
+// New creates a RingSW instance.
+func New() *STM {
+	s := &STM{}
+	s.pool.New = func() any { return &tx{s: s} }
+	return s
+}
+
+// SetProfile attaches a critical-path profiler (may be nil).
+func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string { return "RingSW" }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop implements stm.Algorithm; RingSW has no background goroutines.
+func (s *STM) Stop() {}
+
+// Commits and Aborts report lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// tx is a RingSW transaction descriptor.
+type tx struct {
+	s        *STM
+	snapshot uint64
+	readF    bloom.Filter
+	writeF   bloom.Filter
+	writes   stm.WriteSet
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	t := s.pool.Get().(*tx)
+	total := s.prof.Now()
+	abort.Run(nil,
+		t.begin,
+		func() {
+			fn(t)
+			t.commit()
+		},
+		func(abort.Reason) { s.stats.aborts.Add(1) },
+	)
+	s.stats.commits.Add(1)
+	s.prof.AddTotal(total, true)
+	t.readF.Clear()
+	t.writeF.Clear()
+	t.writes.Reset()
+	s.pool.Put(t)
+}
+
+func (t *tx) begin() {
+	t.readF.Clear()
+	t.writeF.Clear()
+	t.writes.Reset()
+	t.snapshot = t.s.clock.WaitUnlocked(&t.s.ctr)
+}
+
+// Read implements stm.Tx: record the key in the read filter, read the value,
+// and re-validate against the ring while the logical clock moves.
+func (t *tx) Read(c *mem.Cell) uint64 {
+	if v, ok := t.writes.Get(c); ok {
+		return v
+	}
+	t.readF.Add(c.ID())
+	v := c.Load()
+	for t.snapshot != t.s.clock.Load() {
+		t.validateRing()
+		v = c.Load()
+	}
+	return v
+}
+
+// Write implements stm.Tx; writes are buffered and recorded in the write
+// filter for publication on the ring.
+func (t *tx) Write(c *mem.Cell, v uint64) {
+	t.writeF.Add(c.ID())
+	t.writes.Put(c, v)
+}
+
+// validateRing intersects the read filter with every ring entry newer than
+// the snapshot, aborting on a hit or on ring overflow, then advances the
+// snapshot to a quiescent timestamp.
+func (t *tx) validateRing() {
+	start := t.s.prof.Now()
+	defer t.s.prof.AddValidation(start)
+	for {
+		ts := t.s.clock.WaitUnlocked(&t.s.ctr)
+		if ts == t.snapshot {
+			return
+		}
+		if (ts-t.snapshot)/2 > ringSize {
+			abort.Retry(abort.Conflict) // fell a full ring behind
+		}
+		for e := t.snapshot + 2; e <= ts; e += 2 {
+			sl := &t.s.ring[(e/2)%ringSize]
+			if sl.ts.Load() != e {
+				abort.Retry(abort.Conflict) // slot reused under us
+			}
+			if t.intersectsSlot(sl) {
+				abort.Retry(abort.Conflict)
+			}
+			if sl.ts.Load() != e {
+				abort.Retry(abort.Conflict)
+			}
+		}
+		if t.s.clock.Load() == ts {
+			t.snapshot = ts
+			return
+		}
+	}
+}
+
+// intersectsSlot reports whether the transaction's read filter shares a bit
+// with the slot's commit filter.
+func (t *tx) intersectsSlot(sl *slot) bool {
+	for i := range t.readF {
+		if t.readF[i]&sl.filter[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// commit acquires the writer lock (re-validating on contention), appends the
+// write filter to the ring, publishes the redo log, and releases the lock.
+func (t *tx) commit() {
+	if t.writes.Len() == 0 {
+		return
+	}
+	start := t.s.prof.Now()
+	for !t.s.clock.TryLock(t.snapshot) {
+		t.s.ctr.IncCAS()
+		t.s.prof.AddCommit(start)
+		t.validateRing()
+		start = t.s.prof.Now()
+	}
+	commitTS := t.snapshot + 2
+	sl := &t.s.ring[(commitTS/2)%ringSize]
+	sl.ts.Store(0) // invalidate slot while its filter is rewritten
+	for i := range t.writeF {
+		sl.filter[i].Store(t.writeF[i])
+	}
+	sl.ts.Store(commitTS)
+	t.writes.Publish()
+	t.s.clock.Unlock()
+	t.s.prof.AddCommit(start)
+}
+
+var _ stm.Algorithm = (*STM)(nil)

@@ -1,0 +1,104 @@
+package ringsw
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := New()
+	c := mem.NewCell(1)
+	s.Atomic(func(tx stm.Tx) {
+		tx.Write(c, 2)
+		if tx.Read(c) != 2 {
+			t.Error("read-after-write must see the buffered value")
+		}
+	})
+	if c.Load() != 2 {
+		t.Fatal("commit did not publish")
+	}
+}
+
+func TestRingEntriesRecordCommits(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	for i := uint64(1); i <= 3; i++ {
+		s.Atomic(func(tx stm.Tx) { tx.Write(c, i) })
+	}
+	// Three write commits advance the logical clock by 6 and leave slots
+	// 1..3 stamped with their commit timestamps.
+	if ts := s.clock.Load(); ts != 6 {
+		t.Fatalf("clock = %d, want 6", ts)
+	}
+	for e := uint64(2); e <= 6; e += 2 {
+		sl := &s.ring[(e/2)%ringSize]
+		if sl.ts.Load() != e {
+			t.Fatalf("ring slot for ts %d holds %d", e, sl.ts.Load())
+		}
+	}
+}
+
+func TestBloomConflictAbortsReader(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	attempts := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Atomic(func(tx stm.Tx) {
+			attempts++
+			tx.Read(c)
+			if attempts == 1 {
+				close(started)
+				<-release
+				tx.Read(c) // ring moved over our filter: must retry
+			}
+		})
+	}()
+	<-started
+	s.Atomic(func(tx stm.Tx) { tx.Write(c, 5) })
+	close(release)
+	wg.Wait()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (bloom conflict)", attempts)
+	}
+}
+
+func TestDisjointReaderSurvivesCommits(t *testing.T) {
+	s := New()
+	hot, cold := mem.NewCell(0), mem.NewCell(7)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	attempts := 0
+	go func() {
+		defer wg.Done()
+		s.Atomic(func(tx stm.Tx) {
+			attempts++
+			if v := tx.Read(cold); v != 7 {
+				t.Errorf("cold = %d, want 7", v)
+			}
+			if attempts == 1 {
+				close(started)
+				<-release
+			}
+			tx.Read(cold)
+		})
+	}()
+	<-started
+	s.Atomic(func(tx stm.Tx) { tx.Write(hot, 5) })
+	close(release)
+	wg.Wait()
+	// The reader's filter does not intersect the commit filter, so the
+	// first attempt should have survived (bloom false positives permitting).
+	if attempts > 2 {
+		t.Fatalf("attempts = %d; disjoint reader retried too often", attempts)
+	}
+}

@@ -1,0 +1,255 @@
+// Package tl2 implements TL2 [Dice, Shalev & Shavit, DISC 2006]: a lazy STM
+// with a global version clock and striped ownership records ("orecs"). TL2
+// is the fine-grained-locking counterpart of NOrec in the OTB integration
+// study (Chapter 4) and in the microbenchmark comparisons of Chapter 5.
+//
+// Protocol summary:
+//   - Begin: sample the global version clock (rv).
+//   - Read: sample the cell's orec before and after the read; abort if the
+//     orec is locked, changed, or newer than rv.
+//   - Commit (writers): lock the write-set orecs in a global order,
+//     increment the clock to obtain wv, validate the read-set orecs, publish
+//     the redo log, then release the orecs stamped with wv.
+package tl2
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// orecBits sets the ownership-record table size (2^orecBits stripes).
+const orecBits = 16
+
+// orecCount is the number of ownership records.
+const orecCount = 1 << orecBits
+
+// An orec packs a lock bit (LSB) with the version of the last committed
+// write to any cell in its stripe (remaining bits).
+type orec struct {
+	v atomic.Uint64
+	_ [spin.CacheLineSize - 8]byte
+}
+
+func orecLocked(v uint64) bool    { return v&1 == 1 }
+func orecVersion(v uint64) uint64 { return v >> 1 }
+
+// STM is a TL2 instance.
+type STM struct {
+	clock atomic.Uint64
+	orecs []orec
+	ctr   spin.Counters
+	prof  *stm.Profile
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+	pool sync.Pool
+}
+
+// New creates a TL2 instance with its own clock and orec table.
+func New() *STM {
+	s := &STM{orecs: make([]orec, orecCount)}
+	s.pool.New = func() any { return &tx{s: s} }
+	return s
+}
+
+// SetProfile attaches a critical-path profiler (may be nil).
+func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string { return "TL2" }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop implements stm.Algorithm; TL2 has no background goroutines.
+func (s *STM) Stop() {}
+
+// Commits and Aborts report lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// orecIdx maps a cell to its ownership-record index by hashing the cell id.
+func orecIdx(c *mem.Cell) int {
+	h := c.ID() * 0x9e3779b97f4a7c15
+	return int(h >> (64 - orecBits))
+}
+
+// orecFor maps a cell to its ownership record.
+func (s *STM) orecFor(c *mem.Cell) *orec {
+	return &s.orecs[orecIdx(c)]
+}
+
+// tx is a TL2 transaction descriptor.
+type tx struct {
+	s      *STM
+	rv     uint64
+	reads  []*orec
+	writes stm.WriteSet
+	locked []lockedOrec
+}
+
+type lockedOrec struct {
+	o   *orec
+	idx int    // table index, the global locking order
+	old uint64 // pre-lock value, restored on abort
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	t := s.pool.Get().(*tx)
+	total := s.prof.Now()
+	abort.Run(nil,
+		t.begin,
+		func() {
+			fn(t)
+			t.commit()
+		},
+		func(abort.Reason) {
+			t.releaseLocked(true)
+			s.stats.aborts.Add(1)
+		},
+	)
+	s.stats.commits.Add(1)
+	s.prof.AddTotal(total, true)
+	t.reset()
+	s.pool.Put(t)
+}
+
+func (t *tx) begin() {
+	t.reset()
+	t.rv = t.s.clock.Load()
+}
+
+func (t *tx) reset() {
+	t.reads = t.reads[:0]
+	t.writes.Reset()
+	t.locked = t.locked[:0]
+}
+
+// Read implements stm.Tx with TL2's pre/post orec sampling.
+func (t *tx) Read(c *mem.Cell) uint64 {
+	if v, ok := t.writes.Get(c); ok {
+		return v
+	}
+	o := t.s.orecFor(c)
+	v1 := o.v.Load()
+	val := c.Load()
+	v2 := o.v.Load()
+	if v1 != v2 || orecLocked(v1) || orecVersion(v1) > t.rv {
+		abort.Retry(abort.Conflict)
+	}
+	t.reads = append(t.reads, o)
+	return val
+}
+
+// Write implements stm.Tx; writes are buffered until commit.
+func (t *tx) Write(c *mem.Cell, v uint64) {
+	t.writes.Put(c, v)
+}
+
+// commit runs TL2's lock / clock / validate / publish / release sequence.
+func (t *tx) commit() {
+	if t.writes.Len() == 0 {
+		return
+	}
+	start := t.s.prof.Now()
+	t.lockWriteSet()
+	wv := t.s.clock.Add(1)
+	t.s.prof.AddCommit(start)
+	if wv != t.rv+1 {
+		t.validateReads()
+	}
+	start = t.s.prof.Now()
+	t.writes.Publish()
+	for _, l := range t.locked {
+		l.o.v.Store(wv << 1)
+	}
+	t.locked = t.locked[:0]
+	t.s.prof.AddCommit(start)
+}
+
+// lockWriteSet acquires the distinct orecs covering the write set in
+// ascending table order (deadlock avoidance); any busy orec aborts the
+// transaction, releasing what was acquired.
+func (t *tx) lockWriteSet() {
+	var seen []lockedOrec
+	for _, e := range t.writes.Entries() {
+		idx := orecIdx(e.Cell)
+		dup := false
+		for _, l := range seen {
+			if l.idx == idx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, lockedOrec{o: &t.s.orecs[idx], idx: idx})
+		}
+	}
+	sort.Slice(seen, func(i, j int) bool { return seen[i].idx < seen[j].idx })
+	t.locked = t.locked[:0]
+	for _, l := range seen {
+		v := l.o.v.Load()
+		if orecLocked(v) || orecVersion(v) > t.rv || !l.o.v.CompareAndSwap(v, v|1) {
+			t.s.ctr.IncCAS()
+			abort.Retry(abort.LockBusy)
+		}
+		t.locked = append(t.locked, lockedOrec{o: l.o, idx: l.idx, old: v})
+	}
+}
+
+// validateReads checks every read-set orec: it must be unlocked (or locked
+// by this transaction) with a version no newer than rv.
+func (t *tx) validateReads() {
+	start := t.s.prof.Now()
+	defer t.s.prof.AddValidation(start)
+	for _, o := range t.reads {
+		v := o.v.Load()
+		if orecLocked(v) {
+			old, mine := t.ownedOld(o)
+			if !mine || orecVersion(old) > t.rv {
+				abort.Retry(abort.Conflict)
+			}
+			continue
+		}
+		if orecVersion(v) > t.rv {
+			abort.Retry(abort.Conflict)
+		}
+	}
+}
+
+// ownedOld reports whether this transaction holds o, returning the pre-lock
+// value if so.
+func (t *tx) ownedOld(o *orec) (uint64, bool) {
+	for _, l := range t.locked {
+		if l.o == o {
+			return l.old, true
+		}
+	}
+	return 0, false
+}
+
+// releaseLocked unlocks any orecs held by an aborting transaction. With
+// restore=true the pre-lock versions are put back (no writes were
+// published).
+func (t *tx) releaseLocked(restore bool) {
+	for _, l := range t.locked {
+		if restore {
+			l.o.v.Store(l.old)
+		} else {
+			l.o.v.Store(l.old &^ 1)
+		}
+	}
+	t.locked = t.locked[:0]
+}
+
+var _ stm.Algorithm = (*STM)(nil)

@@ -1,0 +1,106 @@
+package tl2
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := New()
+	c := mem.NewCell(1)
+	s.Atomic(func(tx stm.Tx) {
+		tx.Write(c, 2)
+		if tx.Read(c) != 2 {
+			t.Error("read-after-write must see the buffered value")
+		}
+	})
+	if c.Load() != 2 {
+		t.Fatal("commit did not publish")
+	}
+}
+
+func TestClockAdvancesPerWriter(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	before := s.clock.Load()
+	s.Atomic(func(tx stm.Tx) { tx.Write(c, 1) })
+	s.Atomic(func(tx stm.Tx) { tx.Write(c, 2) })
+	if got := s.clock.Load(); got != before+2 {
+		t.Fatalf("clock = %d, want %d", got, before+2)
+	}
+}
+
+func TestOrecStampedWithWriteVersion(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	s.Atomic(func(tx stm.Tx) { tx.Write(c, 1) })
+	o := s.orecFor(c)
+	v := o.v.Load()
+	if orecLocked(v) {
+		t.Fatal("orec left locked after commit")
+	}
+	if orecVersion(v) != s.clock.Load() {
+		t.Fatalf("orec version %d != clock %d", orecVersion(v), s.clock.Load())
+	}
+}
+
+func TestStaleReadAborts(t *testing.T) {
+	// A cell whose orec is newer than the transaction's read version must
+	// abort the reader (simulated by writing between begin and read via a
+	// nested-algorithm trick: we advance the clock and stamp the orec).
+	s := New()
+	c := mem.NewCell(0)
+	aborted := false
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		if attempts == 1 {
+			// Commit a conflicting write "concurrently" (same instance,
+			// different logical transaction executed inline).
+			done := make(chan struct{})
+			go func() {
+				s.Atomic(func(tx2 stm.Tx) { tx2.Write(c, 9) })
+				close(done)
+			}()
+			<-done
+			aborted = true // the next Read must observe a too-new orec
+		}
+		tx.Read(c)
+	})
+	if !aborted {
+		t.Fatal("test did not exercise the stale-read path")
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (first aborts on stale orec)", attempts)
+	}
+}
+
+func TestAbortReleasesOrecs(t *testing.T) {
+	s := New()
+	a, b := mem.NewCell(0), mem.NewCell(0)
+	// Force one abort mid-commit via a conflicting commit after the reads.
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		tx.Read(a)
+		if attempts == 1 {
+			done := make(chan struct{})
+			go func() {
+				s.Atomic(func(tx2 stm.Tx) { tx2.Write(a, 7) })
+				close(done)
+			}()
+			<-done
+		}
+		tx.Write(b, 1)
+	})
+	// If the aborted attempt leaked its orec lock, this write would hang.
+	s.Atomic(func(tx stm.Tx) { tx.Write(b, 2) })
+	if b.Load() != 2 {
+		t.Fatalf("b = %d, want 2", b.Load())
+	}
+	if a.Load() != 7 {
+		t.Fatalf("a = %d, want 7", a.Load())
+	}
+}

@@ -1,0 +1,138 @@
+// Package tml implements TML (Transactional Mutex Lock) [Dalessandro et
+// al., EuroPar 2010]: the minimal STM the paper cites as the inspiration for
+// OTB's semi-optimistic priority queue. Readers run lock-free against a
+// global sequence lock; the first write upgrades the transaction to the
+// single writer, which then executes in place.
+package tml
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// STM is a TML instance.
+type STM struct {
+	clock spin.SeqLock
+	ctr   spin.Counters
+	prof  *stm.Profile
+	stats struct {
+		commits atomic.Uint64
+		aborts  atomic.Uint64
+	}
+	pool sync.Pool
+}
+
+// New creates a TML instance.
+func New() *STM {
+	s := &STM{}
+	s.pool.New = func() any { return &tx{s: s} }
+	return s
+}
+
+// SetProfile attaches a critical-path profiler (may be nil).
+func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// Name implements stm.Algorithm.
+func (s *STM) Name() string { return "TML" }
+
+// Counters implements stm.Algorithm.
+func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// Stop implements stm.Algorithm; TML has no background goroutines.
+func (s *STM) Stop() {}
+
+// Commits and Aborts report lifetime transaction outcomes.
+func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
+
+// Aborts reports the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// tx is a TML transaction descriptor. Writers keep an undo log so that an
+// explicit user abort can roll back the in-place writes (plain TML writers
+// are irrevocable; the undo log generalizes that without changing the
+// conflict behaviour).
+type tx struct {
+	s        *STM
+	snapshot uint64
+	writer   bool
+	undo     []stm.WriteEntry
+}
+
+// Atomic implements stm.Algorithm.
+func (s *STM) Atomic(fn func(stm.Tx)) {
+	t := s.pool.Get().(*tx)
+	total := s.prof.Now()
+	abort.Run(nil,
+		t.begin,
+		func() {
+			fn(t)
+			t.commit()
+		},
+		func(abort.Reason) {
+			t.rollback()
+			s.stats.aborts.Add(1)
+		},
+	)
+	s.stats.commits.Add(1)
+	s.prof.AddTotal(total, true)
+	t.undo = t.undo[:0]
+	s.pool.Put(t)
+}
+
+func (t *tx) begin() {
+	t.writer = false
+	t.undo = t.undo[:0]
+	t.snapshot = t.s.clock.WaitUnlocked(&t.s.ctr)
+}
+
+// Read implements stm.Tx. Readers abort if any writer committed (or is
+// active) since their snapshot; the writer reads directly.
+func (t *tx) Read(c *mem.Cell) uint64 {
+	v := c.Load()
+	if !t.writer && t.s.clock.Load() != t.snapshot {
+		abort.Retry(abort.Conflict)
+	}
+	return v
+}
+
+// Write implements stm.Tx. The first write acquires the global lock; all
+// writes are performed in place under it.
+func (t *tx) Write(c *mem.Cell, v uint64) {
+	if !t.writer {
+		if !t.s.clock.TryLock(t.snapshot) {
+			t.s.ctr.IncCAS()
+			abort.Retry(abort.LockBusy)
+		}
+		t.writer = true
+	}
+	t.undo = append(t.undo, stm.WriteEntry{Cell: c, Val: c.Load()})
+	c.Store(v)
+}
+
+func (t *tx) commit() {
+	if t.writer {
+		start := t.s.prof.Now()
+		t.s.clock.Unlock()
+		t.s.prof.AddCommit(start)
+		t.writer = false
+	}
+}
+
+// rollback restores in-place writes (reverse order) and releases the lock.
+func (t *tx) rollback() {
+	if !t.writer {
+		return
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i].Cell.Store(t.undo[i].Val)
+	}
+	t.s.clock.Unlock()
+	t.writer = false
+}
+
+var _ stm.Algorithm = (*STM)(nil)

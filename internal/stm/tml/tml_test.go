@@ -1,0 +1,81 @@
+package tml
+
+import (
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+func TestWriterExcludesReaders(t *testing.T) {
+	s := New()
+	c := mem.NewCell(0)
+	s.Atomic(func(tx stm.Tx) {
+		tx.Write(c, 1)
+		// In-place write is already visible to this (writer) transaction.
+		if tx.Read(c) != 1 {
+			t.Error("writer must read its own in-place write")
+		}
+	})
+	if c.Load() != 1 {
+		t.Fatal("write lost")
+	}
+}
+
+func TestExplicitAbortRollsBackInPlaceWrites(t *testing.T) {
+	s := New()
+	a, b := mem.NewCell(10), mem.NewCell(20)
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		tx.Write(a, 11)
+		tx.Write(b, 21)
+		if attempts == 1 {
+			// Mid-transaction the eager writes are visible...
+			if a.Load() != 11 || b.Load() != 21 {
+				t.Error("TML writes should be eager")
+			}
+			abort.Retry(abort.Explicit)
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if a.Load() != 11 || b.Load() != 21 {
+		t.Fatal("retry should have re-applied the writes")
+	}
+}
+
+func TestUndoRestoresExactValues(t *testing.T) {
+	s := New()
+	c := mem.NewCell(100)
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		if attempts == 1 {
+			tx.Write(c, 1)
+			tx.Write(c, 2)
+			abort.Retry(abort.Explicit)
+		}
+		// Second attempt: the cell must have been restored to 100 before
+		// this attempt began.
+		if got := tx.Read(c); got != 100 {
+			t.Errorf("cell = %d after rollback, want 100", got)
+		}
+	})
+}
+
+func TestAbortStats(t *testing.T) {
+	s := New()
+	n := 0
+	s.Atomic(func(tx stm.Tx) {
+		n++
+		if n == 1 {
+			abort.Retry(abort.Explicit)
+		}
+	})
+	if s.Aborts() != 1 || s.Commits() != 1 {
+		t.Fatalf("aborts=%d commits=%d, want 1,1", s.Aborts(), s.Commits())
+	}
+}

@@ -1,0 +1,94 @@
+package stmds
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// DList is a sorted doubly-linked list set over STM cells — the "doubly
+// linked list" microbenchmark of Figure 5.8, where every update touches
+// both neighbours and write sets are slightly larger than the singly-linked
+// case.
+//
+// Node layout: [key, next, prev].
+type DList struct {
+	arena *mem.Arena
+	head  Ref
+}
+
+const (
+	dlKey  = 0
+	dlNext = 1
+	dlPrev = 2
+	dlSize = 3
+)
+
+// NewDList creates an empty doubly-linked set with room for capacity nodes.
+func NewDList(capacity int) *DList {
+	a := mem.NewArena((capacity + 2) * dlSize)
+	l := &DList{arena: a}
+	tail := alloc(a, dlSize)
+	head := alloc(a, dlSize)
+	field(a, tail, dlKey).Store(k2u(math.MaxInt64))
+	field(a, tail, dlPrev).Store(uint64(head))
+	field(a, head, dlKey).Store(k2u(math.MinInt64))
+	field(a, head, dlNext).Store(uint64(tail))
+	l.head = head
+	return l
+}
+
+func (l *DList) locate(tx stm.Tx, key int64) (pred, curr Ref) {
+	pred = l.head
+	curr = Ref(readField(tx, l.arena, pred, dlNext))
+	for u2k(readField(tx, l.arena, curr, dlKey)) < key {
+		pred = curr
+		curr = Ref(readField(tx, l.arena, curr, dlNext))
+	}
+	return pred, curr
+}
+
+// Add inserts key within tx, returning false if present.
+func (l *DList) Add(tx stm.Tx, key int64) bool {
+	pred, curr := l.locate(tx, key)
+	if u2k(readField(tx, l.arena, curr, dlKey)) == key {
+		return false
+	}
+	n := alloc(l.arena, dlSize)
+	field(l.arena, n, dlKey).Store(k2u(key))
+	tx.Write(field(l.arena, n, dlNext), uint64(curr))
+	tx.Write(field(l.arena, n, dlPrev), uint64(pred))
+	writeField(tx, l.arena, pred, dlNext, uint64(n))
+	writeField(tx, l.arena, curr, dlPrev, uint64(n))
+	return true
+}
+
+// Remove deletes key within tx, returning false if absent.
+func (l *DList) Remove(tx stm.Tx, key int64) bool {
+	pred, curr := l.locate(tx, key)
+	if u2k(readField(tx, l.arena, curr, dlKey)) != key {
+		return false
+	}
+	next := Ref(readField(tx, l.arena, curr, dlNext))
+	writeField(tx, l.arena, pred, dlNext, uint64(next))
+	writeField(tx, l.arena, next, dlPrev, uint64(pred))
+	return true
+}
+
+// Contains reports within tx whether key is present.
+func (l *DList) Contains(tx stm.Tx, key int64) bool {
+	_, curr := l.locate(tx, key)
+	return u2k(readField(tx, l.arena, curr, dlKey)) == key
+}
+
+// Len counts elements non-transactionally (tests and reporting only).
+func (l *DList) Len() int {
+	n := 0
+	curr := Ref(field(l.arena, l.head, dlNext).Load())
+	for u2k(field(l.arena, curr, dlKey).Load()) != math.MaxInt64 {
+		n++
+		curr = Ref(field(l.arena, curr, dlNext).Load())
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package stmds
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// List is a sorted singly-linked list set over STM cells — the "pure STM
+// linked-list" baseline of Chapter 4, whose traversal reads every node into
+// the transaction's read set (the false-conflict behaviour of Figure 1.1).
+//
+// Node layout: [key, next].
+type List struct {
+	arena *mem.Arena
+	head  Ref
+}
+
+const (
+	listKey  = 0
+	listNext = 1
+	listSize = 2
+)
+
+// NewList creates an empty list set backed by an arena with room for
+// capacity nodes (plus sentinels).
+func NewList(capacity int) *List {
+	a := mem.NewArena((capacity + 2) * listSize)
+	l := &List{arena: a}
+	tail := alloc(a, listSize)
+	field(a, tail, listKey).Store(k2u(math.MaxInt64))
+	field(a, tail, listNext).Store(uint64(nilRef))
+	head := alloc(a, listSize)
+	field(a, head, listKey).Store(k2u(math.MinInt64))
+	field(a, head, listNext).Store(uint64(tail))
+	l.head = head
+	return l
+}
+
+// locate returns the (pred, curr) pair around key, reading transactionally.
+func (l *List) locate(tx stm.Tx, key int64) (pred, curr Ref) {
+	pred = l.head
+	curr = Ref(readField(tx, l.arena, pred, listNext))
+	for u2k(readField(tx, l.arena, curr, listKey)) < key {
+		pred = curr
+		curr = Ref(readField(tx, l.arena, curr, listNext))
+	}
+	return pred, curr
+}
+
+// Add inserts key within tx, returning false if present.
+func (l *List) Add(tx stm.Tx, key int64) bool {
+	pred, curr := l.locate(tx, key)
+	if u2k(readField(tx, l.arena, curr, listKey)) == key {
+		return false
+	}
+	n := alloc(l.arena, listSize)
+	// Fresh node: initialize directly (invisible until linked).
+	field(l.arena, n, listKey).Store(k2u(key))
+	tx.Write(field(l.arena, n, listNext), uint64(curr))
+	writeField(tx, l.arena, pred, listNext, uint64(n))
+	return true
+}
+
+// Remove deletes key within tx, returning false if absent.
+func (l *List) Remove(tx stm.Tx, key int64) bool {
+	pred, curr := l.locate(tx, key)
+	if u2k(readField(tx, l.arena, curr, listKey)) != key {
+		return false
+	}
+	next := readField(tx, l.arena, curr, listNext)
+	writeField(tx, l.arena, pred, listNext, next)
+	return true
+}
+
+// Contains reports within tx whether key is present.
+func (l *List) Contains(tx stm.Tx, key int64) bool {
+	_, curr := l.locate(tx, key)
+	return u2k(readField(tx, l.arena, curr, listKey)) == key
+}
+
+// Len counts elements non-transactionally (tests and reporting only).
+func (l *List) Len() int {
+	n := 0
+	curr := Ref(field(l.arena, l.head, listNext).Load())
+	for u2k(field(l.arena, curr, listKey).Load()) != math.MaxInt64 {
+		n++
+		curr = Ref(field(l.arena, curr, listNext).Load())
+	}
+	return n
+}

@@ -1,0 +1,390 @@
+package stmds
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// RBTree is a red-black tree set over STM cells — the red-black tree
+// microbenchmark of Figures 5.5, 5.6, 5.9, 6.2 and 6.7 (RSTM's RBTree).
+// The implementation follows CLRS with an explicit nil sentinel node, so
+// rotations and fixups can write parent links unconditionally.
+//
+// Node layout: [key, left, right, parent, color].
+type RBTree struct {
+	arena *mem.Arena
+	root  *mem.Cell // Ref of the root node (nilNode when empty)
+	nil_  Ref       // the shared black sentinel
+}
+
+const (
+	rbKey    = 0
+	rbLeft   = 1
+	rbRight  = 2
+	rbParent = 3
+	rbColor  = 4
+	rbSize   = 5
+)
+
+const (
+	black uint64 = 0
+	red   uint64 = 1
+)
+
+// NewRBTree creates an empty tree with room for capacity nodes.
+func NewRBTree(capacity int) *RBTree {
+	a := mem.NewArena(1 + (capacity+1)*rbSize)
+	t := &RBTree{arena: a}
+	rootIdx := a.Alloc(1)
+	t.root = a.Cell(rootIdx)
+	t.nil_ = alloc(a, rbSize)
+	field(a, t.nil_, rbColor).Store(black)
+	t.root.Store(uint64(t.nil_))
+	return t
+}
+
+// Field accessors through the transaction.
+
+func (t *RBTree) key(tx stm.Tx, r Ref) int64    { return u2k(readField(tx, t.arena, r, rbKey)) }
+func (t *RBTree) left(tx stm.Tx, r Ref) Ref     { return Ref(readField(tx, t.arena, r, rbLeft)) }
+func (t *RBTree) right(tx stm.Tx, r Ref) Ref    { return Ref(readField(tx, t.arena, r, rbRight)) }
+func (t *RBTree) parent(tx stm.Tx, r Ref) Ref   { return Ref(readField(tx, t.arena, r, rbParent)) }
+func (t *RBTree) color(tx stm.Tx, r Ref) uint64 { return readField(tx, t.arena, r, rbColor) }
+
+func (t *RBTree) setLeft(tx stm.Tx, r, v Ref)         { writeField(tx, t.arena, r, rbLeft, uint64(v)) }
+func (t *RBTree) setRight(tx stm.Tx, r, v Ref)        { writeField(tx, t.arena, r, rbRight, uint64(v)) }
+func (t *RBTree) setParent(tx stm.Tx, r, v Ref)       { writeField(tx, t.arena, r, rbParent, uint64(v)) }
+func (t *RBTree) setColor(tx stm.Tx, r Ref, c uint64) { writeField(tx, t.arena, r, rbColor, c) }
+
+func (t *RBTree) getRoot(tx stm.Tx) Ref    { return Ref(tx.Read(t.root)) }
+func (t *RBTree) setRoot(tx stm.Tx, r Ref) { tx.Write(t.root, uint64(r)) }
+
+// Contains reports within tx whether key is present.
+func (t *RBTree) Contains(tx stm.Tx, key int64) bool {
+	x := t.getRoot(tx)
+	for x != t.nil_ {
+		k := t.key(tx, x)
+		switch {
+		case key == k:
+			return true
+		case key < k:
+			x = t.left(tx, x)
+		default:
+			x = t.right(tx, x)
+		}
+	}
+	return false
+}
+
+func (t *RBTree) leftRotate(tx stm.Tx, x Ref) {
+	y := t.right(tx, x)
+	yl := t.left(tx, y)
+	t.setRight(tx, x, yl)
+	if yl != t.nil_ {
+		t.setParent(tx, yl, x)
+	}
+	xp := t.parent(tx, x)
+	t.setParent(tx, y, xp)
+	switch {
+	case xp == t.nil_:
+		t.setRoot(tx, y)
+	case x == t.left(tx, xp):
+		t.setLeft(tx, xp, y)
+	default:
+		t.setRight(tx, xp, y)
+	}
+	t.setLeft(tx, y, x)
+	t.setParent(tx, x, y)
+}
+
+func (t *RBTree) rightRotate(tx stm.Tx, x Ref) {
+	y := t.left(tx, x)
+	yr := t.right(tx, y)
+	t.setLeft(tx, x, yr)
+	if yr != t.nil_ {
+		t.setParent(tx, yr, x)
+	}
+	xp := t.parent(tx, x)
+	t.setParent(tx, y, xp)
+	switch {
+	case xp == t.nil_:
+		t.setRoot(tx, y)
+	case x == t.right(tx, xp):
+		t.setRight(tx, xp, y)
+	default:
+		t.setLeft(tx, xp, y)
+	}
+	t.setRight(tx, y, x)
+	t.setParent(tx, x, y)
+}
+
+// Insert adds key within tx, returning false if present.
+func (t *RBTree) Insert(tx stm.Tx, key int64) bool {
+	y := t.nil_
+	x := t.getRoot(tx)
+	for x != t.nil_ {
+		y = x
+		k := t.key(tx, x)
+		switch {
+		case key == k:
+			return false
+		case key < k:
+			x = t.left(tx, x)
+		default:
+			x = t.right(tx, x)
+		}
+	}
+	z := alloc(t.arena, rbSize)
+	field(t.arena, z, rbKey).Store(k2u(key))
+	tx.Write(field(t.arena, z, rbLeft), uint64(t.nil_))
+	tx.Write(field(t.arena, z, rbRight), uint64(t.nil_))
+	tx.Write(field(t.arena, z, rbParent), uint64(y))
+	tx.Write(field(t.arena, z, rbColor), red)
+	switch {
+	case y == t.nil_:
+		t.setRoot(tx, z)
+	case key < t.key(tx, y):
+		t.setLeft(tx, y, z)
+	default:
+		t.setRight(tx, y, z)
+	}
+	t.insertFixup(tx, z)
+	return true
+}
+
+func (t *RBTree) insertFixup(tx stm.Tx, z Ref) {
+	for t.color(tx, t.parent(tx, z)) == red {
+		zp := t.parent(tx, z)
+		zpp := t.parent(tx, zp)
+		if zp == t.left(tx, zpp) {
+			y := t.right(tx, zpp)
+			if t.color(tx, y) == red {
+				t.setColor(tx, zp, black)
+				t.setColor(tx, y, black)
+				t.setColor(tx, zpp, red)
+				z = zpp
+				continue
+			}
+			if z == t.right(tx, zp) {
+				z = zp
+				t.leftRotate(tx, z)
+				zp = t.parent(tx, z)
+				zpp = t.parent(tx, zp)
+			}
+			t.setColor(tx, zp, black)
+			t.setColor(tx, zpp, red)
+			t.rightRotate(tx, zpp)
+		} else {
+			y := t.left(tx, zpp)
+			if t.color(tx, y) == red {
+				t.setColor(tx, zp, black)
+				t.setColor(tx, y, black)
+				t.setColor(tx, zpp, red)
+				z = zpp
+				continue
+			}
+			if z == t.left(tx, zp) {
+				z = zp
+				t.rightRotate(tx, z)
+				zp = t.parent(tx, z)
+				zpp = t.parent(tx, zp)
+			}
+			t.setColor(tx, zp, black)
+			t.setColor(tx, zpp, red)
+			t.leftRotate(tx, zpp)
+		}
+	}
+	t.setColor(tx, t.getRoot(tx), black)
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *RBTree) transplant(tx stm.Tx, u, v Ref) {
+	up := t.parent(tx, u)
+	switch {
+	case up == t.nil_:
+		t.setRoot(tx, v)
+	case u == t.left(tx, up):
+		t.setLeft(tx, up, v)
+	default:
+		t.setRight(tx, up, v)
+	}
+	t.setParent(tx, v, up)
+}
+
+// minimum returns the leftmost node of the subtree rooted at x.
+func (t *RBTree) minimum(tx stm.Tx, x Ref) Ref {
+	for {
+		l := t.left(tx, x)
+		if l == t.nil_ {
+			return x
+		}
+		x = l
+	}
+}
+
+// Delete removes key within tx, returning false if absent.
+func (t *RBTree) Delete(tx stm.Tx, key int64) bool {
+	z := t.getRoot(tx)
+	for z != t.nil_ {
+		k := t.key(tx, z)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = t.left(tx, z)
+		} else {
+			z = t.right(tx, z)
+		}
+	}
+	if z == t.nil_ {
+		return false
+	}
+	y := z
+	yColor := t.color(tx, y)
+	var x Ref
+	if t.left(tx, z) == t.nil_ {
+		x = t.right(tx, z)
+		t.transplant(tx, z, x)
+	} else if t.right(tx, z) == t.nil_ {
+		x = t.left(tx, z)
+		t.transplant(tx, z, x)
+	} else {
+		y = t.minimum(tx, t.right(tx, z))
+		yColor = t.color(tx, y)
+		x = t.right(tx, y)
+		if t.parent(tx, y) == z {
+			t.setParent(tx, x, y)
+		} else {
+			t.transplant(tx, y, x)
+			zr := t.right(tx, z)
+			t.setRight(tx, y, zr)
+			t.setParent(tx, zr, y)
+		}
+		t.transplant(tx, z, y)
+		zl := t.left(tx, z)
+		t.setLeft(tx, y, zl)
+		t.setParent(tx, zl, y)
+		t.setColor(tx, y, t.color(tx, z))
+	}
+	if yColor == black {
+		t.deleteFixup(tx, x)
+	}
+	return true
+}
+
+func (t *RBTree) deleteFixup(tx stm.Tx, x Ref) {
+	for x != t.getRoot(tx) && t.color(tx, x) == black {
+		xp := t.parent(tx, x)
+		if x == t.left(tx, xp) {
+			w := t.right(tx, xp)
+			if t.color(tx, w) == red {
+				t.setColor(tx, w, black)
+				t.setColor(tx, xp, red)
+				t.leftRotate(tx, xp)
+				xp = t.parent(tx, x)
+				w = t.right(tx, xp)
+			}
+			if t.color(tx, t.left(tx, w)) == black && t.color(tx, t.right(tx, w)) == black {
+				t.setColor(tx, w, red)
+				x = xp
+				continue
+			}
+			if t.color(tx, t.right(tx, w)) == black {
+				t.setColor(tx, t.left(tx, w), black)
+				t.setColor(tx, w, red)
+				t.rightRotate(tx, w)
+				xp = t.parent(tx, x)
+				w = t.right(tx, xp)
+			}
+			t.setColor(tx, w, t.color(tx, xp))
+			t.setColor(tx, xp, black)
+			t.setColor(tx, t.right(tx, w), black)
+			t.leftRotate(tx, xp)
+			x = t.getRoot(tx)
+		} else {
+			w := t.left(tx, xp)
+			if t.color(tx, w) == red {
+				t.setColor(tx, w, black)
+				t.setColor(tx, xp, red)
+				t.rightRotate(tx, xp)
+				xp = t.parent(tx, x)
+				w = t.left(tx, xp)
+			}
+			if t.color(tx, t.right(tx, w)) == black && t.color(tx, t.left(tx, w)) == black {
+				t.setColor(tx, w, red)
+				x = xp
+				continue
+			}
+			if t.color(tx, t.left(tx, w)) == black {
+				t.setColor(tx, t.right(tx, w), black)
+				t.setColor(tx, w, red)
+				t.leftRotate(tx, w)
+				xp = t.parent(tx, x)
+				w = t.left(tx, xp)
+			}
+			t.setColor(tx, w, t.color(tx, xp))
+			t.setColor(tx, xp, black)
+			t.setColor(tx, t.left(tx, w), black)
+			t.rightRotate(tx, xp)
+			x = t.getRoot(tx)
+		}
+	}
+	t.setColor(tx, x, black)
+}
+
+// Len counts elements non-transactionally (tests and reporting only).
+func (t *RBTree) Len() int {
+	var count func(Ref) int
+	count = func(r Ref) int {
+		if r == t.nil_ {
+			return 0
+		}
+		l := Ref(field(t.arena, r, rbLeft).Load())
+		rr := Ref(field(t.arena, r, rbRight).Load())
+		return 1 + count(l) + count(rr)
+	}
+	return count(Ref(t.root.Load()))
+}
+
+// CheckInvariants verifies (non-transactionally, at quiescence) the
+// red-black properties plus BST ordering; it returns the black height or
+// panics with a description. Tests only.
+func (t *RBTree) CheckInvariants() int {
+	var walk func(r Ref, min, max int64) int
+	walk = func(r Ref, min, max int64) int {
+		if r == t.nil_ {
+			return 1
+		}
+		k := u2k(field(t.arena, r, rbKey).Load())
+		if k <= min || k >= max {
+			panic("rbtree: BST order violated")
+		}
+		c := field(t.arena, r, rbColor).Load()
+		l := Ref(field(t.arena, r, rbLeft).Load())
+		rt := Ref(field(t.arena, r, rbRight).Load())
+		if c == red {
+			if field(t.arena, l, rbColor).Load() == red ||
+				field(t.arena, rt, rbColor).Load() == red {
+				panic("rbtree: red node with red child")
+			}
+		}
+		bl := walk(l, min, k)
+		br := walk(rt, k, max)
+		if bl != br {
+			panic("rbtree: black height mismatch")
+		}
+		if c == black {
+			return bl + 1
+		}
+		return bl
+	}
+	root := Ref(t.root.Load())
+	if root != t.nil_ && field(t.arena, root, rbColor).Load() != black {
+		panic("rbtree: root not black")
+	}
+	const (
+		minKey = int64(-1) << 62
+		maxKey = int64(1) << 62
+	)
+	return walk(root, minKey, maxKey)
+}

@@ -1,0 +1,103 @@
+package stmds_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stm"
+	"repro/internal/stm/glock"
+	"repro/internal/stmds"
+)
+
+// TestRBTreeStepwiseInvariants checks the red-black properties after every
+// single mutation across a long random schedule, including the delete-fixup
+// cases random bulk tests can miss.
+func TestRBTreeStepwiseInvariants(t *testing.T) {
+	alg := glock.New()
+	tree := stmds.NewRBTree(30000)
+	rng := rand.New(rand.NewPCG(11, 13))
+	live := map[int64]bool{}
+	for i := 0; i < 4000; i++ {
+		k := int64(rng.IntN(300))
+		if rng.IntN(2) == 0 {
+			var got bool
+			alg.Atomic(func(tx stm.Tx) { got = tree.Insert(tx, k) })
+			if got == live[k] {
+				t.Fatalf("step %d: Insert(%d) = %v with live=%v", i, k, got, live[k])
+			}
+			live[k] = true
+		} else {
+			var got bool
+			alg.Atomic(func(tx stm.Tx) { got = tree.Delete(tx, k) })
+			if got != live[k] {
+				t.Fatalf("step %d: Delete(%d) = %v with live=%v", i, k, got, live[k])
+			}
+			delete(live, k)
+		}
+		tree.CheckInvariants()
+	}
+	if tree.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(live))
+	}
+}
+
+// TestRBTreeTargetedDeletes exercises the classic deletion shapes: leaf,
+// one child, two children, root, and full drain in both orders.
+func TestRBTreeTargetedDeletes(t *testing.T) {
+	alg := glock.New()
+	build := func(keys ...int64) *stmds.RBTree {
+		tr := stmds.NewRBTree(1000)
+		for _, k := range keys {
+			key := k
+			alg.Atomic(func(tx stm.Tx) { tr.Insert(tx, key) })
+		}
+		return tr
+	}
+	del := func(tr *stmds.RBTree, k int64) bool {
+		var got bool
+		alg.Atomic(func(tx stm.Tx) { got = tr.Delete(tx, k) })
+		tr.CheckInvariants()
+		return got
+	}
+
+	tr := build(50, 25, 75, 10, 30, 60, 90)
+	if !del(tr, 10) { // leaf
+		t.Fatal("delete leaf")
+	}
+	if !del(tr, 25) { // one child
+		t.Fatal("delete one-child node")
+	}
+	if !del(tr, 75) { // two children
+		t.Fatal("delete two-child node")
+	}
+	if !del(tr, 50) { // root
+		t.Fatal("delete root")
+	}
+	if del(tr, 50) {
+		t.Fatal("double delete must fail")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+
+	// Drain ascending.
+	tr = build(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	for k := int64(1); k <= 10; k++ {
+		if !del(tr, k) {
+			t.Fatalf("ascending drain: delete(%d)", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree should be empty")
+	}
+	// Drain descending.
+	tr = build(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	for k := int64(10); k >= 1; k-- {
+		if !del(tr, k) {
+			t.Fatalf("descending drain: delete(%d)", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree should be empty")
+	}
+}

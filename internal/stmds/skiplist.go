@@ -1,0 +1,114 @@
+package stmds
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// SkipLevels is the tower height of the STM skip list.
+const SkipLevels = 16
+
+// SkipList is a skip-list set over STM cells — the "pure STM skip-list"
+// baseline of Chapter 4.
+//
+// Node layout: [key, level, next(0) .. next(SkipLevels-1)].
+type SkipList struct {
+	arena *mem.Arena
+	head  Ref
+}
+
+const (
+	skipKey   = 0
+	skipLevel = 1
+	skipNext0 = 2
+	skipSize  = skipNext0 + SkipLevels
+)
+
+// NewSkipList creates an empty skip-list set with room for capacity nodes.
+func NewSkipList(capacity int) *SkipList {
+	a := mem.NewArena((capacity + 2) * skipSize)
+	s := &SkipList{arena: a}
+	tail := alloc(a, skipSize)
+	field(a, tail, skipKey).Store(k2u(math.MaxInt64))
+	field(a, tail, skipLevel).Store(SkipLevels - 1)
+	head := alloc(a, skipSize)
+	field(a, head, skipKey).Store(k2u(math.MinInt64))
+	field(a, head, skipLevel).Store(SkipLevels - 1)
+	for l := 0; l < SkipLevels; l++ {
+		field(a, head, skipNext0+l).Store(uint64(tail))
+	}
+	s.head = head
+	return s
+}
+
+// locate fills preds/succs for key at every level.
+func (s *SkipList) locate(tx stm.Tx, key int64, preds, succs *[SkipLevels]Ref) {
+	pred := s.head
+	for l := SkipLevels - 1; l >= 0; l-- {
+		curr := Ref(readField(tx, s.arena, pred, skipNext0+l))
+		for u2k(readField(tx, s.arena, curr, skipKey)) < key {
+			pred = curr
+			curr = Ref(readField(tx, s.arena, curr, skipNext0+l))
+		}
+		preds[l] = pred
+		succs[l] = curr
+	}
+}
+
+// Add inserts key within tx, returning false if present.
+func (s *SkipList) Add(tx stm.Tx, key int64) bool {
+	var preds, succs [SkipLevels]Ref
+	s.locate(tx, key, &preds, &succs)
+	if u2k(readField(tx, s.arena, succs[0], skipKey)) == key {
+		return false
+	}
+	top := 0
+	for top < SkipLevels-1 && rand.Uint64()&1 == 1 {
+		top++
+	}
+	n := alloc(s.arena, skipSize)
+	field(s.arena, n, skipKey).Store(k2u(key))
+	field(s.arena, n, skipLevel).Store(uint64(top))
+	for l := 0; l <= top; l++ {
+		tx.Write(field(s.arena, n, skipNext0+l), uint64(succs[l]))
+		writeField(tx, s.arena, preds[l], skipNext0+l, uint64(n))
+	}
+	return true
+}
+
+// Remove deletes key within tx, returning false if absent.
+func (s *SkipList) Remove(tx stm.Tx, key int64) bool {
+	var preds, succs [SkipLevels]Ref
+	s.locate(tx, key, &preds, &succs)
+	victim := succs[0]
+	if u2k(readField(tx, s.arena, victim, skipKey)) != key {
+		return false
+	}
+	top := int(readField(tx, s.arena, victim, skipLevel))
+	for l := top; l >= 0; l-- {
+		next := readField(tx, s.arena, victim, skipNext0+l)
+		writeField(tx, s.arena, preds[l], skipNext0+l, next)
+	}
+	return true
+}
+
+// Contains reports within tx whether key is present.
+func (s *SkipList) Contains(tx stm.Tx, key int64) bool {
+	var preds, succs [SkipLevels]Ref
+	s.locate(tx, key, &preds, &succs)
+	return u2k(readField(tx, s.arena, succs[0], skipKey)) == key
+}
+
+// Len counts elements non-transactionally (tests and reporting only).
+func (s *SkipList) Len() int {
+	n := 0
+	curr := Ref(field(s.arena, s.head, skipNext0).Load())
+	for u2k(field(s.arena, curr, skipKey).Load()) != math.MaxInt64 {
+		n++
+		curr = Ref(field(s.arena, curr, skipNext0).Load())
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+// Package stmds implements data structures whose every field is a
+// transactional memory cell, accessed exclusively through an stm.Tx. These
+// are the "pure STM" baselines of Chapter 4 (sorted list and skip list,
+// which OTB is compared against) and the microbenchmark structures of
+// Chapters 5–6 (red-black tree, hash map, doubly linked list), mirroring
+// the RSTM benchmark suite.
+//
+// Nodes live in a mem.Arena and reference each other by index (Ref), so no
+// Go pointers cross the transactional boundary and ownership records hash
+// stable ids. Deleted nodes are leaked (arenas are sized by the workload
+// generators); this matches the epoch-free lifetime discipline of the
+// original C benchmarks, where reclamation is out of scope.
+package stmds
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Ref references a node within a structure's arena. The zero Ref is nil.
+type Ref uint64
+
+// nilRef is the null node reference.
+const nilRef Ref = 0
+
+// k2u and u2k convert between int64 keys and the uint64 cell representation.
+func k2u(k int64) uint64 { return uint64(k) }
+func u2k(u uint64) int64 { return int64(u) }
+
+// alloc is a shared helper: reserve fields consecutive cells and return the
+// Ref of the node (arena index + 1, so that 0 stays nil).
+func alloc(a *mem.Arena, fields int) Ref {
+	return Ref(a.Alloc(fields) + 1)
+}
+
+// field returns the i-th cell of the node at r (r's cells are consecutive).
+func field(a *mem.Arena, r Ref, i int) *mem.Cell {
+	return a.Cell(uint64(r-1) + uint64(i))
+}
+
+// readField reads node r's i-th field through the transaction.
+func readField(tx stm.Tx, a *mem.Arena, r Ref, i int) uint64 {
+	return tx.Read(field(a, r, i))
+}
+
+// writeField writes node r's i-th field through the transaction.
+func writeField(tx stm.Tx, a *mem.Arena, r Ref, i int, v uint64) {
+	tx.Write(field(a, r, i), v)
+}

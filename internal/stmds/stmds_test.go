@@ -1,0 +1,240 @@
+package stmds_test
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+	"repro/internal/stm/glock"
+	"repro/internal/stm/norec"
+	"repro/internal/stm/tl2"
+	"repro/internal/stmds"
+)
+
+// txSet abstracts the three set-like STM structures for shared tests.
+type txSet interface {
+	Add(tx stm.Tx, key int64) bool
+	Remove(tx stm.Tx, key int64) bool
+	Contains(tx stm.Tx, key int64) bool
+	Len() int
+}
+
+// rbAdapter adapts RBTree's Insert/Delete naming to txSet.
+type rbAdapter struct{ t *stmds.RBTree }
+
+func (a rbAdapter) Add(tx stm.Tx, k int64) bool      { return a.t.Insert(tx, k) }
+func (a rbAdapter) Remove(tx stm.Tx, k int64) bool   { return a.t.Delete(tx, k) }
+func (a rbAdapter) Contains(tx stm.Tx, k int64) bool { return a.t.Contains(tx, k) }
+func (a rbAdapter) Len() int                         { return a.t.Len() }
+
+func structures(capacity int) map[string]func() txSet {
+	return map[string]func() txSet{
+		"List":     func() txSet { return stmds.NewList(capacity) },
+		"SkipList": func() txSet { return stmds.NewSkipList(capacity) },
+		"DList":    func() txSet { return stmds.NewDList(capacity) },
+		"RBTree":   func() txSet { return rbAdapter{stmds.NewRBTree(capacity)} },
+	}
+}
+
+func TestStructuresMatchModel(t *testing.T) {
+	for name, mk := range structures(50000) {
+		t.Run(name, func(t *testing.T) {
+			alg := glock.New()
+			f := func(ops []uint16) bool {
+				s := mk()
+				model := map[int64]bool{}
+				for _, op := range ops {
+					key := int64(op % 128)
+					var got bool
+					switch (op / 128) % 3 {
+					case 0:
+						alg.Atomic(func(tx stm.Tx) { got = s.Add(tx, key) })
+						if got != !model[key] {
+							return false
+						}
+						model[key] = true
+					case 1:
+						alg.Atomic(func(tx stm.Tx) { got = s.Remove(tx, key) })
+						if got != model[key] {
+							return false
+						}
+						delete(model, key)
+					default:
+						alg.Atomic(func(tx stm.Tx) { got = s.Contains(tx, key) })
+						if got != model[key] {
+							return false
+						}
+					}
+				}
+				return s.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStructuresConcurrentPairInvariant(t *testing.T) {
+	algs := map[string]func() stm.Algorithm{
+		"NOrec": func() stm.Algorithm { return norec.New() },
+		"TL2":   func() stm.Algorithm { return tl2.New() },
+	}
+	for algName, mkAlg := range algs {
+		for dsName, mkDS := range structures(200000) {
+			t.Run(algName+"/"+dsName, func(t *testing.T) {
+				const (
+					pairs   = 16
+					offset  = 300
+					workers = 6
+					txsEach = 100
+				)
+				alg := mkAlg()
+				defer alg.Stop()
+				s := mkDS()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(seed uint64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewPCG(seed, 99))
+						for i := 0; i < txsEach; i++ {
+							k := int64(rng.IntN(pairs)) + 1
+							alg.Atomic(func(tx stm.Tx) {
+								if s.Contains(tx, k) {
+									s.Remove(tx, k)
+									s.Remove(tx, k+offset)
+								} else {
+									s.Add(tx, k)
+									s.Add(tx, k+offset)
+								}
+							})
+						}
+					}(uint64(w + 1))
+				}
+				wg.Wait()
+				chk := glock.New()
+				for k := int64(1); k <= pairs; k++ {
+					var lo, hi bool
+					chk.Atomic(func(tx stm.Tx) {
+						lo = s.Contains(tx, k)
+						hi = s.Contains(tx, k+offset)
+					})
+					if lo != hi {
+						t.Fatalf("pair invariant broken for %d: %v/%v", k, lo, hi)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRBTreeInvariantsSequential(t *testing.T) {
+	alg := glock.New()
+	tree := stmds.NewRBTree(20000)
+	rng := rand.New(rand.NewPCG(7, 7))
+	inserted := map[int64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := int64(rng.IntN(2000))
+		if rng.IntN(3) < 2 {
+			alg.Atomic(func(tx stm.Tx) { tree.Insert(tx, k) })
+			inserted[k] = true
+		} else {
+			alg.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+			delete(inserted, k)
+		}
+		if i%500 == 0 {
+			tree.CheckInvariants()
+		}
+	}
+	tree.CheckInvariants()
+	if tree.Len() != len(inserted) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(inserted))
+	}
+}
+
+func TestRBTreeInvariantsConcurrent(t *testing.T) {
+	alg := norec.New()
+	tree := stmds.NewRBTree(200000)
+	const workers = 6
+	const opsEach = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 5))
+			for i := 0; i < opsEach; i++ {
+				k := int64(rng.IntN(500))
+				switch rng.IntN(3) {
+				case 0:
+					alg.Atomic(func(tx stm.Tx) { tree.Insert(tx, k) })
+				case 1:
+					alg.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+				default:
+					alg.Atomic(func(tx stm.Tx) { tree.Contains(tx, k) })
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	tree.CheckInvariants()
+}
+
+func TestHashMapSemantics(t *testing.T) {
+	alg := glock.New()
+	m := stmds.NewHashMap(16, 1000)
+	alg.Atomic(func(tx stm.Tx) {
+		if !m.Put(tx, 1, 100) {
+			t.Error("first Put should create")
+		}
+		if m.Put(tx, 1, 200) {
+			t.Error("second Put should update")
+		}
+		if v, ok := m.Get(tx, 1); !ok || v != 200 {
+			t.Errorf("Get = %d,%v; want 200,true", v, ok)
+		}
+		if _, ok := m.Get(tx, 2); ok {
+			t.Error("Get(2) should miss")
+		}
+		if !m.Delete(tx, 1) || m.Delete(tx, 1) {
+			t.Error("Delete semantics wrong")
+		}
+	})
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestHashMapConcurrentConservation(t *testing.T) {
+	alg := tl2.New()
+	m := stmds.NewHashMap(64, 100000)
+	const workers = 6
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < each; i++ {
+				k := base*each + i
+				alg.Atomic(func(tx stm.Tx) { m.Put(tx, k, uint64(k)) })
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := m.Len(); got != workers*each {
+		t.Fatalf("Len = %d, want %d", got, workers*each)
+	}
+	chk := glock.New()
+	for k := int64(0); k < workers*each; k++ {
+		var v uint64
+		var ok bool
+		chk.Atomic(func(tx stm.Tx) { v, ok = m.Get(tx, k) })
+		if !ok || v != uint64(k) {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package repro is an implementation of Optimistic Transactional Boosting
+// (OTB, PPoPP 2014) and its companion systems — the DEUCE-style OTB/STM
+// integration framework, Remote Transaction Commit (RTC), and Remote
+// Invalidation (RInval) — together with every baseline the paper evaluates
+// against: lazy concurrent sets and priority queues, Herlihy–Koskinen
+// pessimistic boosting, and the NOrec, TL2, TML, RingSW and InvalSTM
+// software transactional memories.
+//
+// This root package is the public facade. The full surface lives in the
+// internal packages and is re-exported here by area:
+//
+//   - OTB data structures and transactions (the paper's contribution):
+//     NewListSet, NewSkipSet, NewHeapPQ, NewSkipPQ, Atomic.
+//   - Mixed memory+structure transactions (Chapter 4): NewOTBNOrec,
+//     NewOTBTL2, and NewCell for transactional memory words.
+//   - Word-based STM algorithms (Chapters 2, 5, 6): NewNOrec, NewTL2,
+//     NewTML, NewRingSW, NewInvalSTM, NewRTC, NewRInval.
+//
+// Quick start — two structures updated atomically:
+//
+//	set := repro.NewListSet()
+//	pq := repro.NewSkipPQ()
+//	repro.Atomic(func(tx *repro.Tx) {
+//		if set.Add(tx, 42) {
+//			pq.Add(tx, 42)
+//		}
+//	})
+//
+// See the examples directory for runnable programs and cmd/reproduce for
+// the benchmark harness that regenerates the paper's figures.
+package repro
+
+import (
+	"repro/internal/abort"
+	"repro/internal/adaptive"
+	"repro/internal/htm"
+	"repro/internal/integrate"
+	"repro/internal/mem"
+	"repro/internal/otb"
+	"repro/internal/rinval"
+	"repro/internal/rtc"
+	"repro/internal/stm"
+	"repro/internal/stm/glock"
+	"repro/internal/stm/invalstm"
+	"repro/internal/stm/norec"
+	"repro/internal/stm/ringsw"
+	"repro/internal/stm/tl2"
+	"repro/internal/stm/tml"
+)
+
+// Tx is a semantic (OTB) transaction over boosted data structures.
+type Tx = otb.Tx
+
+// ListSet is the optimistically boosted linked-list set.
+type ListSet = otb.ListSet
+
+// SkipSet is the optimistically boosted skip-list set.
+type SkipSet = otb.SkipSet
+
+// HeapPQ is the semi-optimistic boosted heap priority queue.
+type HeapPQ = otb.HeapPQ
+
+// SkipPQ is the fully optimistic skip-list priority queue.
+type SkipPQ = otb.SkipPQ
+
+// Map is the optimistically boosted ordered map (a Chapter 7 extension).
+type Map = otb.Map
+
+// NewListSet creates an empty OTB linked-list set.
+func NewListSet() *ListSet { return otb.NewListSet() }
+
+// NewSkipSet creates an empty OTB skip-list set.
+func NewSkipSet() *SkipSet { return otb.NewSkipSet() }
+
+// NewHeapPQ creates an empty OTB heap priority queue.
+func NewHeapPQ() *HeapPQ { return otb.NewHeapPQ() }
+
+// NewSkipPQ creates an empty OTB skip-list priority queue.
+func NewSkipPQ() *SkipPQ { return otb.NewSkipPQ() }
+
+// NewMap creates an empty OTB ordered map.
+func NewMap() *Map { return otb.NewMap() }
+
+// Atomic runs fn as an OTB transaction, retrying on conflict until it
+// commits. Operations on any number of boosted structures compose
+// atomically.
+func Atomic(fn func(*Tx)) { otb.Atomic(nil, fn) }
+
+// Retry aborts and retries the current transaction (any flavour).
+func Retry() { abort.Retry(abort.Explicit) }
+
+// Cell is one word of transactional memory for the STM algorithms and the
+// integration contexts.
+type Cell = mem.Cell
+
+// NewCell allocates a transactional memory word holding v.
+func NewCell(v uint64) *Cell { return mem.NewCell(v) }
+
+// MemTx is a memory transaction handle (the word-based STM interface).
+type MemTx = stm.Tx
+
+// STM is a word-based software transactional memory algorithm.
+type STM = stm.Algorithm
+
+// NewNOrec creates a NOrec instance (value-based validation, single global
+// sequence lock).
+func NewNOrec() STM { return norec.New() }
+
+// NewTL2 creates a TL2 instance (global version clock + ownership records).
+func NewTL2() STM { return tl2.New() }
+
+// NewTML creates a TML instance (transactional mutex lock).
+func NewTML() STM { return tml.New() }
+
+// NewRingSW creates a single-writer RingSTM instance (bloom-filter ring).
+func NewRingSW() STM { return ringsw.New() }
+
+// NewInvalSTM creates a commit-time invalidation instance.
+func NewInvalSTM() STM { return invalstm.New() }
+
+// NewCGL creates the coarse global-lock baseline.
+func NewCGL() STM { return glock.New() }
+
+// NewRTC creates a Remote Transaction Commit instance with one main commit
+// server and the given number of dependency-detector servers. Call Stop
+// when done.
+func NewRTC(secondaries int) *rtc.STM {
+	return rtc.New(rtc.Options{Secondaries: secondaries})
+}
+
+// RInvalVersion selects a Remote Invalidation variant.
+type RInvalVersion = rinval.Version
+
+// The three Remote Invalidation versions of Chapter 6.
+const (
+	RInvalV1 = rinval.V1 // remote commit + invalidation on one server
+	RInvalV2 = rinval.V2 // commit and invalidation on parallel servers
+	RInvalV3 = rinval.V3 // accelerated commit, asynchronous invalidation
+)
+
+// NewRInval creates a Remote Invalidation instance. Call Stop when done.
+func NewRInval(v RInvalVersion) *rinval.STM { return rinval.New(v) }
+
+// NewHybridHTM creates the emulated best-effort HTM with its software
+// fallback path (the Section 7.1.1 hybrid). Small transactions commit in
+// "hardware"; capacity or repeated conflicts fall back to software.
+func NewHybridHTM() *htm.TM { return htm.New(htm.Options{}) }
+
+// NewAdaptive creates a stop-the-world adaptive STM over the given
+// algorithms (Section 5.4.1); the first is initially active.
+func NewAdaptive(algs ...STM) (*adaptive.STM, error) { return adaptive.New(algs...) }
+
+// Ctx is a mixed transaction handle: STM memory reads/writes plus OTB
+// structure operations (Chapter 4).
+type Ctx = integrate.Ctx
+
+// Integrated is an algorithm running mixed OTB+memory transactions.
+type Integrated = integrate.Algorithm
+
+// NewOTBNOrec creates the NOrec-based integration context.
+func NewOTBNOrec() Integrated { return integrate.NewOTBNOrec() }
+
+// NewOTBTL2 creates the TL2-based integration context.
+func NewOTBTL2() Integrated { return integrate.NewOTBTL2() }
