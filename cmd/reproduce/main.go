@@ -19,18 +19,25 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		listFlag    = flag.Bool("list", false, "list experiments and exit")
-		quickFlag   = flag.Bool("quick", false, "use tiny measurement windows (smoke run)")
-		threadsFlag = flag.String("threads", "", "comma-separated thread sweep (default per config)")
-		warmupFlag  = flag.Duration("warmup", 0, "per-point warmup (default per config)")
-		measureFlag = flag.Duration("measure", 0, "per-point measurement window (default per config)")
+		expFlag      = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		listFlag     = flag.Bool("list", false, "list experiments and exit")
+		quickFlag    = flag.Bool("quick", false, "use tiny measurement windows (smoke run)")
+		threadsFlag  = flag.String("threads", "", "comma-separated thread sweep (default per config)")
+		warmupFlag   = flag.Duration("warmup", 0, "per-point warmup (default per config)")
+		measureFlag  = flag.Duration("measure", 0, "per-point measurement window (default per config)")
+		telemetryOff = flag.Bool("no-telemetry", false, "disable per-experiment abort-reason telemetry tables")
 	)
 	flag.Parse()
+
+	if !*telemetryOff {
+		telemetry.Enable()
+		telemetry.Publish()
+	}
 
 	if *listFlag {
 		for _, e := range bench.Experiments() {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/stm/tl2"
 	"repro/internal/stm/tml"
 	"repro/internal/stmds"
+	"repro/internal/telemetry"
 )
 
 // stmAlgorithms maps -alg values to constructors (for stm-* structures).
@@ -108,8 +109,14 @@ func main() {
 		warmup    = flag.Duration("warmup", 200*time.Millisecond, "warmup before measuring")
 		capacity  = flag.Int("capacity", 1<<21, "arena capacity for stm-* structures (nodes)")
 		list      = flag.Bool("list", false, "list structures and algorithms, then exit")
+		noTel     = flag.Bool("no-telemetry", false, "disable the end-of-run telemetry snapshot")
 	)
 	flag.Parse()
+
+	if !*noTel {
+		telemetry.Enable()
+		telemetry.Publish()
+	}
 
 	if *list {
 		fmt.Println("structures: lazy-list lazy-skip boosted-list boosted-skip otb-list" +
@@ -137,15 +144,24 @@ func main() {
 		OpsPerTx:    *opsPerTx,
 	}
 	wl.Populate(d)
+	// Window the telemetry to the measured run: population is excluded.
+	telemetry.Default.Reset()
 	gens := make([]func(*rand.Rand) []bench.SetOp, *threads)
 	for i := range gens {
 		gens[i] = wl.NewSetWorker(i)
 	}
 	cfg := bench.Config{Threads: []int{*threads}, Warmup: *warmup, Measure: *duration}
-	tput := bench.Throughput(cfg, *threads, func(id int, rng *rand.Rand) {
-		d.RunTx(gens[id](rng))
+	var tput float64
+	telemetry.Default.Do(d.Name(), func() {
+		tput = bench.Throughput(cfg, *threads, func(id int, rng *rand.Rand) {
+			d.RunTx(gens[id](rng))
+		})
 	})
 	fmt.Printf("%-16s %-10s threads=%-3d size=%-7d writes=%d%% ops/tx=%d\n",
 		*structure, d.Name(), *threads, *size, *writes, *opsPerTx)
 	fmt.Printf("throughput: %.0f tx/sec (%.0f ops/sec)\n", tput, tput*float64(*opsPerTx))
+	if telemetry.Default.Enabled() {
+		fmt.Println()
+		telemetry.WriteTable(os.Stdout, telemetry.Default.Snapshot())
+	}
 }

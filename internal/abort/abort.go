@@ -30,6 +30,10 @@ const (
 	Invalidated
 	// Explicit is a user-requested retry.
 	Explicit
+
+	// NumReasons is the number of distinct abort reasons; statistics
+	// layers (package telemetry) size per-reason counter arrays with it.
+	NumReasons
 )
 
 // String returns the human-readable name of the reason.

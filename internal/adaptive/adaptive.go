@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // STM multiplexes transactions over a set of registered algorithms, one of
@@ -111,3 +112,103 @@ func (s *STM) Switch(name string) error {
 }
 
 var _ stm.Algorithm = (*STM)(nil)
+
+// ---------------------------------------------------------------------------
+// Telemetry-driven switching
+
+// TunerConfig parameterizes a Tuner. Rates are abort rates in [0,1]:
+// aborted attempts over all attempts observed since the previous decision.
+type TunerConfig struct {
+	// Preferred is the algorithm to run under low contention; Fallback is
+	// the algorithm to retreat to when Preferred thrashes (typically a
+	// serializing algorithm such as CGL or RTC, whose abort rate is
+	// structurally low).
+	Preferred, Fallback string
+	// HighWater switches Preferred→Fallback when exceeded; LowWater
+	// switches back when the fallback's observed rate drops below it.
+	// LowWater < HighWater gives hysteresis so the tuner does not flap.
+	HighWater, LowWater float64
+	// Window is the minimum number of attempts (commits+aborts) that must
+	// accumulate between decisions; smaller windows are ignored as noise.
+	Window uint64
+}
+
+// Tuner drives STM.Switch from live telemetry abort rates, replacing the
+// ad-hoc per-algorithm counters callers previously had to poll. Each
+// Observe call compares the active algorithm's meter against the values
+// seen at the previous decision, so rates are windowed, not lifetime.
+// Tuner is not safe for concurrent use; run it from one control goroutine.
+type Tuner struct {
+	s    *STM
+	reg  *telemetry.Registry
+	cfg  TunerConfig
+	last map[string]window
+}
+
+// window is the (commits, aborts) baseline of one meter at the previous
+// decision point.
+type window struct{ commits, aborts uint64 }
+
+// NewTuner creates a tuner over s using meters from reg (telemetry.Default
+// if nil). Preferred and Fallback must name registered algorithms.
+func NewTuner(s *STM, reg *telemetry.Registry, cfg TunerConfig) (*Tuner, error) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	for _, name := range []string{cfg.Preferred, cfg.Fallback} {
+		if _, ok := s.algs[name]; !ok {
+			return nil, fmt.Errorf("adaptive: tuner names unregistered algorithm %q", name)
+		}
+	}
+	if cfg.HighWater <= cfg.LowWater {
+		return nil, fmt.Errorf("adaptive: tuner needs LowWater < HighWater, got %v >= %v",
+			cfg.LowWater, cfg.HighWater)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 1
+	}
+	return &Tuner{s: s, reg: reg, cfg: cfg, last: make(map[string]window)}, nil
+}
+
+// rate returns the active algorithm's abort rate and attempt count over the
+// window since its last decision, and the current meter totals.
+func (t *Tuner) rate(name string) (rate float64, attempts uint64, now window) {
+	snap := t.reg.Meter(name).Snapshot()
+	now = window{commits: snap.Commits, aborts: snap.TotalAborts()}
+	prev := t.last[name]
+	dc, da := now.commits-prev.commits, now.aborts-prev.aborts
+	attempts = dc + da
+	if attempts == 0 {
+		return 0, 0, now
+	}
+	return float64(da) / float64(attempts), attempts, now
+}
+
+// Observe makes one switching decision from the active algorithm's windowed
+// abort rate and reports whether a switch happened. Decisions:
+//
+//   - active == Preferred and rate >= HighWater → switch to Fallback
+//   - active == Fallback and rate <= LowWater → switch back to Preferred
+//
+// Windows with fewer than Window attempts are left to accumulate.
+func (t *Tuner) Observe() (switched bool, err error) {
+	active := t.s.Active()
+	rate, attempts, now := t.rate(active)
+	if attempts < t.cfg.Window {
+		return false, nil
+	}
+	t.last[active] = now // consume the window whether or not we switch
+	switch {
+	case active == t.cfg.Preferred && rate >= t.cfg.HighWater:
+		// Also reset the fallback's window so its old history does not
+		// trigger an immediate switch back.
+		fb := t.reg.Meter(t.cfg.Fallback).Snapshot()
+		t.last[t.cfg.Fallback] = window{commits: fb.Commits, aborts: fb.TotalAborts()}
+		return true, t.s.Switch(t.cfg.Fallback)
+	case active == t.cfg.Fallback && rate <= t.cfg.LowWater:
+		pf := t.reg.Meter(t.cfg.Preferred).Snapshot()
+		t.last[t.cfg.Preferred] = window{commits: pf.Commits, aborts: pf.TotalAborts()}
+		return true, t.s.Switch(t.cfg.Preferred)
+	}
+	return false, nil
+}

@@ -5,12 +5,14 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/abort"
 	"repro/internal/adaptive"
 	"repro/internal/mem"
 	"repro/internal/rtc"
 	"repro/internal/stm"
 	"repro/internal/stm/norec"
 	"repro/internal/stm/tl2"
+	"repro/internal/telemetry"
 )
 
 func TestRequiresAlgorithms(t *testing.T) {
@@ -87,4 +89,92 @@ func TestSwitchUnderLoad(t *testing.T) {
 		t.Fatalf("commits = %d, want %d", s.Commits(), workers*each)
 	}
 	t.Logf("completed with %d switches", s.Switches())
+}
+
+// TestTunerSwitchesOnAbortRate drives the telemetry-backed tuner with
+// synthetic meter activity: a thrashing preferred algorithm must trigger the
+// fallback, and a calm fallback must switch back.
+func TestTunerSwitchesOnAbortRate(t *testing.T) {
+	s, err := adaptive.New(norec.New(), tl2.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	cfg := adaptive.TunerConfig{
+		Preferred: "NOrec",
+		Fallback:  "TL2",
+		HighWater: 0.5,
+		LowWater:  0.1,
+		Window:    100,
+	}
+	tn, err := adaptive.NewTuner(s, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	norecTel := reg.Meter("NOrec").Local()
+	tl2Tel := reg.Meter("TL2").Local()
+
+	// Below the window: no decision.
+	for i := 0; i < 50; i++ {
+		norecTel.Abort(abort.Conflict)
+	}
+	if sw, err := tn.Observe(); err != nil || sw {
+		t.Fatalf("Observe below window: switched=%v err=%v", sw, err)
+	}
+
+	// Past the window at 100% abort rate: switch to the fallback.
+	for i := 0; i < 100; i++ {
+		norecTel.Abort(abort.Conflict)
+	}
+	if sw, err := tn.Observe(); err != nil || !sw {
+		t.Fatalf("Observe over high water: switched=%v err=%v", sw, err)
+	}
+	if s.Active() != "TL2" {
+		t.Fatalf("active = %q, want TL2", s.Active())
+	}
+
+	// Calm fallback: low abort rate switches back to the preferred.
+	for i := 0; i < 200; i++ {
+		tl2Tel.Commit(0)
+	}
+	if sw, err := tn.Observe(); err != nil || !sw {
+		t.Fatalf("Observe under low water: switched=%v err=%v", sw, err)
+	}
+	if s.Active() != "NOrec" {
+		t.Fatalf("active = %q, want NOrec", s.Active())
+	}
+
+	// Moderate rate between the waters: hysteresis holds the position.
+	for i := 0; i < 70; i++ {
+		norecTel.Commit(0)
+	}
+	for i := 0; i < 30; i++ {
+		norecTel.Abort(abort.Conflict)
+	}
+	if sw, err := tn.Observe(); err != nil || sw {
+		t.Fatalf("Observe inside hysteresis band: switched=%v err=%v", sw, err)
+	}
+}
+
+// TestTunerValidation covers constructor errors.
+func TestTunerValidation(t *testing.T) {
+	s, err := adaptive.New(norec.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if _, err := adaptive.NewTuner(s, nil, adaptive.TunerConfig{
+		Preferred: "NOrec", Fallback: "nope", HighWater: 0.5, LowWater: 0.1,
+	}); err == nil {
+		t.Fatal("unregistered fallback should error")
+	}
+	if _, err := adaptive.NewTuner(s, nil, adaptive.TunerConfig{
+		Preferred: "NOrec", Fallback: "NOrec", HighWater: 0.1, LowWater: 0.5,
+	}); err == nil {
+		t.Fatal("inverted watermarks should error")
+	}
 }

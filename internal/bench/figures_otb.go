@@ -6,6 +6,7 @@ import (
 	"repro/internal/boosting"
 	"repro/internal/conc"
 	"repro/internal/otb"
+	"repro/internal/telemetry"
 )
 
 // setMix is one workload panel of the Chapter 3 set figures.
@@ -26,16 +27,22 @@ func chapter3Mixes() []setMix {
 }
 
 // runSetPoint measures one (driver, workload, threads) point in
-// transactions per second.
+// transactions per second. The run carries a per-driver pprof label (via
+// telemetry.Do) so CPU profiles can be split by algorithm; the label is
+// inherited by Throughput's worker goroutines.
 func runSetPoint(cfg Config, threads int, wl SetWorkload, d SetDriver) float64 {
 	wl.Populate(d)
 	gens := make([]func(*rand.Rand) []SetOp, threads)
 	for i := range gens {
 		gens[i] = wl.NewSetWorker(i)
 	}
-	return Throughput(cfg, threads, func(id int, rng *rand.Rand) {
-		d.RunTx(gens[id](rng))
+	var tput float64
+	telemetry.Default.Do(d.Name(), func() {
+		tput = Throughput(cfg, threads, func(id int, rng *rand.Rand) {
+			d.RunTx(gens[id](rng))
+		})
 	})
+	return tput
 }
 
 // setFigure sweeps the given driver factories over the workloads.
@@ -112,17 +119,21 @@ func runPQPoint(cfg Config, threads, size, opsPerTx int, d PQDriver) float64 {
 	if len(seed) > 0 {
 		d.RunTx(seed)
 	}
-	return Throughput(cfg, threads, func(id int, rng *rand.Rand) {
-		ops := make([]PQOp, opsPerTx)
-		for i := range ops {
-			if rng.IntN(2) == 0 {
-				ops[i] = PQOp{Kind: PQAdd, Key: rng.Int64N(1 << 40)}
-			} else {
-				ops[i] = PQOp{Kind: PQRemoveMin}
+	var tput float64
+	telemetry.Default.Do(d.Name(), func() {
+		tput = Throughput(cfg, threads, func(id int, rng *rand.Rand) {
+			ops := make([]PQOp, opsPerTx)
+			for i := range ops {
+				if rng.IntN(2) == 0 {
+					ops[i] = PQOp{Kind: PQAdd, Key: rng.Int64N(1 << 40)}
+				} else {
+					ops[i] = PQOp{Kind: PQRemoveMin}
+				}
 			}
-		}
-		d.RunTx(ops)
+			d.RunTx(ops)
+		})
 	})
+	return tput
 }
 
 // pqFigure sweeps queue drivers over transaction sizes 1 and 5.

@@ -1,6 +1,11 @@
 package bench
 
-import "io"
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
 
 // Experiment is one reproducible artifact of the paper's evaluation.
 type Experiment struct {
@@ -9,12 +14,39 @@ type Experiment struct {
 	Run  func(cfg Config, w io.Writer)
 }
 
-// figExp adapts a Figure generator to an Experiment.
+// figExp adapts a Figure generator to an Experiment. When telemetry is
+// enabled, each experiment runs against a freshly reset Default registry
+// and appends its own abort-reason breakdown, so the table is windowed to
+// the experiment rather than the process lifetime.
 func figExp(id, desc string, gen func(Config) Figure) Experiment {
 	return Experiment{ID: id, Desc: desc, Run: func(cfg Config, w io.Writer) {
+		telemetry.Default.Reset()
 		f := gen(cfg)
 		f.Print(w)
+		WriteTelemetry(w, id)
 	}}
+}
+
+// WriteTelemetry appends the Default registry's abort-reason table for one
+// experiment, if telemetry is enabled and anything was recorded.
+func WriteTelemetry(w io.Writer, id string) {
+	if !telemetry.Default.Enabled() {
+		return
+	}
+	snaps := telemetry.Default.Snapshot()
+	any := false
+	for _, s := range snaps {
+		if s.Commits != 0 || s.TotalAborts() != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "-- %s telemetry (per-algorithm abort breakdown) --\n", id)
+	telemetry.WriteTable(w, snaps)
+	fmt.Fprintln(w)
 }
 
 // Experiments lists every table and figure of the evaluation sections, in
@@ -30,7 +62,11 @@ func Experiments() []Experiment {
 		figExp("fig4.3", "skip-list 4K, pure STM vs OTB integration", Fig43),
 		figExp("fig4.4", "Algorithm 7 mixed set+memory transactions", Fig44),
 		{ID: "table5.1", Desc: "NOrec commit-time ratio on STAMP profiles",
-			Run: func(cfg Config, w io.Writer) { Table51(cfg, w) }},
+			Run: func(cfg Config, w io.Writer) {
+				telemetry.Default.Reset()
+				Table51(cfg, w)
+				WriteTelemetry(w, "table5.1")
+			}},
 		figExp("fig5.5", "red-black tree 64K, RingSW/NOrec/TL2/RTC", Fig55),
 		figExp("fig5.6", "contention events per tx (cache-miss proxy), NOrec vs RTC", Fig56),
 		figExp("fig5.7", "hash map 10K/256 buckets, RingSW/NOrec/TL2/RTC", Fig57),

@@ -69,13 +69,22 @@ func TestBoostedSetAbortRollsBack(t *testing.T) {
 	}
 }
 
+// stressIters scales a stress-test iteration count down under -short (the
+// CI race job) while keeping full coverage in the default run.
+func stressIters(full int) int {
+	if testing.Short() {
+		return full / 5
+	}
+	return full
+}
+
 func TestBoostedSetPairInvariant(t *testing.T) {
 	const (
 		pairs   = 16
 		offset  = 500
 		workers = 6
-		txsEach = 150
 	)
+	txsEach := stressIters(150)
 	base := conc.NewLazySkipList()
 	s := NewSet(base, 256)
 	var wg sync.WaitGroup
@@ -161,7 +170,7 @@ func TestBoostedPQAbortRestoresQueue(t *testing.T) {
 
 func TestBoostedPQConcurrentConservation(t *testing.T) {
 	const workers = 6
-	const txsEach = 100
+	txsEach := stressIters(100)
 	q := NewPQ()
 	Atomic(nil, nil, func(tx *Tx) {
 		for i := int64(0); i < 50; i++ {

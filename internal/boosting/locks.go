@@ -7,10 +7,12 @@
 package boosting
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
 	"repro/internal/spin"
+	"repro/internal/telemetry"
 )
 
 // acquireAttempts bounds lock acquisition; exceeding it aborts the
@@ -99,12 +101,23 @@ type Tx struct {
 	held []heldLock
 	undo []func()
 	ctr  *spin.Counters
+	tel  *telemetry.Local
 }
+
+// meter collects pessimistic-boosting statistics; lock-timeout aborts show
+// up under the lock-busy reason.
+var meter = telemetry.M("PessimisticBoosted")
+
+// txPool recycles transaction descriptors (with their shard-bound telemetry
+// handles) across Atomic calls.
+var txPool = sync.Pool{New: func() any { return &Tx{tel: meter.Local()} }}
 
 // Atomic runs fn as a boosted transaction, retrying on abort. Stats and
 // counters may be nil.
 func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
-	tx := &Tx{ctr: ctr}
+	tx := txPool.Get().(*Tx)
+	tx.ctr = ctr
+	start := tx.tel.Start()
 	abort.Run(stats,
 		func() {
 			tx.held = tx.held[:0]
@@ -114,8 +127,14 @@ func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 			fn(tx)
 			tx.commit()
 		},
-		func(abort.Reason) { tx.rollback() },
+		func(r abort.Reason) {
+			tx.rollback()
+			tx.tel.Abort(r)
+		},
 	)
+	tx.tel.Commit(start)
+	tx.ctr = nil
+	txPool.Put(tx)
 }
 
 // OnAbort registers an inverse operation to replay if the transaction

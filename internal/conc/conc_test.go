@@ -83,11 +83,20 @@ func TestSetMatchesModel(t *testing.T) {
 	}
 }
 
+// stressIters scales a stress-test iteration count down under -short (the
+// CI race job) while keeping full coverage in the default run.
+func stressIters(full int) int {
+	if testing.Short() {
+		return full / 5
+	}
+	return full
+}
+
 func TestSetConcurrentDisjoint(t *testing.T) {
 	for name, mk := range sets() {
 		t.Run(name, func(t *testing.T) {
 			const workers = 8
-			const each = 200
+			each := int64(stressIters(200))
 			s := mk()
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -102,7 +111,7 @@ func TestSetConcurrentDisjoint(t *testing.T) {
 				}(int64(w))
 			}
 			wg.Wait()
-			if got := s.Len(); got != workers*each {
+			if got := s.Len(); int64(got) != workers*each {
 				t.Fatalf("Len = %d, want %d", got, workers*each)
 			}
 		})
@@ -113,8 +122,8 @@ func TestSetConcurrentMixed(t *testing.T) {
 	for name, mk := range sets() {
 		t.Run(name, func(t *testing.T) {
 			const workers = 8
-			const opsEach = 500
 			const keyRange = 64
+			opsEach := stressIters(500)
 			s := mk()
 			var adds, removes [workers]int64
 			var wg sync.WaitGroup
@@ -219,7 +228,7 @@ func TestSeqHeapRemoveOne(t *testing.T) {
 }
 
 func TestSkipPQConcurrent(t *testing.T) {
-	const total = 500
+	total := int64(stressIters(500))
 	q := NewSkipPQ()
 	for i := int64(1); i <= total; i++ {
 		q.Add(i)
@@ -246,14 +255,14 @@ func TestSkipPQConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if len(seen) != total {
+	if int64(len(seen)) != total {
 		t.Fatalf("dequeued %d keys, want %d", len(seen), total)
 	}
 }
 
 func TestHeapPQConcurrent(t *testing.T) {
 	const workers = 8
-	const each = 300
+	each := int64(stressIters(300))
 	q := NewHeapPQ()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -266,7 +275,7 @@ func TestHeapPQConcurrent(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
-	if got := q.Len(); got != workers*each {
+	if got := q.Len(); int64(got) != workers*each {
 		t.Fatalf("Len = %d, want %d", got, workers*each)
 	}
 	prev := int64(-1)

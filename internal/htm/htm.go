@@ -20,6 +20,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // AbortCode classifies why a hardware transaction failed.
@@ -102,7 +103,8 @@ func New(opts Options) *TM {
 	if t.retries == 0 {
 		t.retries = 3
 	}
-	t.pool.New = func() any { return &htx{tm: t} }
+	mtr := telemetry.M("HybridHTM")
+	t.pool.New = func() any { return &htx{tm: t, tel: mtr.Local()} }
 	return t
 }
 
@@ -133,6 +135,7 @@ type htx struct {
 	snapshot uint64
 	reads    []stm.ReadEntry
 	writes   stm.WriteSet
+	tel      *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm: up to retries hardware attempts, then
@@ -144,21 +147,32 @@ func (t *TM) Atomic(fn func(stm.Tx)) {
 		x.writes.Reset()
 		t.pool.Put(x)
 	}()
+	start := x.tel.Start()
 	var b spin.Backoff
 	for attempt := 0; attempt < t.retries; attempt++ {
 		code, ok := t.tryHardware(x, fn)
 		if ok {
 			t.stats.hwCommits.Add(1)
+			x.tel.Commit(start)
 			return
 		}
 		t.stats.hwAborts[code].Add(1)
+		// Hardware aborts are conflicts from telemetry's viewpoint: the
+		// lock-subscription case is a busy fallback lock.
+		if code == LockSubscription {
+			x.tel.Abort(abort.LockBusy)
+		} else {
+			x.tel.Abort(abort.Conflict)
+		}
 		if code == Capacity {
 			break // a bigger footprint will not fit next time either
 		}
 		b.Wait()
 	}
+	x.tel.Fallback()
 	t.software(x, fn)
 	t.stats.swCommits.Add(1)
+	x.tel.Commit(start)
 }
 
 // tryHardware runs one emulated hardware attempt.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/otb"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // Ctx is the transaction handle passed to atomic blocks: STM memory access
@@ -118,10 +119,11 @@ type norecCtx struct {
 	reads      []stm.ReadEntry
 	writes     stm.WriteSet
 	ctx        Ctx
+	tel        *telemetry.Local
 }
 
 func newNorecCtx(s *OTBNOrec) *norecCtx {
-	t := &norecCtx{s: s}
+	t := &norecCtx{s: s, tel: telemetry.M(s.Name()).Local()}
 	sem := otb.NewTx(&s.ctr)
 	// onOperationValidate: identical to onReadAccess — wait for a stable
 	// global timestamp while co-validating memory and semantics.
@@ -137,22 +139,27 @@ func newNorecCtx(s *OTBNOrec) *norecCtx {
 // Atomic implements Algorithm.
 func (s *OTBNOrec) Atomic(fn func(*Ctx)) {
 	t := s.pool.Get().(*norecCtx)
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(&t.ctx)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) {
+		func(r abort.Reason) {
 			t.ctx.sem.Rollback()
 			if t.holdsClock {
 				t.s.clock.Unlock()
 				t.holdsClock = false
 			}
 			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
 		},
 	)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	t.ctx.sem.Reset()
 	t.reads = t.reads[:0]
 	t.writes.Reset()
@@ -298,6 +305,7 @@ type tl2Ctx struct {
 	writes stm.WriteSet
 	locked []tl2Locked
 	ctx    Ctx
+	tel    *telemetry.Local
 }
 
 type tl2Locked struct {
@@ -307,7 +315,7 @@ type tl2Locked struct {
 }
 
 func newTL2Ctx(s *OTBTL2) *tl2Ctx {
-	t := &tl2Ctx{s: s}
+	t := &tl2Ctx{s: s, tel: telemetry.M(s.Name()).Local()}
 	sem := otb.NewTx(&s.ctr)
 	// onOperationValidate: semantic validation with lock sampling only; TL2
 	// memory reads are self-validating and need no re-check here.
@@ -323,19 +331,24 @@ func newTL2Ctx(s *OTBTL2) *tl2Ctx {
 // Atomic implements Algorithm.
 func (s *OTBTL2) Atomic(fn func(*Ctx)) {
 	t := s.pool.Get().(*tl2Ctx)
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(&t.ctx)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) {
+		func(r abort.Reason) {
 			t.releaseLocked()
 			t.ctx.sem.Rollback()
 			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
 		},
 	)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	t.ctx.sem.Reset()
 	t.reset()
 	s.pool.Put(t)

@@ -14,6 +14,15 @@ func algorithms() []integrate.Algorithm {
 	return []integrate.Algorithm{integrate.NewOTBNOrec(), integrate.NewOTBTL2()}
 }
 
+// stressIters scales a stress-test iteration count down under -short (the
+// CI race job) while keeping full coverage in the default run.
+func stressIters(full int) int {
+	if testing.Short() {
+		return full / 5
+	}
+	return full
+}
+
 func TestMixedSetAndMemory(t *testing.T) {
 	for _, alg := range algorithms() {
 		t.Run(alg.Name(), func(t *testing.T) {
@@ -22,7 +31,7 @@ func TestMixedSetAndMemory(t *testing.T) {
 			success := mem.NewCell(0)
 			failure := mem.NewCell(0)
 			const workers = 6
-			const each = 150
+			each := stressIters(150)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -45,7 +54,7 @@ func TestMixedSetAndMemory(t *testing.T) {
 			}
 			wg.Wait()
 			total := success.Load() + failure.Load()
-			if total != workers*each {
+			if total != uint64(workers*each) {
 				t.Fatalf("counter total = %d, want %d", total, workers*each)
 			}
 			// Every successful add inserted a distinct key exactly once.
@@ -65,7 +74,7 @@ func TestMixedSkipSetPairInvariant(t *testing.T) {
 			const pairs = 16
 			const offset = 400
 			const workers = 6
-			const each = 100
+			each := stressIters(100)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -150,7 +159,7 @@ func TestMemoryOnlyTransactions(t *testing.T) {
 			defer alg.Stop()
 			c := mem.NewCell(0)
 			const workers = 8
-			const each = 200
+			each := stressIters(200)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -164,7 +173,7 @@ func TestMemoryOnlyTransactions(t *testing.T) {
 				}()
 			}
 			wg.Wait()
-			if got := c.Load(); got != workers*each {
+			if got := c.Load(); got != uint64(workers*each) {
 				t.Fatalf("counter = %d, want %d", got, workers*each)
 			}
 		})
@@ -203,7 +212,7 @@ func TestOpacityAcrossLayers(t *testing.T) {
 					})
 				}
 			}()
-			for i := 0; i < 400; i++ {
+			for i := 0; i < stressIters(400); i++ {
 				alg.Atomic(func(ctx *integrate.Ctx) {
 					n := ctx.Read(size)
 					// Count two sample keys transactionally; their combined

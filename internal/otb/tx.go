@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/abort"
 	"repro/internal/spin"
+	"repro/internal/telemetry"
 )
 
 // Datastructure is the OTB-DS interface of Chapter 4: the sub-routines an
@@ -69,6 +70,7 @@ type Tx struct {
 	attached []Datastructure
 	state    map[Datastructure]any
 	ctr      *spin.Counters
+	tel      *telemetry.Local // standalone (Atomic) recording handle; may be nil
 
 	// validator, when non-nil, replaces the default post-validation
 	// strategy (ValidateWithLocks on every attached structure). The
@@ -233,9 +235,18 @@ func (tx *Tx) Rollback() {
 	tx.Reset()
 }
 
+// meter collects standalone-OTB statistics; integration contexts record to
+// their own meters instead.
+var meter = telemetry.M("OTB")
+
 // txPool recycles standalone transaction descriptors (and their state maps)
-// across Atomic calls.
-var txPool = sync.Pool{New: func() any { return NewTx(nil) }}
+// across Atomic calls. Each descriptor carries a shard-bound telemetry
+// handle; the pool keeps descriptors per-P, so recording stays uncontended.
+var txPool = sync.Pool{New: func() any {
+	tx := NewTx(nil)
+	tx.tel = meter.Local()
+	return tx
+}}
 
 // Atomic runs fn as a standalone OTB transaction, retrying on abort until
 // it commits. Stats may be nil.
@@ -247,14 +258,21 @@ func Atomic(stats *abort.Stats, fn func(*Tx)) {
 func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 	tx := txPool.Get().(*Tx)
 	tx.ctr = ctr
+	start := tx.tel.Start()
 	abort.Run(stats,
 		func() { tx.Reset() },
 		func() {
 			fn(tx)
+			cs := tx.tel.Start()
 			tx.Commit()
+			tx.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) { tx.Rollback() },
+		func(r abort.Reason) {
+			tx.Rollback()
+			tx.tel.Abort(r)
+		},
 	)
+	tx.tel.Commit(start)
 	tx.Reset()
 	tx.ctr = nil
 	txPool.Put(tx)

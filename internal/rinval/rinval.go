@@ -28,6 +28,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/stm/invalstm"
+	"repro/internal/telemetry"
 )
 
 // Version selects the RInval variant.
@@ -105,8 +106,9 @@ func NewWithClients(version Version, n int) *STM {
 		clients: make(chan *client, n),
 	}
 	s.invalReq.Store(-1)
+	mtr := telemetry.M(s.Name())
 	for i := 0; i < n; i++ {
-		s.clients <- &client{s: s, tx: &txDesc{slot: i}}
+		s.clients <- &client{s: s, tx: &txDesc{slot: i}, tel: mtr.Local()}
 	}
 	s.wg.Add(1)
 	go s.commitServer()
@@ -150,33 +152,39 @@ func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
 // client is a transaction descriptor bound to one registry slot and one
 // request slot.
 type client struct {
-	s  *STM
-	tx *txDesc
+	s   *STM
+	tx  *txDesc
+	tel *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
 func (s *STM) Atomic(fn func(stm.Tx)) {
 	c := <-s.clients
 	total := s.prof.Now()
+	start := c.tel.Start()
 	d := &s.descs[c.tx.slot]
 	d.Active.Store(true)
 	abort.Run(nil,
 		c.begin,
 		func() {
 			fn(c)
+			cs := c.tel.Start()
 			c.commit()
+			c.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			if r == abort.Invalidated {
 				d.Starved.Add(1)
 			}
 			s.stats.aborts.Add(1)
+			c.tel.Abort(r)
 		},
 	)
 	d.Starved.Store(0)
 	d.ClearFilter()
 	d.Active.Store(false)
 	s.stats.commits.Add(1)
+	c.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	s.clients <- c
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // Request states.
@@ -117,8 +118,9 @@ func New(opts Options) *STM {
 		fair:        opts.FairScheduling,
 	}
 	s.mainReq.Store(-1)
+	mtr := telemetry.M("RTC")
 	for i := 0; i < n; i++ {
-		s.clients <- &client{s: s, slot: i, tx: &txDesc{}}
+		s.clients <- &client{s: s, slot: i, tx: &txDesc{}, tel: mtr.Local()}
 	}
 	s.wg.Add(1)
 	go s.mainServer()
@@ -157,24 +159,30 @@ type client struct {
 	s    *STM
 	slot int
 	tx   *txDesc
+	tel  *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
 func (s *STM) Atomic(fn func(stm.Tx)) {
 	c := <-s.clients
 	c.tx.attempts = 0
+	start := c.tel.Start()
 	abort.Run(nil,
 		c.begin,
 		func() {
 			fn(c)
+			cs := c.tel.Start()
 			c.commit()
+			c.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) {
+		func(r abort.Reason) {
 			c.tx.attempts++
 			s.stats.aborts.Add(1)
+			c.tel.Abort(r)
 		},
 	)
 	s.stats.commits.Add(1)
+	c.tel.Commit(start)
 	s.clients <- c
 }
 

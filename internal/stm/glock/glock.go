@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // STM is a global-lock instance.
@@ -22,10 +23,13 @@ type STM struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
 	}
+	// tel is shared by all transactions: the global mutex already
+	// serializes them, so one shard sees no contention.
+	tel *telemetry.Local
 }
 
 // New creates a global-lock instance.
-func New() *STM { return &STM{} }
+func New() *STM { return &STM{tel: telemetry.M("CGL").Local()} }
 
 // Name implements stm.Algorithm.
 func (s *STM) Name() string { return "CGL" }
@@ -63,17 +67,20 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := &tx{}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := s.tel.Start()
 	abort.Run(nil,
 		func() { t.undo = t.undo[:0] },
 		func() { fn(t) },
-		func(abort.Reason) {
+		func(r abort.Reason) {
 			for i := len(t.undo) - 1; i >= 0; i-- {
 				t.undo[i].Cell.Store(t.undo[i].Val)
 			}
 			s.stats.aborts.Add(1)
+			s.tel.Abort(r)
 		},
 	)
 	s.stats.commits.Add(1)
+	s.tel.Commit(start)
 }
 
 var _ stm.Algorithm = (*STM)(nil)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // MaxTxs is the size of the in-flight transaction registry.
@@ -86,7 +87,8 @@ type STM struct {
 // New creates an InvalSTM instance.
 func New() *STM {
 	s := &STM{}
-	s.pool.New = func() any { return &tx{s: s, slot: -1} }
+	mtr := telemetry.M("InvalSTM")
+	s.pool.New = func() any { return &tx{s: s, slot: -1, tel: mtr.Local()} }
 	return s
 }
 
@@ -114,6 +116,7 @@ type tx struct {
 	slot   int
 	writeF bloom.Filter
 	writes stm.WriteSet
+	tel    *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -121,21 +124,26 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	t.acquireSlot()
 	total := s.prof.Now()
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(t)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			if r == abort.Invalidated {
 				s.descs[t.slot].Starved.Add(1)
 			}
 			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
 		},
 	)
 	s.descs[t.slot].Starved.Store(0)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	t.releaseSlot()
 	t.writeF.Clear()

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // STM is a NOrec instance. Transactions from different STM instances are
@@ -40,7 +41,8 @@ type STM struct {
 // New creates a NOrec instance.
 func New() *STM {
 	s := &STM{}
-	s.pool.New = func() any { return &tx{s: s} }
+	mtr := telemetry.M("NOrec")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
 	return s
 }
 
@@ -73,21 +75,29 @@ type tx struct {
 	snapshot uint64
 	reads    []stm.ReadEntry
 	writes   stm.WriteSet
+	tel      *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
 func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	total := s.prof.Now()
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(t)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) { s.stats.aborts.Add(1) },
+		func(r abort.Reason) {
+			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
+		},
 	)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	t.reads = t.reads[:0]
 	t.writes.Reset()

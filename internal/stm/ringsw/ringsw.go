@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // ringSize is the number of retained commit filters.
@@ -47,7 +48,8 @@ type STM struct {
 // New creates a RingSW instance.
 func New() *STM {
 	s := &STM{}
-	s.pool.New = func() any { return &tx{s: s} }
+	mtr := telemetry.M("RingSW")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
 	return s
 }
 
@@ -76,21 +78,29 @@ type tx struct {
 	readF    bloom.Filter
 	writeF   bloom.Filter
 	writes   stm.WriteSet
+	tel      *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
 func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	total := s.prof.Now()
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(t)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) { s.stats.aborts.Add(1) },
+		func(r abort.Reason) {
+			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
+		},
 	)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	t.readF.Clear()
 	t.writeF.Clear()

@@ -21,12 +21,21 @@ func algorithms() []stm.Algorithm {
 	}
 }
 
+// stressIters scales a stress-test iteration count down under -short (the
+// CI race job) while keeping full coverage in the default run.
+func stressIters(full int) int {
+	if testing.Short() {
+		return full / 5
+	}
+	return full
+}
+
 func TestCounterIncrement(t *testing.T) {
 	for _, alg := range algorithms() {
 		t.Run(alg.Name(), func(t *testing.T) {
 			defer alg.Stop()
 			const workers = 8
-			const each = 250
+			each := stressIters(250)
 			c := mem.NewCell(0)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -41,7 +50,7 @@ func TestCounterIncrement(t *testing.T) {
 				}()
 			}
 			wg.Wait()
-			if got := c.Load(); got != workers*each {
+			if got := c.Load(); got != uint64(workers*each) {
 				t.Fatalf("counter = %d, want %d", got, workers*each)
 			}
 		})
@@ -55,7 +64,7 @@ func TestBankTransferInvariant(t *testing.T) {
 			const accounts = 16
 			const initial = 1000
 			const workers = 8
-			const each = 200
+			each := stressIters(200)
 			cells := make([]*mem.Cell, accounts)
 			for i := range cells {
 				cells[i] = mem.NewCell(initial)
@@ -119,7 +128,7 @@ func TestReadConsistency(t *testing.T) {
 					})
 				}
 			}()
-			for i := 0; i < 2000; i++ {
+			for i := 0; i < stressIters(2000); i++ {
 				alg.Atomic(func(tx stm.Tx) {
 					va := tx.Read(a)
 					vb := tx.Read(b)

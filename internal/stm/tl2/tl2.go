@@ -21,6 +21,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // orecBits sets the ownership-record table size (2^orecBits stripes).
@@ -55,7 +56,8 @@ type STM struct {
 // New creates a TL2 instance with its own clock and orec table.
 func New() *STM {
 	s := &STM{orecs: make([]orec, orecCount)}
-	s.pool.New = func() any { return &tx{s: s} }
+	mtr := telemetry.M("TL2")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
 	return s
 }
 
@@ -95,6 +97,7 @@ type tx struct {
 	reads  []*orec
 	writes stm.WriteSet
 	locked []lockedOrec
+	tel    *telemetry.Local
 }
 
 type lockedOrec struct {
@@ -107,18 +110,23 @@ type lockedOrec struct {
 func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	total := s.prof.Now()
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(t)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) {
+		func(r abort.Reason) {
 			t.releaseLocked(true)
 			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
 		},
 	)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	t.reset()
 	s.pool.Put(t)

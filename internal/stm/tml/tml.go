@@ -13,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 )
 
 // STM is a TML instance.
@@ -30,7 +31,8 @@ type STM struct {
 // New creates a TML instance.
 func New() *STM {
 	s := &STM{}
-	s.pool.New = func() any { return &tx{s: s} }
+	mtr := telemetry.M("TML")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
 	return s
 }
 
@@ -61,24 +63,30 @@ type tx struct {
 	snapshot uint64
 	writer   bool
 	undo     []stm.WriteEntry
+	tel      *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
 func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	total := s.prof.Now()
+	start := t.tel.Start()
 	abort.Run(nil,
 		t.begin,
 		func() {
 			fn(t)
+			cs := t.tel.Start()
 			t.commit()
+			t.tel.CommitPhase(cs)
 		},
-		func(abort.Reason) {
+		func(r abort.Reason) {
 			t.rollback()
 			s.stats.aborts.Add(1)
+			t.tel.Abort(r)
 		},
 	)
 	s.stats.commits.Add(1)
+	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	t.undo = t.undo[:0]
 	s.pool.Put(t)

@@ -38,6 +38,15 @@ func structures(capacity int) map[string]func() txSet {
 	}
 }
 
+// stressIters scales a stress-test iteration count down under -short (the
+// CI race job) while keeping full coverage in the default run.
+func stressIters(full int) int {
+	if testing.Short() {
+		return full / 5
+	}
+	return full
+}
+
 func TestStructuresMatchModel(t *testing.T) {
 	for name, mk := range structures(50000) {
 		t.Run(name, func(t *testing.T) {
@@ -70,7 +79,7 @@ func TestStructuresMatchModel(t *testing.T) {
 				}
 				return s.Len() == len(model)
 			}
-			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			if err := quick.Check(f, &quick.Config{MaxCount: stressIters(25)}); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -89,8 +98,8 @@ func TestStructuresConcurrentPairInvariant(t *testing.T) {
 					pairs   = 16
 					offset  = 300
 					workers = 6
-					txsEach = 100
 				)
+				txsEach := stressIters(100)
 				alg := mkAlg()
 				defer alg.Stop()
 				s := mkDS()
@@ -136,7 +145,7 @@ func TestRBTreeInvariantsSequential(t *testing.T) {
 	tree := stmds.NewRBTree(20000)
 	rng := rand.New(rand.NewPCG(7, 7))
 	inserted := map[int64]bool{}
-	for i := 0; i < 3000; i++ {
+	for i := 0; i < stressIters(3000); i++ {
 		k := int64(rng.IntN(2000))
 		if rng.IntN(3) < 2 {
 			alg.Atomic(func(tx stm.Tx) { tree.Insert(tx, k) })
@@ -159,7 +168,7 @@ func TestRBTreeInvariantsConcurrent(t *testing.T) {
 	alg := norec.New()
 	tree := stmds.NewRBTree(200000)
 	const workers = 6
-	const opsEach = 300
+	opsEach := stressIters(300)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -212,7 +221,7 @@ func TestHashMapConcurrentConservation(t *testing.T) {
 	alg := tl2.New()
 	m := stmds.NewHashMap(64, 100000)
 	const workers = 6
-	const each = 200
+	each := int64(stressIters(200))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -225,7 +234,7 @@ func TestHashMapConcurrentConservation(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
-	if got := m.Len(); got != workers*each {
+	if got := m.Len(); int64(got) != workers*each {
 		t.Fatalf("Len = %d, want %d", got, workers*each)
 	}
 	chk := glock.New()

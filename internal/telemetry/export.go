@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/abort"
+)
+
+// Vars returns the registry's snapshot in the map shape published over
+// expvar: meter name → counters, abort-reason breakdown, and latency
+// summaries (mean / p50 / p99 in nanoseconds).
+func (r *Registry) Vars() map[string]any {
+	out := make(map[string]any)
+	out["enabled"] = r.Enabled()
+	for _, s := range r.Snapshot() {
+		if s.Commits == 0 && s.TotalAborts() == 0 && s.Fallbacks == 0 {
+			continue
+		}
+		aborts := make(map[string]uint64, abort.NumReasons)
+		for rr := abort.Reason(0); rr < abort.NumReasons; rr++ {
+			if s.Aborts[rr] != 0 {
+				aborts[rr.String()] = s.Aborts[rr]
+			}
+		}
+		out[s.Name] = map[string]any{
+			"commits":        s.Commits,
+			"aborts":         aborts,
+			"retries":        s.Retries,
+			"fallbacks":      s.Fallbacks,
+			"abort_rate":     s.AbortRate(),
+			"tx_latency":     latencyVars(s.TxLatency),
+			"commit_latency": latencyVars(s.CommitLatency),
+		}
+	}
+	return out
+}
+
+func latencyVars(h HistogramSnapshot) map[string]any {
+	return map[string]any{
+		"count":   h.Total,
+		"mean_ns": int64(h.Mean()),
+		"p50_ns":  int64(h.Quantile(0.50)),
+		"p99_ns":  int64(h.Quantile(0.99)),
+	}
+}
+
+var publishOnce sync.Once
+
+// Publish registers the Default registry under the expvar name
+// "transactions", making snapshots available on /debug/vars for any process
+// that serves expvar. Safe to call multiple times.
+func Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("transactions", expvar.Func(func() any {
+			return Default.Vars()
+		}))
+	})
+}
+
+// Do runs f with the runtime/pprof label {"algorithm": name} when the
+// registry is enabled, so CPU profiles taken during a run can be split per
+// algorithm. Labels are inherited by goroutines started inside f, which
+// covers the bench harness's worker goroutines. When disabled, f runs
+// unlabeled with no overhead.
+func (r *Registry) Do(name string, f func()) {
+	if !r.Enabled() {
+		f()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("algorithm", name), func(context.Context) { f() })
+}
+
+// WriteTable renders the snapshots as an aligned abort-reason table, one row
+// per meter with recorded activity:
+//
+//	algorithm   commits   aborts   rate   conflict   lock-busy   invalidated   explicit   fallbacks   p50     p99
+//
+// It is shared by cmd/stmbench, cmd/reproduce and the bench figure drivers.
+func WriteTable(w io.Writer, snaps []MeterSnapshot) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "algorithm\tcommits\taborts\trate")
+	for r := abort.Reason(0); r < abort.NumReasons; r++ {
+		fmt.Fprintf(tw, "\t%s", r)
+	}
+	fmt.Fprint(tw, "\tfallbacks\ttx-p50\ttx-p99\tcommit-p50\n")
+	for _, s := range snaps {
+		if s.Commits == 0 && s.TotalAborts() == 0 && s.Fallbacks == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f", s.Name, s.Commits, s.TotalAborts(), s.AbortRate())
+		for r := abort.Reason(0); r < abort.NumReasons; r++ {
+			fmt.Fprintf(tw, "\t%d", s.Aborts[r])
+		}
+		fmt.Fprintf(tw, "\t%d\t%v\t%v\t%v\n",
+			s.Fallbacks, s.TxLatency.Quantile(0.50), s.TxLatency.Quantile(0.99),
+			s.CommitLatency.Quantile(0.50))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of power-of-two latency buckets. Bucket i counts
+// durations d (in nanoseconds) with bits.Len64(d) == i, i.e. bucket 0 is
+// exactly 0ns, bucket i (i>0) covers [2^(i-1), 2^i). 48 buckets reach
+// 2^47 ns ≈ 39 hours, far beyond any transaction here; longer durations
+// clamp into the last bucket.
+const NumBuckets = 48
+
+// Histogram is a lock-free power-of-two-bucket latency histogram. Observe
+// is a single atomic add on the bucket plus one on the running sum; there
+// is no lock anywhere, so recording goroutines never wait on readers.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64 // total observed nanoseconds, for the mean
+}
+
+// bucketOf returns the bucket index for a duration of ns nanoseconds.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketLow returns the inclusive lower bound of bucket i in nanoseconds.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// BucketHigh returns the exclusive upper bound of bucket i in nanoseconds.
+func BucketHigh(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	return 1 << i
+}
+
+// Observe records one duration of ns nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// Snapshot copies the bucket counts and sum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Total += c
+	}
+	s.SumNS = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Total  uint64
+	SumNS  int64
+}
+
+// Mean returns the average observed duration (zero if empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Total))
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// exclusive upper edge of the bucket containing the q-th observation.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Total))
+	if rank >= s.Total {
+		rank = s.Total - 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(BucketHigh(i))
+		}
+	}
+	return time.Duration(BucketHigh(NumBuckets - 1))
+}
+
+// String renders the non-empty buckets compactly, e.g. "[1µs,2µs):1234".
+func (s HistogramSnapshot) String() string {
+	if s.Total == 0 {
+		return "empty"
+	}
+	out := ""
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("[%v,%v):%d",
+			time.Duration(BucketLow(i)), time.Duration(BucketHigh(i)), c)
+	}
+	return out
+}

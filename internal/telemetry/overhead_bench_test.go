@@ -1,0 +1,72 @@
+package telemetry_test
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/bench"
+	"repro/internal/otb"
+	"repro/internal/telemetry"
+)
+
+// benchOTBListSet runs the OTB list-set microbenchmark (the paper's primary
+// workload) with the Default registry in the given state. Comparing the
+// disabled and enabled variants bounds the telemetry overhead; the ISSUE's
+// acceptance bar is < 2% for the disabled (default) state, where every wired
+// call site reduces to one predictable branch.
+func benchOTBListSet(b *testing.B, enabled bool) {
+	telemetry.Default.SetEnabled(enabled)
+	defer func() {
+		telemetry.Default.SetEnabled(false)
+		telemetry.Default.Reset()
+	}()
+
+	wl := bench.SetWorkload{InitialSize: 512, KeyRange: 512 * 8, WritePct: 20, OpsPerTx: 1}
+	d := bench.NewOTBDriver(otb.NewListSet())
+	defer d.Stop()
+	wl.Populate(d)
+
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(worker.Add(1))
+		gen := wl.NewSetWorker(id)
+		rng := rand.New(rand.NewPCG(uint64(id), 99))
+		for pb.Next() {
+			d.RunTx(gen(rng))
+		}
+	})
+}
+
+func BenchmarkOTBListSetTelemetryDisabled(b *testing.B) { benchOTBListSet(b, false) }
+func BenchmarkOTBListSetTelemetryEnabled(b *testing.B)  { benchOTBListSet(b, true) }
+
+// BenchmarkDisabledRecord measures the raw cost of one fully wired
+// record sequence (Start/Abort/Commit) against a disabled registry — the
+// per-transaction tax every runtime pays when telemetry is off.
+func BenchmarkDisabledRecord(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	l := reg.Meter("alg").Local()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := l.Start()
+		l.Abort(abort.Conflict)
+		l.Commit(s)
+	}
+}
+
+// BenchmarkEnabledRecord is the same sequence with recording on (one shard,
+// uncontended), bounding the enabled fast-path cost.
+func BenchmarkEnabledRecord(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	l := reg.Meter("alg").Local()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := l.Start()
+		l.Abort(abort.Conflict)
+		l.Commit(s)
+	}
+}

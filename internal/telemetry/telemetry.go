@@ -1,0 +1,328 @@
+// Package telemetry is the low-overhead statistics subsystem shared by every
+// transactional runtime in the repository: commits, aborts broken down by
+// abort.Reason, retries, fallbacks, and power-of-two latency histograms for
+// commit phases and whole transactions.
+//
+// Design constraints, in order:
+//
+//  1. Near-zero cost when disabled. Every runtime is wired unconditionally,
+//     so the recording fast path must collapse to one predictable branch (a
+//     relaxed load of the registry's enabled flag). The package-level Default
+//     registry starts disabled; nil *Meter and nil *Local are also valid
+//     no-op recorders, so uninstrumented call sites pay nothing.
+//  2. No cross-goroutine contention when enabled. Counters are sharded:
+//     each transaction descriptor holds a Local handle bound to one
+//     cache-line-padded shard, assigned round-robin at descriptor creation.
+//     Descriptors are pooled per-P (sync.Pool), so a shard is effectively
+//     goroutine-local while a transaction runs and increments are
+//     uncontended atomic adds on a private cache line.
+//  3. Readers never stop writers. Snapshot sums the shards with relaxed
+//     atomic loads; Reset zeroes them the same way. Both are wait-free with
+//     respect to recording.
+//
+// Typical wiring (see internal/stm/norec for the real thing):
+//
+//	mtr := telemetry.M("NOrec")          // meter from the Default registry
+//	tel := mtr.Local()                   // one per pooled tx descriptor
+//	start := tel.Start()
+//	... run the retry loop, tel.Abort(reason) on each failed attempt ...
+//	tel.Commit(start)                    // count + transaction latency
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/abort"
+)
+
+// shardPad pads a shard to two cache lines so adjacent shards never share
+// one (the counter block itself is just under one line).
+const shardPad = 128
+
+// shard is one cache-line-padded counter block. All fields are updated with
+// relaxed atomics by the (usually single) goroutine whose descriptors hold
+// the shard, and summed by Snapshot.
+type shard struct {
+	commits   atomic.Uint64
+	retries   atomic.Uint64
+	fallbacks atomic.Uint64
+	aborts    [abort.NumReasons]atomic.Uint64
+	_         [shardPad - (3+abort.NumReasons)*8]byte
+}
+
+// Meter collects statistics for one transactional runtime (one algorithm).
+// Meters are created through a Registry and shared by every instance of the
+// algorithm; a nil *Meter is a valid no-op recorder.
+type Meter struct {
+	name   string
+	on     *atomic.Bool // the owning registry's enabled flag
+	shards []shard
+	next   atomic.Uint32 // round-robin shard assignment for Local()
+
+	txLat     Histogram // whole-transaction latency (committed txs)
+	commitLat Histogram // commit-phase latency
+}
+
+// Name returns the meter's (algorithm) name.
+func (m *Meter) Name() string {
+	if m == nil {
+		return ""
+	}
+	return m.name
+}
+
+// enabled reports whether recording is on; the single predictable branch on
+// every hot path.
+func (m *Meter) enabled() bool { return m != nil && m.on.Load() }
+
+// Local returns a recording handle bound to one shard of the meter,
+// assigned round-robin. Hold one per transaction descriptor (descriptors
+// are pooled per-P, so the shard stays effectively goroutine-local). A nil
+// meter returns a nil Local, which is a valid no-op recorder.
+func (m *Meter) Local() *Local {
+	if m == nil {
+		return nil
+	}
+	i := m.next.Add(1) - 1
+	return &Local{m: m, s: &m.shards[int(i)%len(m.shards)]}
+}
+
+// Local is a shard-bound recording handle. All methods are nil-safe and
+// no-ops while the owning registry is disabled.
+type Local struct {
+	m *Meter
+	s *shard
+}
+
+// Stamp is a start time captured by Start; the zero Stamp means "telemetry
+// was disabled at Start", and the matching observe call does nothing.
+type Stamp int64
+
+// Start returns a timestamp for latency recording, or zero when disabled.
+func (l *Local) Start() Stamp {
+	if l == nil || !l.m.enabled() {
+		return 0
+	}
+	return Stamp(time.Now().UnixNano())
+}
+
+// since returns the elapsed nanoseconds for a stamp taken by Start.
+func since(s Stamp) int64 {
+	d := time.Now().UnixNano() - int64(s)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Commit records one committed transaction and, if start is a live stamp,
+// its whole-transaction latency.
+func (l *Local) Commit(start Stamp) {
+	if l == nil || !l.m.enabled() {
+		return
+	}
+	l.s.commits.Add(1)
+	if start != 0 {
+		l.m.txLat.Observe(since(start))
+	}
+}
+
+// CommitPhase records the latency of the commit phase itself (lock,
+// validate, publish, release), measured from a Start stamp taken at the
+// beginning of commit.
+func (l *Local) CommitPhase(start Stamp) {
+	if l == nil || start == 0 || !l.m.enabled() {
+		return
+	}
+	l.m.commitLat.Observe(since(start))
+}
+
+// Abort records one aborted attempt classified by reason, and the retry it
+// implies (every runtime here re-executes after an abort).
+func (l *Local) Abort(r abort.Reason) {
+	if l == nil || !l.m.enabled() {
+		return
+	}
+	if r < 0 || r >= abort.NumReasons {
+		r = abort.Conflict
+	}
+	l.s.aborts[r].Add(1)
+	l.s.retries.Add(1)
+}
+
+// Fallback records one fall-through to a slow path (e.g. the hybrid HTM
+// giving up on hardware and taking the software fallback).
+func (l *Local) Fallback() {
+	if l == nil || !l.m.enabled() {
+		return
+	}
+	l.s.fallbacks.Add(1)
+}
+
+// MeterSnapshot is a point-in-time copy of a meter's counters.
+type MeterSnapshot struct {
+	Name      string
+	Commits   uint64
+	Retries   uint64
+	Fallbacks uint64
+	Aborts    [abort.NumReasons]uint64
+
+	TxLatency     HistogramSnapshot
+	CommitLatency HistogramSnapshot
+}
+
+// TotalAborts sums the per-reason abort counts.
+func (s MeterSnapshot) TotalAborts() uint64 {
+	var t uint64
+	for _, a := range s.Aborts {
+		t += a
+	}
+	return t
+}
+
+// AbortRate returns aborted attempts over all attempts, in [0,1]; zero when
+// no attempts were recorded.
+func (s MeterSnapshot) AbortRate() float64 {
+	a := s.TotalAborts()
+	if a+s.Commits == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+s.Commits)
+}
+
+// Snapshot sums the meter's shards. It is wait-free and may run concurrently
+// with recording; the result is a consistent-enough sum for reporting (each
+// counter is individually exact at some instant during the call).
+func (m *Meter) Snapshot() MeterSnapshot {
+	if m == nil {
+		return MeterSnapshot{}
+	}
+	out := MeterSnapshot{Name: m.name}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		out.Commits += sh.commits.Load()
+		out.Retries += sh.retries.Load()
+		out.Fallbacks += sh.fallbacks.Load()
+		for r := range sh.aborts {
+			out.Aborts[r] += sh.aborts[r].Load()
+		}
+	}
+	out.TxLatency = m.txLat.Snapshot()
+	out.CommitLatency = m.commitLat.Snapshot()
+	return out
+}
+
+// Reset zeroes all counters and histograms.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.commits.Store(0)
+		sh.retries.Store(0)
+		sh.fallbacks.Store(0)
+		for r := range sh.aborts {
+			sh.aborts[r].Store(0)
+		}
+	}
+	m.txLat.Reset()
+	m.commitLat.Reset()
+}
+
+// defaultShards is the shard count for new meters: enough to spread the
+// descriptor pools of a many-core run, small enough that Snapshot stays
+// cheap.
+const defaultShards = 32
+
+// Registry is a named collection of meters sharing one enabled flag.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	on     atomic.Bool
+	mu     sync.Mutex
+	meters map[string]*Meter
+}
+
+// NewRegistry creates an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{meters: make(map[string]*Meter)}
+}
+
+// Meter returns the registry's meter with the given name, creating it on
+// first use. Meters are shared: every algorithm instance with the same name
+// records into the same meter. A nil registry returns a nil (no-op) meter.
+func (r *Registry) Meter(name string) *Meter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = &Meter{name: name, on: &r.on, shards: make([]shard, defaultShards)}
+		r.meters[name] = m
+	}
+	return m
+}
+
+// SetEnabled turns recording on or off for every meter of the registry.
+func (r *Registry) SetEnabled(on bool) {
+	if r != nil {
+		r.on.Store(on)
+	}
+}
+
+// Enabled reports whether the registry is recording.
+func (r *Registry) Enabled() bool { return r != nil && r.on.Load() }
+
+// Snapshot returns a snapshot of every meter, sorted by name. Meters with
+// no recorded activity are included (callers filter if they care).
+func (r *Registry) Snapshot() []MeterSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	meters := make([]*Meter, 0, len(r.meters))
+	for _, m := range r.meters {
+		meters = append(meters, m)
+	}
+	r.mu.Unlock()
+	out := make([]MeterSnapshot, 0, len(meters))
+	for _, m := range meters {
+		out = append(out, m.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes every meter of the registry.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	meters := make([]*Meter, 0, len(r.meters))
+	for _, m := range r.meters {
+		meters = append(meters, m)
+	}
+	r.mu.Unlock()
+	for _, m := range meters {
+		m.Reset()
+	}
+}
+
+// Default is the package-level registry every runtime wires into. It starts
+// disabled, making all wired call sites no-ops until Enable.
+var Default = NewRegistry()
+
+// M returns the Default registry's meter with the given name.
+func M(name string) *Meter { return Default.Meter(name) }
+
+// Enable turns on recording in the Default registry.
+func Enable() { Default.SetEnabled(true) }
+
+// Disable turns off recording in the Default registry.
+func Disable() { Default.SetEnabled(false) }
