@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cm"
 	"repro/internal/telemetry"
 )
 
@@ -31,9 +32,15 @@ func main() {
 		warmupFlag   = flag.Duration("warmup", 0, "per-point warmup (default per config)")
 		measureFlag  = flag.Duration("measure", 0, "per-point measurement window (default per config)")
 		telemetryOff = flag.Bool("no-telemetry", false, "disable per-experiment abort-reason telemetry tables")
+		cmPolicy     = flag.String("cm", "", "contention-management policy: "+strings.Join(cm.Names(), ", "))
+		cmBudget     = flag.Int("cm-budget", 0, "retry budget before serial-mode escalation (<0 disables)")
 	)
 	flag.Parse()
 
+	if err := cm.Configure(*cmPolicy, *cmBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
 	if !*telemetryOff {
 		telemetry.Enable()
 		telemetry.Publish()

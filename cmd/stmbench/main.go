@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/boosting"
+	"repro/internal/cm"
 	"repro/internal/conc"
 	"repro/internal/integrate"
 	"repro/internal/otb"
@@ -110,9 +112,15 @@ func main() {
 		capacity  = flag.Int("capacity", 1<<21, "arena capacity for stm-* structures (nodes)")
 		list      = flag.Bool("list", false, "list structures and algorithms, then exit")
 		noTel     = flag.Bool("no-telemetry", false, "disable the end-of-run telemetry snapshot")
+		cmPolicy  = flag.String("cm", "", "contention-management policy: "+strings.Join(cm.Names(), ", "))
+		cmBudget  = flag.Int("cm-budget", 0, "retry budget before serial-mode escalation (<0 disables)")
 	)
 	flag.Parse()
 
+	if err := cm.Configure(*cmPolicy, *cmBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
 	if !*noTel {
 		telemetry.Enable()
 		telemetry.Publish()

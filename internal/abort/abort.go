@@ -30,6 +30,9 @@ const (
 	Invalidated
 	// Explicit is a user-requested retry.
 	Explicit
+	// Timeout means a bounded lock-acquisition spin was exhausted
+	// (pessimistic boosting's deadlock-avoidance timeout).
+	Timeout
 
 	// NumReasons is the number of distinct abort reasons; statistics
 	// layers (package telemetry) size per-reason counter arrays with it.
@@ -47,6 +50,8 @@ func (r Reason) String() string {
 		return "invalidated"
 	case Explicit:
 		return "explicit"
+	case Timeout:
+		return "timeout"
 	default:
 		return "unknown"
 	}
@@ -64,30 +69,99 @@ type Stats struct {
 	Aborts  uint64
 }
 
+// Manager is the contention-management hook RunPolicy consults around each
+// attempt. The canonical implementation is *cm.Manager (package
+// internal/cm); the indirection keeps this package free of a dependency on
+// the policy layer.
+//
+// A Manager is shared by many goroutines; all methods must be safe for
+// concurrent use. Per-transaction pacing state (the consecutive-abort count)
+// is carried by the retry loop and passed in, so implementations stay
+// stateless per call.
+type Manager interface {
+	// Pause blocks while an escalated transaction elsewhere runs in serial
+	// mode. It is called before every optimistic attempt, so the
+	// no-escalation fast path must be near-free (one atomic load).
+	Pause()
+	// OnAbort is called after the n-th consecutive aborted attempt (n >= 1)
+	// of one transaction, with the abort's reason. It waits according to the
+	// policy and reports whether the transaction has exhausted its retry
+	// budget and must escalate to serial mode before the next attempt.
+	OnAbort(n int, r Reason) (escalate bool)
+	// Escalate acquires the process-wide serial-mode gate: it blocks until
+	// this transaction is the only escalated one, then stops new optimistic
+	// attempts from starting (they block in Pause) until Release.
+	Escalate()
+	// Release releases the serial-mode gate after the escalated transaction
+	// commits.
+	Release()
+}
+
 // Run executes attempt repeatedly until it completes without aborting.
 //
 // Before each attempt it calls begin; after an abort it calls rollback with
 // the signal's reason, waits with exponential backoff, and retries. Panics
 // that are not abort Signals propagate unchanged. Stats, if non-nil, is
 // updated by the calling goroutine only.
+//
+// Run is the legacy fixed-policy entry point, kept for callers that need no
+// contention management; it is RunPolicy with a nil Manager.
 func Run(stats *Stats, begin func(), attempt func(), rollback func(Reason)) {
+	RunPolicy(stats, nil, begin, attempt, rollback)
+}
+
+// RunPolicy is Run with a pluggable contention manager. A nil Manager gives
+// the default yielding exponential backoff and never escalates.
+//
+// With a Manager, every optimistic attempt first passes the serial-mode
+// gate (Manager.Pause); after each abort the manager paces the retry and
+// decides whether the per-transaction retry budget is exhausted. When it
+// is, the transaction acquires the process-wide serial gate and retries
+// without policy waits until it commits — new optimistic attempts
+// everywhere block at the gate meanwhile, so the escalated transaction
+// competes only with attempts already in flight and commits after a
+// bounded number of retries. RunPolicy reports whether the transaction
+// escalated, so callers can record it (telemetry's Escalated counter).
+func RunPolicy(stats *Stats, m Manager, begin func(), attempt func(), rollback func(Reason)) (escalated bool) {
 	var b spin.Backoff
+	n := 0
 	for {
-		if done := runOnce(begin, attempt, rollback); done {
+		if m != nil && !escalated {
+			m.Pause()
+		}
+		done, r := runOnce(begin, attempt, rollback)
+		if done {
 			if stats != nil {
 				stats.Commits++
 			}
-			return
+			if escalated {
+				m.Release()
+			}
+			return escalated
 		}
 		if stats != nil {
 			stats.Aborts++
 		}
-		b.Wait()
+		n++
+		switch {
+		case m == nil:
+			b.Wait()
+		case escalated:
+			// Already serial: retry immediately, but still yield so attempts
+			// that were in flight when the gate closed can finish (mandatory
+			// when GOMAXPROCS=1).
+			b.Wait()
+		case m.OnAbort(n, r):
+			m.Escalate()
+			escalated = true
+			b.Reset()
+		}
 	}
 }
 
-// runOnce runs one attempt, converting an abort Signal into a false return.
-func runOnce(begin func(), attempt func(), rollback func(Reason)) (committed bool) {
+// runOnce runs one attempt, converting an abort Signal into a false return
+// carrying the signal's reason.
+func runOnce(begin func(), attempt func(), rollback func(Reason)) (committed bool, reason Reason) {
 	defer func() {
 		if p := recover(); p != nil {
 			sig, ok := p.(Signal)
@@ -95,10 +169,10 @@ func runOnce(begin func(), attempt func(), rollback func(Reason)) (committed boo
 				panic(p)
 			}
 			rollback(sig.Reason)
-			committed = false
+			committed, reason = false, sig.Reason
 		}
 	}()
 	begin()
 	attempt()
-	return true
+	return true, 0
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
@@ -131,6 +132,15 @@ type TunerConfig struct {
 	// Window is the minimum number of attempts (commits+aborts) that must
 	// accumulate between decisions; smaller windows are ignored as noise.
 	Window uint64
+
+	// CM, when non-nil, is a contention manager the tuner also retunes on
+	// the same hysteresis: crossing HighWater installs StormPolicy, dropping
+	// under LowWater restores CalmPolicy. Both must name registered cm
+	// policies when CM is set; empty strings default to "polite" (storm) and
+	// "backoff" (calm). Managers swap policies atomically, so retuning needs
+	// no drain.
+	CM                      *cm.Manager
+	CalmPolicy, StormPolicy string
 }
 
 // Tuner drives STM.Switch from live telemetry abort rates, replacing the
@@ -143,6 +153,8 @@ type Tuner struct {
 	reg  *telemetry.Registry
 	cfg  TunerConfig
 	last map[string]window
+
+	calm, storm cm.Policy // resolved from cfg when cfg.CM is set
 }
 
 // window is the (commits, aborts) baseline of one meter at the previous
@@ -167,7 +179,23 @@ func NewTuner(s *STM, reg *telemetry.Registry, cfg TunerConfig) (*Tuner, error) 
 	if cfg.Window == 0 {
 		cfg.Window = 1
 	}
-	return &Tuner{s: s, reg: reg, cfg: cfg, last: make(map[string]window)}, nil
+	t := &Tuner{s: s, reg: reg, cfg: cfg, last: make(map[string]window)}
+	if cfg.CM != nil {
+		if cfg.CalmPolicy == "" {
+			cfg.CalmPolicy = "backoff"
+		}
+		if cfg.StormPolicy == "" {
+			cfg.StormPolicy = "polite"
+		}
+		var ok bool
+		if t.calm, ok = cm.Lookup(cfg.CalmPolicy); !ok {
+			return nil, fmt.Errorf("adaptive: tuner names unknown cm policy %q", cfg.CalmPolicy)
+		}
+		if t.storm, ok = cm.Lookup(cfg.StormPolicy); !ok {
+			return nil, fmt.Errorf("adaptive: tuner names unknown cm policy %q", cfg.StormPolicy)
+		}
+	}
+	return t, nil
 }
 
 // rate returns the active algorithm's abort rate and attempt count over the
@@ -204,10 +232,16 @@ func (t *Tuner) Observe() (switched bool, err error) {
 		// trigger an immediate switch back.
 		fb := t.reg.Meter(t.cfg.Fallback).Snapshot()
 		t.last[t.cfg.Fallback] = window{commits: fb.Commits, aborts: fb.TotalAborts()}
+		if t.cfg.CM != nil {
+			t.cfg.CM.SetPolicy(t.storm)
+		}
 		return true, t.s.Switch(t.cfg.Fallback)
 	case active == t.cfg.Fallback && rate <= t.cfg.LowWater:
 		pf := t.reg.Meter(t.cfg.Preferred).Snapshot()
 		t.last[t.cfg.Preferred] = window{commits: pf.Commits, aborts: pf.TotalAborts()}
+		if t.cfg.CM != nil {
+			t.cfg.CM.SetPolicy(t.calm)
+		}
 		return true, t.s.Switch(t.cfg.Preferred)
 	}
 	return false, nil

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/abort"
 	"repro/internal/adaptive"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/rtc"
 	"repro/internal/stm"
@@ -176,5 +177,60 @@ func TestTunerValidation(t *testing.T) {
 		Preferred: "NOrec", Fallback: "NOrec", HighWater: 0.1, LowWater: 0.5,
 	}); err == nil {
 		t.Fatal("inverted watermarks should error")
+	}
+}
+
+// TestTunerRetunesCM checks that the tuner moves the contention manager
+// between its calm and storm policies on the same hysteresis that switches
+// algorithms.
+func TestTunerRetunesCM(t *testing.T) {
+	s, err := adaptive.New(norec.New(), tl2.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	mgr := cm.New(cm.Backoff, cm.DefaultBudget)
+	tn, err := adaptive.NewTuner(s, reg, adaptive.TunerConfig{
+		Preferred: "NOrec", Fallback: "TL2",
+		HighWater: 0.5, LowWater: 0.1, Window: 10,
+		CM: mgr, CalmPolicy: "karma", StormPolicy: "polite",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	norecTel := reg.Meter("NOrec").Local()
+	tl2Tel := reg.Meter("TL2").Local()
+
+	for i := 0; i < 20; i++ {
+		norecTel.Abort(abort.Conflict)
+	}
+	if sw, err := tn.Observe(); err != nil || !sw {
+		t.Fatalf("Observe over high water: switched=%v err=%v", sw, err)
+	}
+	if got := mgr.Policy().Name(); got != "polite" {
+		t.Fatalf("storm policy = %q, want polite", got)
+	}
+
+	for i := 0; i < 20; i++ {
+		tl2Tel.Commit(0)
+	}
+	if sw, err := tn.Observe(); err != nil || !sw {
+		t.Fatalf("Observe under low water: switched=%v err=%v", sw, err)
+	}
+	if got := mgr.Policy().Name(); got != "karma" {
+		t.Fatalf("calm policy = %q, want karma", got)
+	}
+
+	// Unknown policy names are rejected at construction.
+	if _, err := adaptive.NewTuner(s, reg, adaptive.TunerConfig{
+		Preferred: "NOrec", Fallback: "TL2",
+		HighWater: 0.5, LowWater: 0.1,
+		CM: mgr, StormPolicy: "nope",
+	}); err == nil {
+		t.Fatal("unknown cm policy should error")
 	}
 }

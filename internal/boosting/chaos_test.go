@@ -1,0 +1,104 @@
+package boosting
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/abort"
+	"repro/internal/chaos"
+	"repro/internal/conc"
+	"repro/internal/telemetry"
+)
+
+// TestChaosForeignLockTimesOut drives a single hand-built transaction
+// against a write-held abstract lock: the acquisition spin must exhaust the
+// policy's attempt bound and abort with the timeout reason.
+func TestChaosForeignLockTimesOut(t *testing.T) {
+	set := NewSet(conc.NewLazyList(), 64)
+	l := set.locks.For(42)
+	if !l.tryWrite() {
+		t.Fatal("could not take foreign write hold")
+	}
+	defer l.releaseWrite()
+
+	tx := &Tx{}
+	chaos.ExpectAbort(t, abort.Timeout, func() { tx.AcquireWrite(l) })
+	tx.rollback()
+}
+
+// TestChaosTimeoutTelemetryLine holds a foreign lock until the victim
+// transaction has recorded at least one timeout abort on the boosting
+// meter's dedicated timeout line, then releases it and checks the victim
+// commits.
+func TestChaosTimeoutTelemetryLine(t *testing.T) {
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	before := telemetry.M("PessimisticBoosted").Snapshot().Aborts[abort.Timeout]
+
+	set := NewSet(conc.NewLazyList(), 64)
+	l := set.locks.For(7)
+	if !l.tryWrite() {
+		t.Fatal("could not take foreign write hold")
+	}
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		// Hold until the victim has timed out at least once.
+		for telemetry.M("PessimisticBoosted").Snapshot().Aborts[abort.Timeout] == before {
+			time.Sleep(100 * time.Microsecond)
+		}
+		l.releaseWrite()
+	}()
+
+	Atomic(nil, nil, func(tx *Tx) { set.Add(tx, 7) })
+	<-released
+
+	after := telemetry.M("PessimisticBoosted").Snapshot().Aborts[abort.Timeout]
+	if after <= before {
+		t.Fatalf("timeout aborts = %d, want > %d", after, before)
+	}
+	ok := false
+	Atomic(nil, nil, func(tx *Tx) { ok = set.Contains(tx, 7) })
+	if !ok {
+		t.Fatal("victim transaction should have committed its insert")
+	}
+}
+
+// TestChaosStormConsistency runs a write storm against one boosted set and
+// checks the final contents match the committed operations (undo logs must
+// have rolled every timed-out attempt back exactly).
+func TestChaosStormConsistency(t *testing.T) {
+	set := NewSet(conc.NewLazyList(), 8) // few stripes: force lock conflicts
+	const workers = 8
+	var adds [workers]atomic.Int64
+	stop := chaos.Storm(workers, func(w int) {
+		key := int64(w) // one key per worker, colliding stripes
+		Atomic(nil, nil, func(tx *Tx) {
+			if set.Add(tx, key) {
+				set.Remove(tx, key)
+				set.Add(tx, key)
+			}
+		})
+		adds[w].Add(1)
+	})
+	// Run until every worker has committed at least once.
+	deadline := time.Now().Add(10 * time.Second)
+	for w := 0; w < workers; w++ {
+		for adds[w].Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stop()
+
+	for w := 0; w < workers; w++ {
+		if adds[w].Load() == 0 {
+			t.Errorf("worker %d never committed", w)
+		}
+		present := false
+		Atomic(nil, nil, func(tx *Tx) { present = set.Contains(tx, int64(w)) })
+		if !present {
+			t.Errorf("key %d should be present after the storm", w)
+		}
+	}
+}

@@ -11,14 +11,10 @@ import (
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
 )
-
-// acquireAttempts bounds lock acquisition; exceeding it aborts the
-// transaction (timeout-based deadlock avoidance, as in the original
-// boosting implementation).
-const acquireAttempts = 64
 
 // RWLock is an abstract reader/writer lock: state counts readers, or is -1
 // when write-held. A waiting-writers gate gives writers priority — without
@@ -101,12 +97,28 @@ type Tx struct {
 	held []heldLock
 	undo []func()
 	ctr  *spin.Counters
+	mgr  *cm.Manager // resolved contention manager for this execution
 	tel  *telemetry.Local
 }
 
-// meter collects pessimistic-boosting statistics; lock-timeout aborts show
-// up under the lock-busy reason.
+// meter collects pessimistic-boosting statistics; exhausted lock-
+// acquisition spins show up under the timeout reason, locks observed busy
+// at acquisition under lock-busy.
 var meter = telemetry.M("PessimisticBoosted")
+
+// cmgr is the contention manager boosted transactions run under; nil means
+// the shared cm.Default manager. The policy also sets the abstract-lock
+// acquisition timeout (Policy.LockAttempts), replacing the former package
+// constant.
+var cmgr atomic.Pointer[cm.Manager]
+
+func init() {
+	meter.SetPolicySource(func() string { return cm.Or(cmgr.Load()).Policy().Name() })
+}
+
+// SetManager installs the contention manager (nil restores the shared
+// default). Safe during live traffic.
+func SetManager(m *cm.Manager) { cmgr.Store(m) }
 
 // txPool recycles transaction descriptors (with their shard-bound telemetry
 // handles) across Atomic calls.
@@ -117,8 +129,9 @@ var txPool = sync.Pool{New: func() any { return &Tx{tel: meter.Local()} }}
 func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 	tx := txPool.Get().(*Tx)
 	tx.ctr = ctr
+	tx.mgr = cm.Or(cmgr.Load())
 	start := tx.tel.Start()
-	abort.Run(stats,
+	escalated := abort.RunPolicy(stats, tx.mgr,
 		func() {
 			tx.held = tx.held[:0]
 			tx.undo = tx.undo[:0]
@@ -132,8 +145,12 @@ func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 			tx.tel.Abort(r)
 		},
 	)
+	if escalated {
+		tx.tel.Escalated()
+	}
 	tx.tel.Commit(start)
 	tx.ctr = nil
+	tx.mgr = nil
 	txPool.Put(tx)
 }
 
@@ -180,17 +197,32 @@ func (tx *Tx) spinAcquireWrite(l *RWLock, try func(*RWLock) bool) {
 	tx.spinAcquire(l, try)
 }
 
-// spinAcquire retries try with backoff, aborting after acquireAttempts.
+// spinAcquire retries try with backoff up to the contention-manager
+// policy's lock-attempt bound (timeout-based deadlock avoidance, as in the
+// original boosting implementation), then aborts with the timeout reason —
+// its own telemetry line, distinct from locks found busy at commit.
 func (tx *Tx) spinAcquire(l *RWLock, try func(*RWLock) bool) {
+	attempts := tx.lockAttempts()
 	var b spin.Backoff
-	for i := 0; i < acquireAttempts; i++ {
+	for i := 0; i < attempts; i++ {
 		if try(l) {
 			return
 		}
 		tx.ctr.IncCAS()
 		b.Wait()
 	}
-	abort.Retry(abort.LockBusy)
+	abort.Retry(abort.Timeout)
+}
+
+// lockAttempts resolves the abstract-lock acquisition bound from the
+// transaction's contention-management policy (falling back to the package
+// manager for hand-built transactions that bypass Atomic).
+func (tx *Tx) lockAttempts() int {
+	m := tx.mgr
+	if m == nil {
+		m = cm.Or(cmgr.Load())
+	}
+	return m.Policy().LockAttempts()
 }
 
 func (tx *Tx) holds(l *RWLock) bool {

@@ -1,0 +1,217 @@
+package cm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/abort"
+)
+
+func TestLookupAndNames(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+		if p.LockAttempts() <= 0 {
+			t.Fatalf("policy %q has non-positive LockAttempts", name)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown policy succeeded")
+	}
+}
+
+// TestPoliciesWaitReturns drives every policy across the abort-count range;
+// waits must return promptly (bounded spins/sleeps) for every n.
+func TestPoliciesWaitReturns(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := Lookup(name)
+		start := time.Now()
+		for n := 1; n <= 32; n++ {
+			p.Wait(n, abort.Conflict)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("policy %q waits too long: %v for 32 aborts", name, d)
+		}
+	}
+}
+
+func TestManagerBudget(t *testing.T) {
+	m := New(Aggressive, 3)
+	if m.OnAbort(1, abort.Conflict) || m.OnAbort(2, abort.Conflict) {
+		t.Fatal("escalated before the budget was exhausted")
+	}
+	if !m.OnAbort(3, abort.Conflict) {
+		t.Fatal("did not escalate at the budget")
+	}
+	m.SetBudget(-1)
+	if m.OnAbort(1000, abort.Conflict) {
+		t.Fatal("escalated with escalation disabled")
+	}
+}
+
+func TestManagerPolicySwap(t *testing.T) {
+	m := New(nil, DefaultBudget)
+	if got := m.Policy().Name(); got != "backoff" {
+		t.Fatalf("nil policy resolved to %q, want backoff", got)
+	}
+	m.SetPolicy(Karma)
+	if got := m.Policy().Name(); got != "karma" {
+		t.Fatalf("after SetPolicy, policy = %q, want karma", got)
+	}
+}
+
+// TestSerialGate checks the escalation protocol: Pause blocks while the
+// gate is held and resumes when released, and escalations serialize.
+func TestSerialGate(t *testing.T) {
+	m := New(Backoff, DefaultBudget)
+	m.Escalate()
+	if !SerialActive() {
+		t.Fatal("gate not active after Escalate")
+	}
+
+	released := make(chan struct{})
+	paused := make(chan struct{})
+	go func() {
+		m.Pause() // must block until Release
+		select {
+		case <-released:
+		default:
+			t.Error("Pause returned while the serial gate was held")
+		}
+		close(paused)
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	close(released)
+	m.Release()
+	select {
+	case <-paused:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pause did not resume after Release")
+	}
+	if SerialActive() {
+		t.Fatal("gate still active after Release")
+	}
+	if m.Escalations() != 1 {
+		t.Fatalf("Escalations = %d, want 1", m.Escalations())
+	}
+}
+
+// TestEscalationsSerialize runs many concurrent escalations and checks
+// mutual exclusion inside the gate.
+func TestEscalationsSerialize(t *testing.T) {
+	m := New(Aggressive, 1)
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				m.Escalate()
+				if n := inside.Add(1); n != 1 {
+					t.Errorf("%d transactions inside the serial gate", n)
+				}
+				inside.Add(-1)
+				m.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Escalations() != 400 {
+		t.Fatalf("Escalations = %d, want 400", m.Escalations())
+	}
+}
+
+// TestRunPolicyEscalates drives abort.RunPolicy with a manager whose budget
+// forces escalation, checking the full loop: budget aborts, then the serial
+// retry commits.
+func TestRunPolicyEscalates(t *testing.T) {
+	const budget = 5
+	m := New(Aggressive, budget)
+	attempts := 0
+	var stats abort.Stats
+	escalated := abort.RunPolicy(&stats, m,
+		func() {},
+		func() {
+			attempts++
+			if attempts <= budget {
+				abort.Retry(abort.Conflict)
+			}
+			// The escalated attempt must run with the gate held.
+			if !SerialActive() {
+				t.Error("escalated attempt ran without the serial gate")
+			}
+		},
+		func(abort.Reason) {},
+	)
+	if !escalated {
+		t.Fatal("RunPolicy did not report escalation")
+	}
+	if attempts != budget+1 {
+		t.Fatalf("attempts = %d, want %d", attempts, budget+1)
+	}
+	if stats.Commits != 1 || stats.Aborts != budget {
+		t.Fatalf("stats = %+v, want 1 commit / %d aborts", stats, budget)
+	}
+	if SerialActive() {
+		t.Fatal("serial gate left closed after commit")
+	}
+}
+
+// TestRunPolicyNoEscalationUnderBudget checks that a transaction that
+// commits within its budget never touches the gate.
+func TestRunPolicyNoEscalationUnderBudget(t *testing.T) {
+	m := New(Backoff, 10)
+	attempts := 0
+	escalated := abort.RunPolicy(nil, m,
+		func() {},
+		func() {
+			attempts++
+			if attempts < 3 {
+				abort.Retry(abort.Conflict)
+			}
+		},
+		func(abort.Reason) {},
+	)
+	if escalated {
+		t.Fatal("escalated although the budget was not exhausted")
+	}
+	if m.Escalations() != 0 {
+		t.Fatalf("Escalations = %d, want 0", m.Escalations())
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	old, oldBudget := Default().Policy(), Default().Budget()
+	t.Cleanup(func() {
+		Default().SetPolicy(old)
+		Default().SetBudget(oldBudget)
+	})
+	if err := Configure("karma", 17); err != nil {
+		t.Fatal(err)
+	}
+	if got := Default().Policy().Name(); got != "karma" {
+		t.Fatalf("default policy = %q, want karma", got)
+	}
+	if got := Default().Budget(); got != 17 {
+		t.Fatalf("default budget = %d, want 17", got)
+	}
+	if err := Configure("bogus", 0); err == nil {
+		t.Fatal("Configure accepted an unknown policy")
+	}
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) != Default()")
+	}
+	m := New(Polite, 1)
+	if Or(m) != m {
+		t.Fatal("Or(m) != m")
+	}
+}

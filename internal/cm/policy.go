@@ -1,0 +1,182 @@
+package cm
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"repro/internal/abort"
+)
+
+// Policy paces the retries of one transaction. Wait is called off the
+// transactional fast path (only after an abort), so policies may be as
+// expensive as they like; they must be safe for concurrent use and carry no
+// per-transaction state — the consecutive-abort count n is passed in.
+type Policy interface {
+	// Name is the policy's registry key ("backoff", "polite", ...).
+	Name() string
+	// Wait blocks between the n-th consecutive aborted attempt (n >= 1) of
+	// one transaction and its next attempt; r is the abort's reason.
+	Wait(n int, r abort.Reason)
+	// LockAttempts bounds the lock-acquisition retries of timeout-based
+	// runtimes (pessimistic boosting's abstract locks): exceeding it aborts
+	// with abort.Timeout. More patient policies allow more attempts.
+	LockAttempts() int
+}
+
+// spinFor busy-waits for iters bounded iterations and then yields, the same
+// discipline as spin.Backoff: every wait reaches the scheduler, so pacing
+// can never starve the conflicting transaction on GOMAXPROCS=1.
+func spinFor(iters uint) {
+	if iters > maxSpinIters {
+		iters = maxSpinIters
+	}
+	for i := uint(0); i < iters; i++ {
+		spinHint()
+	}
+	runtime.Gosched()
+}
+
+// maxSpinIters bounds the busy iterations between yields (matches
+// spin.maxBackoffIters).
+const maxSpinIters = 1 << 8
+
+// spinHint is a tiny delay standing in for a PAUSE instruction.
+//
+//go:noinline
+func spinHint() {}
+
+// exp2 returns 1<<n saturated at 1<<lim.
+func exp2(n, lim int) uint {
+	if n > lim {
+		n = lim
+	}
+	if n < 0 {
+		n = 0
+	}
+	return uint(1) << n
+}
+
+// ---------------------------------------------------------------------------
+// Backoff — the default policy
+
+// backoffPolicy reproduces the repository's historical behaviour: yielding
+// exponential backoff, doubling the bounded spin window on every abort.
+type backoffPolicy struct{}
+
+func (backoffPolicy) Name() string { return "backoff" }
+
+func (backoffPolicy) Wait(n int, _ abort.Reason) {
+	spinFor(exp2(n-1, 8))
+}
+
+func (backoffPolicy) LockAttempts() int { return 64 }
+
+// ---------------------------------------------------------------------------
+// Polite
+
+// politePolicy backs off harder than the default and randomizes: the wait
+// window grows exponentially with jitter, and once a transaction has aborted
+// many times in a row it sleeps instead of spinning, surrendering the
+// processor to whoever keeps winning. Politeness trades personal latency for
+// system throughput under heavy interference (Scherer & Scott's Polite
+// manager).
+type politePolicy struct{}
+
+func (politePolicy) Name() string { return "polite" }
+
+func (politePolicy) Wait(n int, _ abort.Reason) {
+	if n > politeSleepThreshold {
+		// Long-suffering losers get fully out of the way. The sleep grows
+		// linearly and is capped so a doomed transaction still reaches its
+		// retry budget quickly.
+		d := time.Duration(n-politeSleepThreshold) * politeSleepUnit
+		if d > politeSleepCap {
+			d = politeSleepCap
+		}
+		time.Sleep(d)
+		return
+	}
+	// Randomized exponential window: jitter desynchronizes transactions that
+	// aborted on the same conflict and would otherwise collide again.
+	window := exp2(n, 8)
+	spinFor(window/2 + uint(rand.Uint64N(uint64(window/2+1))))
+}
+
+// politeSleepThreshold is the consecutive-abort count past which Polite
+// sleeps rather than spins; politeSleepUnit/Cap bound the sleep.
+const (
+	politeSleepThreshold = 6
+	politeSleepUnit      = 10 * time.Microsecond
+	politeSleepCap       = 200 * time.Microsecond
+)
+
+func (politePolicy) LockAttempts() int { return 256 }
+
+// ---------------------------------------------------------------------------
+// Karma
+
+// karmaPolicy accumulates priority with investment: every aborted attempt is
+// work the transaction has already sunk, so the longer it has been trying,
+// the *less* it waits — its karma entitles it to the next slot. Young
+// transactions back off the most, clearing the track for old ones. This is
+// the within-transaction reading of Scherer & Scott's Karma manager (the
+// enemy's priority is unknowable here, so waits derate against the
+// transaction's own seniority instead).
+type karmaPolicy struct{}
+
+func (karmaPolicy) Name() string { return "karma" }
+
+func (karmaPolicy) Wait(n int, _ abort.Reason) {
+	shift := n
+	if shift > 8 {
+		shift = 8
+	}
+	spinFor(maxSpinIters >> shift)
+}
+
+func (karmaPolicy) LockAttempts() int { return 128 }
+
+// ---------------------------------------------------------------------------
+// Aggressive
+
+// aggressivePolicy never waits: the transaction retries immediately (with
+// the mandatory scheduler yield). Best when conflicts are short and rare —
+// under real contention it burns the most retries and reaches the serial
+// fallback soonest, which is sometimes exactly the intent.
+type aggressivePolicy struct{}
+
+func (aggressivePolicy) Name() string { return "aggressive" }
+
+func (aggressivePolicy) Wait(int, abort.Reason) { runtime.Gosched() }
+
+func (aggressivePolicy) LockAttempts() int { return 8 }
+
+// Exported policy singletons; all are stateless and shareable.
+var (
+	Backoff    Policy = backoffPolicy{}
+	Polite     Policy = politePolicy{}
+	Karma      Policy = karmaPolicy{}
+	Aggressive Policy = aggressivePolicy{}
+)
+
+// policies is the name registry backing Lookup and the -cm flags.
+var policies = map[string]Policy{
+	Backoff.Name():    Backoff,
+	Polite.Name():     Polite,
+	Karma.Name():      Karma,
+	Aggressive.Name(): Aggressive,
+}
+
+// Lookup returns the policy registered under name.
+func Lookup(name string) (Policy, bool) {
+	p, ok := policies[name]
+	return p, ok
+}
+
+// Names returns the registered policy names, sorted.
+func Names() []string {
+	return []string{
+		Aggressive.Name(), Backoff.Name(), Karma.Name(), Polite.Name(),
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -79,6 +80,7 @@ type TM struct {
 	writeCap int
 	retries  int
 	ctr      spin.Counters
+	cmgr     *cm.Manager
 	stats    struct {
 		hwCommits atomic.Uint64
 		swCommits atomic.Uint64
@@ -104,9 +106,18 @@ func New(opts Options) *TM {
 		t.retries = 3
 	}
 	mtr := telemetry.M("HybridHTM")
+	mtr.SetPolicySource(func() string { return cm.Or(t.cmgr).Policy().Name() })
 	t.pool.New = func() any { return &htx{tm: t, tel: mtr.Local()} }
 	return t
 }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs. The hardware retry loop is a client of the same
+// machinery: attempts pause while any transaction runs in serial mode, the
+// policy paces retries, and a software fallback that exhausts its own retry
+// budget escalates like every other runtime.
+func (t *TM) SetManager(m *cm.Manager) { t.cmgr = m }
 
 // Name implements stm.Algorithm.
 func (t *TM) Name() string { return "HybridHTM" }
@@ -148,8 +159,11 @@ func (t *TM) Atomic(fn func(stm.Tx)) {
 		t.pool.Put(x)
 	}()
 	start := x.tel.Start()
-	var b spin.Backoff
+	m := cm.Or(t.cmgr)
 	for attempt := 0; attempt < t.retries; attempt++ {
+		// Serial-mode subscription: like the fallback-lock subscription,
+		// hardware attempts stand aside while any transaction runs serially.
+		m.Pause()
 		code, ok := t.tryHardware(x, fn)
 		if ok {
 			t.stats.hwCommits.Add(1)
@@ -167,10 +181,12 @@ func (t *TM) Atomic(fn func(stm.Tx)) {
 		if code == Capacity {
 			break // a bigger footprint will not fit next time either
 		}
-		b.Wait()
+		m.Policy().Wait(attempt+1, abort.Conflict)
 	}
 	x.tel.Fallback()
-	t.software(x, fn)
+	if t.software(x, fn, m) {
+		x.tel.Escalated()
+	}
 	t.stats.swCommits.Add(1)
 	x.tel.Commit(start)
 }
@@ -221,10 +237,11 @@ func (t *TM) tryHardware(x *htx, fn func(stm.Tx)) (code AbortCode, ok bool) {
 	return 0, true
 }
 
-// software runs the NOrec-style fallback to completion.
-func (t *TM) software(x *htx, fn func(stm.Tx)) {
+// software runs the NOrec-style fallback to completion, reporting whether
+// it had to escalate to serial mode.
+func (t *TM) software(x *htx, fn func(stm.Tx), m *cm.Manager) bool {
 	x.hardware = false
-	abort.Run(nil,
+	return abort.RunPolicy(nil, m,
 		func() {
 			x.reads = x.reads[:0]
 			x.writes.Reset()

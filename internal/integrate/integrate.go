@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/otb"
 	"repro/internal/spin"
@@ -73,6 +74,7 @@ type OTBNOrec struct {
 	// the optimization saves.
 	semanticLocks bool
 	ctr           spin.Counters
+	cmgr          *cm.Manager
 	stats         struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
@@ -83,9 +85,15 @@ type OTBNOrec struct {
 // NewOTBNOrec creates an OTB-NOrec instance.
 func NewOTBNOrec() *OTBNOrec {
 	s := &OTBNOrec{}
+	telemetry.M(s.Name()).SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	s.pool.New = func() any { return newNorecCtx(s) }
 	return s
 }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs.
+func (s *OTBNOrec) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // NewOTBNOrecSemanticLocks creates an instance with the lock-granularity
 // optimization ablated (semantic locks are acquired even though the global
@@ -140,7 +148,7 @@ func newNorecCtx(s *OTBNOrec) *norecCtx {
 func (s *OTBNOrec) Atomic(fn func(*Ctx)) {
 	t := s.pool.Get().(*norecCtx)
 	start := t.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(&t.ctx)
@@ -158,6 +166,9 @@ func (s *OTBNOrec) Atomic(fn func(*Ctx)) {
 			t.tel.Abort(r)
 		},
 	)
+	if escalated {
+		t.tel.Escalated()
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	t.ctx.sem.Reset()
@@ -263,6 +274,7 @@ type OTBTL2 struct {
 	clock atomic.Uint64
 	orecs []orec
 	ctr   spin.Counters
+	cmgr  *cm.Manager
 	stats struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
@@ -273,9 +285,15 @@ type OTBTL2 struct {
 // NewOTBTL2 creates an OTB-TL2 instance.
 func NewOTBTL2() *OTBTL2 {
 	s := &OTBTL2{orecs: make([]orec, 1<<orecBits)}
+	telemetry.M(s.Name()).SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	s.pool.New = func() any { return newTL2Ctx(s) }
 	return s
 }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs.
+func (s *OTBTL2) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Name implements Algorithm.
 func (s *OTBTL2) Name() string { return "OTB-TL2" }
@@ -332,7 +350,7 @@ func newTL2Ctx(s *OTBTL2) *tl2Ctx {
 func (s *OTBTL2) Atomic(fn func(*Ctx)) {
 	t := s.pool.Get().(*tl2Ctx)
 	start := t.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(&t.ctx)
@@ -347,6 +365,9 @@ func (s *OTBTL2) Atomic(fn func(*Ctx)) {
 			t.tel.Abort(r)
 		},
 	)
+	if escalated {
+		t.tel.Escalated()
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	t.ctx.sem.Reset()

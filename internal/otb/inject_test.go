@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/abort"
+	"repro/internal/chaos"
 )
 
 // TestCommitAbortsWhenNodeLockedExternally injects a held semantic lock on
@@ -18,30 +19,16 @@ func TestCommitAbortsWhenNodeLockedExternally(t *testing.T) {
 	if victim.key != 10 {
 		t.Fatalf("unexpected layout: first key %d", victim.key)
 	}
-	if _, ok := victim.lock.TryLock(); !ok {
-		t.Fatal("could not take foreign lock")
-	}
+	release := chaos.HoldVersionedLock(t, &victim.lock)
 
 	// Drive one attempt by hand: PreCommit must abort with LockBusy.
 	tx := NewTx(nil)
 	s.Add(tx, 20)
-	func() {
-		defer func() {
-			sig, ok := recover().(abort.Signal)
-			if !ok {
-				t.Fatalf("expected abort signal, got %v", sig)
-			}
-			if sig.Reason != abort.LockBusy {
-				t.Fatalf("reason = %v, want LockBusy", sig.Reason)
-			}
-		}()
-		tx.Commit()
-		t.Fatal("commit should have aborted under a foreign lock")
-	}()
+	chaos.ExpectAbort(t, abort.LockBusy, tx.Commit)
 	tx.Rollback()
 
 	// After the foreign holder releases, the same transaction succeeds.
-	victim.lock.UnlockUnchanged()
+	release()
 	run(t, func(tx *Tx) { s.Add(tx, 20) })
 	want := []int64{10, 20, 30}
 	if got := s.Keys(); !equalKeys(got, want) {
@@ -64,12 +51,9 @@ func TestValidationFailsWhenNodeRemovedUnderneath(t *testing.T) {
 				t.Error("first attempt should see 5")
 			}
 			// A concurrent transaction removes 5 and commits.
-			done := make(chan struct{})
-			go func() {
+			chaos.CommitConcurrently(func() {
 				Atomic(nil, func(tx2 *Tx) { s.Remove(tx2, 5) })
-				close(done)
-			}()
-			<-done
+			})
 			// Our presentOnly entry for 5 is now invalid; the next
 			// operation's post-validation must abort us.
 			s.Contains(tx, 99)
@@ -93,12 +77,9 @@ func TestSkipSetValidationAbortsOnConflict(t *testing.T) {
 			if !present {
 				t.Error("first attempt should see 5")
 			}
-			done := make(chan struct{})
-			go func() {
+			chaos.CommitConcurrently(func() {
 				Atomic(nil, func(tx2 *Tx) { s.Remove(tx2, 5) })
-				close(done)
-			}()
-			<-done
+			})
 			s.Contains(tx, 99)
 			t.Error("post-validation should have aborted attempt 1")
 		}
@@ -122,12 +103,9 @@ func TestAbsentEntryInvalidatedByInsert(t *testing.T) {
 			if present {
 				t.Error("5 should be absent initially")
 			}
-			done := make(chan struct{})
-			go func() {
+			chaos.CommitConcurrently(func() {
 				Atomic(nil, func(tx2 *Tx) { s.Add(tx2, 5) })
-				close(done)
-			}()
-			<-done
+			})
 			s.Contains(tx, 99) // triggers post-validation
 			t.Error("adjacency validation should have aborted attempt 1")
 		} else if !present {
@@ -137,4 +115,29 @@ func TestAbsentEntryInvalidatedByInsert(t *testing.T) {
 	if attempts != 2 {
 		t.Fatalf("attempts = %d, want 2", attempts)
 	}
+}
+
+// TestAbortInjectorForcesRetries checks the chaos injector against the OTB
+// retry loop: exactly n forced aborts, then a clean commit.
+func TestAbortInjectorForcesRetries(t *testing.T) {
+	s := NewListSet()
+	inj := chaos.NewAbortInjector(3, abort.Conflict)
+	var st abort.Stats
+	attempts := 0
+	Atomic(&st, func(tx *Tx) {
+		attempts++
+		inj.Hit()
+		s.Add(tx, 7)
+	})
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	if st.Aborts != 3 {
+		t.Fatalf("aborts = %d, want 3", st.Aborts)
+	}
+	run(t, func(tx *Tx) {
+		if !s.Contains(tx, 7) {
+			t.Error("7 should have been inserted on the final attempt")
+		}
+	})
 }

@@ -1,0 +1,71 @@
+package otb
+
+import (
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/chaos"
+	"repro/internal/cm"
+	"repro/internal/telemetry"
+)
+
+// TestChaosStarvationEscalatesListSet pins a long read-mostly transaction
+// under a 16-goroutine write storm. The forced-abort injector burns through
+// the whole retry budget, so the transaction must take the serial-mode
+// escalation path — and once it holds the gate the storm pauses and the
+// commit is guaranteed. Asserts the commit, the manager's escalation count,
+// and the meter's escalated telemetry line.
+func TestChaosStarvationEscalatesListSet(t *testing.T) {
+	const budget = 12
+	mgr := cm.New(cm.Aggressive, budget)
+	SetManager(mgr)
+	t.Cleanup(func() { SetManager(nil) })
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	before := telemetry.M("OTB").Snapshot().Escalations
+
+	s := NewListSet()
+	run(t, func(tx *Tx) {
+		for k := int64(0); k < 32; k++ {
+			s.Add(tx, k)
+		}
+	})
+
+	stop := chaos.Storm(16, func(w int) {
+		key := int64(w % 8) // collide heavily
+		Atomic(nil, func(tx *Tx) {
+			if !s.Add(tx, key) {
+				s.Remove(tx, key)
+			}
+		})
+	})
+	defer stop()
+
+	inj := chaos.NewAbortInjector(budget, abort.Conflict)
+	attempts := 0
+	Atomic(nil, func(tx *Tx) {
+		attempts++
+		for k := int64(8); k < 32; k++ { // read-mostly: storm-free keys
+			s.Contains(tx, k)
+		}
+		inj.Hit()
+		s.Add(tx, 1000)
+	})
+	stop()
+
+	if attempts != budget+1 {
+		t.Errorf("attempts = %d, want %d", attempts, budget+1)
+	}
+	if got := mgr.Escalations(); got < 1 {
+		t.Fatalf("manager escalations = %d, want >= 1", got)
+	}
+	after := telemetry.M("OTB").Snapshot().Escalations
+	if after <= before {
+		t.Fatalf("telemetry escalations = %d, want > %d", after, before)
+	}
+	run(t, func(tx *Tx) {
+		if !s.Contains(tx, 1000) {
+			t.Error("escalated transaction's insert is missing")
+		}
+	})
+}

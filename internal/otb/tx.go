@@ -27,8 +27,10 @@ package otb
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
 )
@@ -239,6 +241,18 @@ func (tx *Tx) Rollback() {
 // their own meters instead.
 var meter = telemetry.M("OTB")
 
+// cmgr is the contention manager for standalone (Atomic) transactions; nil
+// means the shared cm.Default manager.
+var cmgr atomic.Pointer[cm.Manager]
+
+func init() {
+	meter.SetPolicySource(func() string { return cm.Or(cmgr.Load()).Policy().Name() })
+}
+
+// SetManager installs the contention manager standalone transactions run
+// under (nil restores the shared default). Safe during live traffic.
+func SetManager(m *cm.Manager) { cmgr.Store(m) }
+
 // txPool recycles standalone transaction descriptors (and their state maps)
 // across Atomic calls. Each descriptor carries a shard-bound telemetry
 // handle; the pool keeps descriptors per-P, so recording stays uncontended.
@@ -259,7 +273,7 @@ func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 	tx := txPool.Get().(*Tx)
 	tx.ctr = ctr
 	start := tx.tel.Start()
-	abort.Run(stats,
+	escalated := abort.RunPolicy(stats, cm.Or(cmgr.Load()),
 		func() { tx.Reset() },
 		func() {
 			fn(tx)
@@ -272,6 +286,9 @@ func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 			tx.tel.Abort(r)
 		},
 	)
+	if escalated {
+		tx.tel.Escalated()
+	}
 	tx.tel.Commit(start)
 	tx.Reset()
 	tx.ctr = nil

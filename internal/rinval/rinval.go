@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -74,6 +75,7 @@ type STM struct {
 	clients chan *client
 	ctr     spin.Counters
 	prof    *stm.Profile
+	cmgr    *cm.Manager
 
 	// Commit/invalidation server rendezvous (V2, V3). The committer's slot
 	// and write filter are copied here before the window opens, because V3
@@ -107,6 +109,7 @@ func NewWithClients(version Version, n int) *STM {
 	}
 	s.invalReq.Store(-1)
 	mtr := telemetry.M(s.Name())
+	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	for i := 0; i < n; i++ {
 		s.clients <- &client{s: s, tx: &txDesc{slot: i}, tel: mtr.Local()}
 	}
@@ -133,6 +136,12 @@ func (s *STM) Name() string {
 
 // SetProfile attaches a critical-path profiler (may be nil).
 func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs. The commit and invalidation servers are never gated, so
+// an escalated client's requests are still served while other clients pause.
+func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Counters implements stm.Algorithm.
 func (s *STM) Counters() *spin.Counters { return &s.ctr }
@@ -164,7 +173,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	start := c.tel.Start()
 	d := &s.descs[c.tx.slot]
 	d.Active.Store(true)
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		c.begin,
 		func() {
 			fn(c)
@@ -180,6 +189,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			c.tel.Abort(r)
 		},
 	)
+	if escalated {
+		c.tel.Escalated()
+	}
 	d.Starved.Store(0)
 	d.ClearFilter()
 	d.Active.Store(false)
@@ -283,9 +295,13 @@ func (s *STM) commitServer() {
 				req.state.Store(stateAborted)
 				continue
 			}
-			if s.starvedConflict(t) {
+			if !cm.SerialActive() && s.starvedConflict(t) {
 				// Contention manager: defer to a starving doomed reader
-				// instead of invalidating it yet again.
+				// instead of invalidating it yet again. Suspended while a
+				// transaction runs in serial mode: the starving reader is
+				// paused at the gate and can never clear its own starvation,
+				// so deferring to it would stall the escalated committer
+				// forever.
 				req.state.Store(stateAborted)
 				continue
 			}

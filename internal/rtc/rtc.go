@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -90,6 +91,7 @@ type STM struct {
 	secondaries int
 	fair        bool
 	ctr         spin.Counters
+	cmgr        *cm.Manager
 	stats       struct {
 		commits     atomic.Uint64
 		aborts      atomic.Uint64
@@ -119,6 +121,7 @@ func New(opts Options) *STM {
 	}
 	s.mainReq.Store(-1)
 	mtr := telemetry.M("RTC")
+	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	for i := 0; i < n; i++ {
 		s.clients <- &client{s: s, slot: i, tx: &txDesc{}, tel: mtr.Local()}
 	}
@@ -136,6 +139,12 @@ func (s *STM) Name() string { return "RTC" }
 
 // Counters implements stm.Algorithm.
 func (s *STM) Counters() *spin.Counters { return &s.ctr }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs. The servers themselves are never gated, so an escalated
+// client's commit requests are still served while the other clients pause.
+func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Stop shuts down the server goroutines. In-flight transactions must have
 // drained first (callers stop their workers before the algorithm).
@@ -167,7 +176,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	c := <-s.clients
 	c.tx.attempts = 0
 	start := c.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		c.begin,
 		func() {
 			fn(c)
@@ -181,6 +190,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			c.tel.Abort(r)
 		},
 	)
+	if escalated {
+		c.tel.Escalated()
+	}
 	s.stats.commits.Add(1)
 	c.tel.Commit(start)
 	s.clients <- c

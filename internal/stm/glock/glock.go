@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -19,6 +20,7 @@ import (
 type STM struct {
 	mu    sync.Mutex
 	ctr   spin.Counters
+	cmgr  *cm.Manager
 	stats struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
@@ -29,7 +31,19 @@ type STM struct {
 }
 
 // New creates a global-lock instance.
-func New() *STM { return &STM{tel: telemetry.M("CGL").Local()} }
+func New() *STM {
+	s := &STM{}
+	mtr := telemetry.M("CGL")
+	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
+	s.tel = mtr.Local()
+	return s
+}
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs. Under the global lock only explicit user retries abort,
+// so escalation triggers only for transactions that retry past the budget.
+func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Name implements stm.Algorithm.
 func (s *STM) Name() string { return "CGL" }
@@ -68,7 +82,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := s.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		func() { t.undo = t.undo[:0] },
 		func() { fn(t) },
 		func(r abort.Reason) {
@@ -79,6 +93,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			s.tel.Abort(r)
 		},
 	)
+	if escalated {
+		s.tel.Escalated()
+	}
 	s.stats.commits.Add(1)
 	s.tel.Commit(start)
 }

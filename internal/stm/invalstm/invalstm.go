@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -77,6 +78,7 @@ type STM struct {
 	descs [MaxTxs]Desc
 	ctr   spin.Counters
 	prof  *stm.Profile
+	cmgr  *cm.Manager
 	stats struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
@@ -88,12 +90,18 @@ type STM struct {
 func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("InvalSTM")
+	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	s.pool.New = func() any { return &tx{s: s, slot: -1, tel: mtr.Local()} }
 	return s
 }
 
 // SetProfile attaches a critical-path profiler (may be nil).
 func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs.
+func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Name implements stm.Algorithm.
 func (s *STM) Name() string { return "InvalSTM" }
@@ -125,7 +133,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	t.acquireSlot()
 	total := s.prof.Now()
 	start := t.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -141,6 +149,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			t.tel.Abort(r)
 		},
 	)
+	if escalated {
+		t.tel.Escalated()
+	}
 	s.descs[t.slot].Starved.Store(0)
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
@@ -246,14 +257,18 @@ func (t *tx) commit() {
 	}
 	// First pass (before publishing): find the victims, and let the
 	// contention manager defer this commit if one of them is starving.
+	// Deference is suspended while a transaction runs in serial mode: a
+	// starving victim paused at the gate can never clear its own starvation,
+	// so deferring to it would stall the escalated committer forever.
 	mine := d.Starved.Load()
+	serial := cm.SerialActive()
 	var victims []*Desc
 	for i := range t.s.descs {
 		od := &t.s.descs[i]
 		if i == t.slot || !od.Active.Load() || !od.IntersectsWrite(&t.writeF) {
 			continue
 		}
-		if ShouldDefer(od, i, mine, t.slot) {
+		if !serial && ShouldDefer(od, i, mine, t.slot) {
 			t.s.clock.Unlock()
 			t.s.prof.AddCommit(start)
 			abort.Retry(abort.Invalidated)

@@ -1,0 +1,86 @@
+package norec_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/stm/norec"
+)
+
+// TestChaosConcurrentWriterInvalidatesReader interleaves a committed write
+// into a reader's execution via the chaos helper: the reader's value-based
+// validation must abort the stale attempt and the retry must see the new
+// value.
+func TestChaosConcurrentWriterInvalidatesReader(t *testing.T) {
+	s := norec.New()
+	defer s.Stop()
+	a, b := mem.NewCell(1), mem.NewCell(2)
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		v := tx.Read(a)
+		if attempts == 1 {
+			if v != 1 {
+				t.Errorf("first attempt read %d, want 1", v)
+			}
+			chaos.CommitConcurrently(func() {
+				s.Atomic(func(tx2 stm.Tx) { tx2.Write(a, 100); tx2.Write(b, 200) })
+			})
+			// The committed writer moved the clock and overwrote a; the next
+			// read's validation loop must doom this attempt.
+			tx.Read(b)
+			t.Error("validation should have aborted attempt 1")
+		} else if v != 100 {
+			t.Errorf("retry read %d, want 100", v)
+		}
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if s.Aborts() == 0 {
+		t.Fatal("expected at least one recorded abort")
+	}
+}
+
+// TestChaosStormLostUpdate hammers one counter cell from a storm of
+// read-modify-write transactions; the final value must equal the number of
+// committed increments (no lost updates despite the contention).
+func TestChaosStormLostUpdate(t *testing.T) {
+	s := norec.New()
+	defer s.Stop()
+	c := mem.NewCell(0)
+	const workers = 8
+	const perWorker = 200
+	var done [workers]atomic.Int64
+	stop := chaos.Storm(workers, func(w int) {
+		if done[w].Load() >= perWorker {
+			runtime.Gosched() // keep spinning until every worker is finished
+			return
+		}
+		s.Atomic(func(tx stm.Tx) { tx.Write(c, tx.Read(c)+1) })
+		done[w].Add(1)
+	})
+	// Storm workers run until stopped; wait for all quotas then halt.
+	for {
+		total := 0
+		for w := 0; w < workers; w++ {
+			if done[w].Load() >= perWorker {
+				total++
+			}
+		}
+		if total == workers {
+			break
+		}
+		runtime.Gosched()
+	}
+	stop()
+	var got uint64
+	s.Atomic(func(tx stm.Tx) { got = tx.Read(c) })
+	if got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}

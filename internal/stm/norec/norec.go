@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -31,6 +32,7 @@ type STM struct {
 	clock spin.SeqLock
 	ctr   spin.Counters
 	prof  *stm.Profile
+	cmgr  *cm.Manager
 	stats struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
@@ -42,6 +44,7 @@ type STM struct {
 func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("NOrec")
+	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
 	return s
 }
@@ -49,6 +52,11 @@ func New() *STM {
 // SetProfile attaches a critical-path profiler (may be nil). It must be set
 // before any transaction runs.
 func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs.
+func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Name implements stm.Algorithm.
 func (s *STM) Name() string { return "NOrec" }
@@ -83,7 +91,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	total := s.prof.Now()
 	start := t.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -96,6 +104,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			t.tel.Abort(r)
 		},
 	)
+	if escalated {
+		t.tel.Escalated()
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)

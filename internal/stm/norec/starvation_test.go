@@ -1,0 +1,75 @@
+package norec_test
+
+import (
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/chaos"
+	"repro/internal/cm"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/stm/norec"
+	"repro/internal/telemetry"
+)
+
+// TestChaosStarvationEscalatesNOrec is the NOrec analogue of the OTB
+// starvation test: a long read-mostly transaction under a 16-goroutine write
+// storm exhausts its retry budget (deterministically, via the forced-abort
+// injector) and must commit through serial-mode escalation.
+func TestChaosStarvationEscalatesNOrec(t *testing.T) {
+	const budget = 12
+	mgr := cm.New(cm.Aggressive, budget)
+	s := norec.New()
+	s.SetManager(mgr)
+	defer s.Stop()
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	before := telemetry.M("NOrec").Snapshot().Escalations
+
+	cells := make([]*mem.Cell, 64)
+	for i := range cells {
+		cells[i] = mem.NewCell(uint64(i))
+	}
+	result := mem.NewCell(0)
+
+	stop := chaos.Storm(16, func(w int) {
+		s.Atomic(func(tx stm.Tx) {
+			c := cells[w%8] // collide heavily
+			tx.Write(c, tx.Read(c)+1)
+		})
+	})
+	defer stop()
+
+	inj := chaos.NewAbortInjector(budget, abort.Conflict)
+	attempts := 0
+	s.Atomic(func(tx stm.Tx) {
+		attempts++
+		var sum uint64
+		for _, c := range cells[8:] { // read-mostly: storm-free cells
+			sum += tx.Read(c)
+		}
+		inj.Hit()
+		tx.Write(result, sum)
+	})
+	stop()
+
+	if attempts != budget+1 {
+		t.Errorf("attempts = %d, want %d", attempts, budget+1)
+	}
+	if got := mgr.Escalations(); got < 1 {
+		t.Fatalf("manager escalations = %d, want >= 1", got)
+	}
+	after := telemetry.M("NOrec").Snapshot().Escalations
+	if after <= before {
+		t.Fatalf("telemetry escalations = %d, want > %d", after, before)
+	}
+	var got uint64
+	s.Atomic(func(tx stm.Tx) { got = tx.Read(result) })
+	want := uint64(0)
+	for i := 8; i < 64; i++ {
+		want += uint64(i)
+	}
+	if got != want {
+		t.Fatalf("escalated transaction wrote %d, want %d", got, want)
+	}
+}

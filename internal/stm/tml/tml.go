@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
@@ -21,6 +22,7 @@ type STM struct {
 	clock spin.SeqLock
 	ctr   spin.Counters
 	prof  *stm.Profile
+	cmgr  *cm.Manager
 	stats struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
@@ -32,12 +34,18 @@ type STM struct {
 func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("TML")
+	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
 	return s
 }
 
 // SetProfile attaches a critical-path profiler (may be nil).
 func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
+
+// SetManager installs the contention manager transactions run under (nil
+// means the shared cm.Default manager). It must be set before any
+// transaction runs.
+func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Name implements stm.Algorithm.
 func (s *STM) Name() string { return "TML" }
@@ -71,7 +79,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	t := s.pool.Get().(*tx)
 	total := s.prof.Now()
 	start := t.tel.Start()
-	abort.Run(nil,
+	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -85,6 +93,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			t.tel.Abort(r)
 		},
 	)
+	if escalated {
+		t.tel.Escalated()
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)

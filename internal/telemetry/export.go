@@ -33,6 +33,8 @@ func (r *Registry) Vars() map[string]any {
 			"aborts":         aborts,
 			"retries":        s.Retries,
 			"fallbacks":      s.Fallbacks,
+			"escalations":    s.Escalations,
+			"cm_policy":      s.Policy,
 			"abort_rate":     s.AbortRate(),
 			"tx_latency":     latencyVars(s.TxLatency),
 			"commit_latency": latencyVars(s.CommitLatency),
@@ -79,26 +81,30 @@ func (r *Registry) Do(name string, f func()) {
 // WriteTable renders the snapshots as an aligned abort-reason table, one row
 // per meter with recorded activity:
 //
-//	algorithm   commits   aborts   rate   conflict   lock-busy   invalidated   explicit   fallbacks   p50     p99
+//	algorithm   cm   commits   aborts   rate   conflict   lock-busy   invalidated   explicit   timeout   fallbacks   escalated   p50   p99
 //
 // It is shared by cmd/stmbench, cmd/reproduce and the bench figure drivers.
 func WriteTable(w io.Writer, snaps []MeterSnapshot) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprint(tw, "algorithm\tcommits\taborts\trate")
+	fmt.Fprint(tw, "algorithm\tcm\tcommits\taborts\trate")
 	for r := abort.Reason(0); r < abort.NumReasons; r++ {
 		fmt.Fprintf(tw, "\t%s", r)
 	}
-	fmt.Fprint(tw, "\tfallbacks\ttx-p50\ttx-p99\tcommit-p50\n")
+	fmt.Fprint(tw, "\tfallbacks\tescalated\ttx-p50\ttx-p99\tcommit-p50\n")
 	for _, s := range snaps {
 		if s.Commits == 0 && s.TotalAborts() == 0 && s.Fallbacks == 0 {
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f", s.Name, s.Commits, s.TotalAborts(), s.AbortRate())
+		policy := s.Policy
+		if policy == "" {
+			policy = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.3f", s.Name, policy, s.Commits, s.TotalAborts(), s.AbortRate())
 		for r := abort.Reason(0); r < abort.NumReasons; r++ {
 			fmt.Fprintf(tw, "\t%d", s.Aborts[r])
 		}
-		fmt.Fprintf(tw, "\t%d\t%v\t%v\t%v\n",
-			s.Fallbacks, s.TxLatency.Quantile(0.50), s.TxLatency.Quantile(0.99),
+		fmt.Fprintf(tw, "\t%d\t%d\t%v\t%v\t%v\n",
+			s.Fallbacks, s.Escalations, s.TxLatency.Quantile(0.50), s.TxLatency.Quantile(0.99),
 			s.CommitLatency.Quantile(0.50))
 	}
 	tw.Flush()

@@ -46,11 +46,12 @@ const shardPad = 128
 // relaxed atomics by the (usually single) goroutine whose descriptors hold
 // the shard, and summed by Snapshot.
 type shard struct {
-	commits   atomic.Uint64
-	retries   atomic.Uint64
-	fallbacks atomic.Uint64
-	aborts    [abort.NumReasons]atomic.Uint64
-	_         [shardPad - (3+abort.NumReasons)*8]byte
+	commits     atomic.Uint64
+	retries     atomic.Uint64
+	fallbacks   atomic.Uint64
+	escalations atomic.Uint64
+	aborts      [abort.NumReasons]atomic.Uint64
+	_           [shardPad - (4+abort.NumReasons)*8]byte
 }
 
 // Meter collects statistics for one transactional runtime (one algorithm).
@@ -61,6 +62,7 @@ type Meter struct {
 	on     *atomic.Bool // the owning registry's enabled flag
 	shards []shard
 	next   atomic.Uint32 // round-robin shard assignment for Local()
+	policy atomic.Value  // string: contention-management policy label
 
 	txLat     Histogram // whole-transaction latency (committed txs)
 	commitLat Histogram // commit-phase latency
@@ -72,6 +74,30 @@ func (m *Meter) Name() string {
 		return ""
 	}
 	return m.name
+}
+
+// SetPolicySource attaches a function that names the contention-management
+// policy the runtime currently runs under; snapshots resolve it at read
+// time, so abort-reason tables always label rows with the live policy even
+// after the adaptive tuner or a -cm flag retunes it. Costs nothing on the
+// recording fast path.
+func (m *Meter) SetPolicySource(f func() string) {
+	if m != nil && f != nil {
+		m.policy.Store(f)
+	}
+}
+
+// Policy returns the meter's current contention-management policy label
+// ("" when no source was set).
+func (m *Meter) Policy() string {
+	if m == nil {
+		return ""
+	}
+	f, _ := m.policy.Load().(func() string)
+	if f == nil {
+		return ""
+	}
+	return f()
 }
 
 // enabled reports whether recording is on; the single predictable branch on
@@ -162,13 +188,25 @@ func (l *Local) Fallback() {
 	l.s.fallbacks.Add(1)
 }
 
+// Escalated records one transaction that exhausted its retry budget and
+// committed in serial mode (the contention manager's guaranteed-progress
+// path).
+func (l *Local) Escalated() {
+	if l == nil || !l.m.enabled() {
+		return
+	}
+	l.s.escalations.Add(1)
+}
+
 // MeterSnapshot is a point-in-time copy of a meter's counters.
 type MeterSnapshot struct {
-	Name      string
-	Commits   uint64
-	Retries   uint64
-	Fallbacks uint64
-	Aborts    [abort.NumReasons]uint64
+	Name        string
+	Policy      string // contention-management policy label ("" if unset)
+	Commits     uint64
+	Retries     uint64
+	Fallbacks   uint64
+	Escalations uint64
+	Aborts      [abort.NumReasons]uint64
 
 	TxLatency     HistogramSnapshot
 	CommitLatency HistogramSnapshot
@@ -200,12 +238,13 @@ func (m *Meter) Snapshot() MeterSnapshot {
 	if m == nil {
 		return MeterSnapshot{}
 	}
-	out := MeterSnapshot{Name: m.name}
+	out := MeterSnapshot{Name: m.name, Policy: m.Policy()}
 	for i := range m.shards {
 		sh := &m.shards[i]
 		out.Commits += sh.commits.Load()
 		out.Retries += sh.retries.Load()
 		out.Fallbacks += sh.fallbacks.Load()
+		out.Escalations += sh.escalations.Load()
 		for r := range sh.aborts {
 			out.Aborts[r] += sh.aborts[r].Load()
 		}
@@ -225,6 +264,7 @@ func (m *Meter) Reset() {
 		sh.commits.Store(0)
 		sh.retries.Store(0)
 		sh.fallbacks.Store(0)
+		sh.escalations.Store(0)
 		for r := range sh.aborts {
 			sh.aborts[r].Store(0)
 		}
