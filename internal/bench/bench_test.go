@@ -57,9 +57,6 @@ func TestFigurePrintFormat(t *testing.T) {
 // to end with tiny windows, checking they produce well-formed output with
 // the expected series.
 func TestExperimentsSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("smoke experiments take a few seconds each")
-	}
 	cases := map[string][]string{
 		"fig3.3":   {"Lazy", "PessimisticBoosted", "OptimisticBoosted"},
 		"fig3.6":   {"PessimisticBoosted", "OptimisticBoosted"},
@@ -74,6 +71,17 @@ func TestExperimentsSmoke(t *testing.T) {
 		"fig6.7":   {"RInval-V1", "RInval-V2", "RInval-V3"},
 	}
 	cfg := smokeCfg()
+	if testing.Short() {
+		// Same plumbing, less wall time: one experiment per chapter, a
+		// single thread count, and minimal windows.
+		cases = map[string][]string{
+			"fig3.3": {"Lazy", "PessimisticBoosted", "OptimisticBoosted"},
+			"fig4.2": {"NOrec", "TL2", "OTB-NOrec", "OTB-TL2"},
+			"fig6.2": {"NOrec", "InvalSTM", "RInval-V3"},
+		}
+		cfg.Threads = []int{2}
+		cfg.Warmup, cfg.Measure = time.Millisecond, 4*time.Millisecond
+	}
 	for id, wants := range cases {
 		t.Run(id, func(t *testing.T) {
 			e, ok := bench.Find(id)

@@ -1,0 +1,75 @@
+package boosting_test
+
+import (
+	"testing"
+
+	"repro/internal/boosting"
+	"repro/internal/conc"
+	"repro/internal/lincheck"
+)
+
+// Linearizability and opacity checks for the pessimistically boosted
+// structures (the paper's baseline). Boosting serializes through abstract
+// locks, so both the single-operation histories and the multi-operation
+// transactional histories must check out.
+
+// boostedSet runs each abstract operation in its own boosted transaction.
+type boostedSet struct{ s *boosting.Set }
+
+func (a boostedSet) Add(k int64) (ok bool) {
+	boosting.Atomic(nil, nil, func(tx *boosting.Tx) { ok = a.s.Add(tx, k) })
+	return
+}
+
+func (a boostedSet) Remove(k int64) (ok bool) {
+	boosting.Atomic(nil, nil, func(tx *boosting.Tx) { ok = a.s.Remove(tx, k) })
+	return
+}
+
+func (a boostedSet) Contains(k int64) (ok bool) {
+	boosting.Atomic(nil, nil, func(tx *boosting.Tx) { ok = a.s.Contains(tx, k) })
+	return
+}
+
+func TestLincheckBoostedSet(t *testing.T) {
+	for name, mk := range map[string]func() boosting.BlackBoxSet{
+		"list": func() boosting.BlackBoxSet { return conc.NewLazyList() },
+		"skip": func() boosting.BlackBoxSet { return conc.NewLazySkipList() },
+	} {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := lincheck.DefaultConfig(21)
+			cfg.Name = "boosting/" + name
+			if testing.Short() {
+				cfg = cfg.Scaled(4)
+			}
+			lincheck.StressSet(t, cfg, func() lincheck.Set {
+				return boostedSet{boosting.NewSet(mk(), 64)}
+			})
+		})
+	}
+}
+
+// boostView is one attempt's transactional view of a boosted set.
+type boostView struct {
+	tx *boosting.Tx
+	s  *boosting.Set
+}
+
+func (v boostView) Add(k int64) bool      { return v.s.Add(v.tx, k) }
+func (v boostView) Remove(k int64) bool   { return v.s.Remove(v.tx, k) }
+func (v boostView) Contains(k int64) bool { return v.s.Contains(v.tx, k) }
+
+func TestOpacityBoostedSetTxns(t *testing.T) {
+	s := boosting.NewSet(conc.NewLazyList(), 64)
+	cfg := lincheck.DefaultSTMConfig(22)
+	cfg.Name = "boosting/set-txns"
+	cfg.Cells = 8 // key range
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	lincheck.StressTxnSet(t, cfg, func(th int, body func(lincheck.Set)) {
+		boosting.Atomic(nil, nil, func(tx *boosting.Tx) { body(boostView{tx, s}) })
+	})
+}

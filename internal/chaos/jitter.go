@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"runtime"
+	"time"
+)
+
+// Jitter perturbs thread scheduling at explicit preemption points, widening
+// the interleaving space a stress test explores beyond what the runtime
+// scheduler produces on its own. It is seeded and sequential, so a given
+// seed yields the same decision sequence on every run; each worker
+// goroutine owns its own Jitter (the struct is not safe for concurrent
+// use).
+type Jitter struct {
+	state    uint64
+	permille int // probability of preemption per point, in 1/1000
+	points   uint64
+}
+
+// NewJitter creates a jitter source. permille is the per-point preemption
+// probability in thousandths: 0 disables, 1000 preempts at every point.
+func NewJitter(seed int64, permille int) *Jitter {
+	return &Jitter{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d, permille: permille}
+}
+
+// next is splitmix64, cheap enough for a per-operation call.
+func (j *Jitter) next() uint64 {
+	j.state += 0x9e3779b97f4a7c15
+	z := j.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Point is a preemption point: with the configured probability it yields
+// the processor, and every 64th taken preemption it parks the goroutine
+// briefly so other threads can run several operations, not just one.
+func (j *Jitter) Point() {
+	if j == nil || j.permille <= 0 {
+		return
+	}
+	if j.next()%1000 >= uint64(j.permille) {
+		return
+	}
+	j.points++
+	if j.points%64 == 0 {
+		time.Sleep(50 * time.Microsecond)
+		return
+	}
+	runtime.Gosched()
+}

@@ -1,0 +1,63 @@
+package conc_test
+
+import (
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/lincheck"
+)
+
+// Schedule-stressed linearizability checks for the plain concurrent
+// structures. The recorded histories are checked by the Wing–Gong search in
+// internal/lincheck; a failure dumps a replayable history artifact (see
+// README, "Correctness checking").
+
+func concCfg(seed int64, name string) lincheck.Config {
+	cfg := lincheck.DefaultConfig(seed)
+	cfg.Name = name
+	if testing.Short() {
+		cfg = cfg.Scaled(4)
+	}
+	return cfg
+}
+
+func TestLincheckLazyList(t *testing.T) {
+	lincheck.StressSet(t, concCfg(1, "conc/lazy-list"), func() lincheck.Set {
+		return conc.NewLazyList()
+	})
+}
+
+func TestLincheckLazySkipList(t *testing.T) {
+	lincheck.StressSet(t, concCfg(2, "conc/lazy-skip"), func() lincheck.Set {
+		return conc.NewLazySkipList()
+	})
+}
+
+// skipPQ adapts SkipPQ's duplicate-rejecting Add to the abstract PQ
+// interface; the driver only adds unique keys, so nothing is dropped.
+type skipPQ struct{ q *conc.SkipPQ }
+
+func (s skipPQ) Add(k int64)              { s.q.Add(k) }
+func (s skipPQ) Min() (int64, bool)       { return s.q.Min() }
+func (s skipPQ) RemoveMin() (int64, bool) { return s.q.RemoveMin() }
+
+func pqCfg(seed int64, name string) lincheck.Config {
+	cfg := concCfg(seed, name)
+	cfg.Threads, cfg.Ops = 3, 120 // pq histories are unpartitioned: keep small
+	if testing.Short() {
+		cfg.Ops = 60
+	}
+	return cfg
+}
+
+func TestLincheckHeapPQ(t *testing.T) {
+	lincheck.StressPQ(t, pqCfg(3, "conc/heap-pq"), func() lincheck.PQ {
+		return conc.NewHeapPQ()
+	})
+}
+
+func TestLincheckSkipPQ(t *testing.T) {
+	lincheck.StressPQ(t, pqCfg(4, "conc/skip-pq"), func() lincheck.PQ {
+		return skipPQ{conc.NewSkipPQ()}
+	})
+}

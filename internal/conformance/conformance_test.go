@@ -1,0 +1,169 @@
+package conformance
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/lincheck"
+)
+
+// The sequential suite drives every implementation through the same
+// randomized single-threaded workload and checks each response against the
+// lincheck sequential model — one specification, all implementations. Any
+// divergence (a Put that returns the wrong insert flag, a Remove that lies)
+// fails with the offending op.
+
+// stepSeq applies op's result to the per-key model state, failing the test
+// if the model rejects it.
+func stepSeq(t *testing.T, m lincheck.Model, states map[int64]any, op lincheck.Op) {
+	t.Helper()
+	st, ok := states[op.Key]
+	if !ok {
+		st = m.Init()
+	}
+	next, legal := m.Step(st, op)
+	if !legal {
+		t.Fatalf("sequential spec violated at %v", op)
+	}
+	states[op.Key] = next
+}
+
+func TestConformanceSequentialSets(t *testing.T) {
+	for _, e := range Sets() {
+		t.Run(e.Name, func(t *testing.T) {
+			s, stop := e.New()
+			defer stop()
+			m := lincheck.SetModel()
+			states := map[int64]any{}
+			rng := rand.New(rand.NewPCG(7, 7))
+			for i := 0; i < 400; i++ {
+				key := int64(rng.IntN(8))
+				op := lincheck.Op{Key: key}
+				switch rng.IntN(3) {
+				case 0:
+					op.Kind, op.Ok = lincheck.Add, s.Add(key)
+				case 1:
+					op.Kind, op.Ok = lincheck.Remove, s.Remove(key)
+				default:
+					op.Kind, op.Ok = lincheck.Contains, s.Contains(key)
+				}
+				stepSeq(t, m, states, op)
+			}
+		})
+	}
+}
+
+func TestConformanceSequentialMaps(t *testing.T) {
+	for _, e := range Maps() {
+		t.Run(e.Name, func(t *testing.T) {
+			mp, stop := e.New()
+			defer stop()
+			m := lincheck.MapModel()
+			states := map[int64]any{}
+			rng := rand.New(rand.NewPCG(11, 11))
+			for i := 0; i < 400; i++ {
+				key := int64(rng.IntN(8))
+				op := lincheck.Op{Key: key}
+				switch rng.IntN(3) {
+				case 0:
+					op.Kind, op.In = lincheck.Put, uint64(i)+1
+					op.Ok = mp.Put(key, op.In)
+				case 1:
+					op.Kind = lincheck.Get
+					op.Out, op.Ok = mp.Get(key)
+				default:
+					op.Kind, op.Ok = lincheck.Delete, mp.Delete(key)
+				}
+				stepSeq(t, m, states, op)
+			}
+		})
+	}
+}
+
+func TestConformanceSequentialPQs(t *testing.T) {
+	for _, e := range PQs() {
+		t.Run(e.Name, func(t *testing.T) {
+			q, stop := e.New()
+			defer stop()
+			m := lincheck.PQModel()
+			state := m.Init()
+			rng := rand.New(rand.NewPCG(13, 13))
+			for i := 0; i < 300; i++ {
+				var op lincheck.Op
+				switch rng.IntN(3) {
+				case 0:
+					// Unique keys: duplicate handling differs across variants.
+					op.Kind, op.Key = lincheck.Add, int64(rng.IntN(64))<<16|int64(i)
+					q.Add(op.Key)
+				case 1:
+					op.Kind = lincheck.Min
+					k, ok := q.Min()
+					op.Out, op.Ok = uint64(k), ok
+				default:
+					op.Kind = lincheck.RemoveMin
+					k, ok := q.RemoveMin()
+					op.Out, op.Ok = uint64(k), ok
+				}
+				next, legal := m.Step(state, op)
+				if !legal {
+					t.Fatalf("sequential spec violated at %v", op)
+				}
+				state = next
+			}
+		})
+	}
+}
+
+// The concurrent matrix runs the lincheck stress driver over every
+// implementation: record a multithreaded history with scheduling jitter,
+// then search for a linearization witness.
+
+func lcfg(seed int64, name string) lincheck.Config {
+	cfg := lincheck.DefaultConfig(seed)
+	cfg.Name = name
+	if testing.Short() {
+		cfg = cfg.Scaled(4)
+	}
+	return cfg
+}
+
+func TestLincheckConformanceSets(t *testing.T) {
+	for i, e := range Sets() {
+		e, i := e, i
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			s, stop := e.New()
+			defer stop()
+			lincheck.StressSet(t, lcfg(100+int64(i), e.Name), func() lincheck.Set { return s })
+		})
+	}
+}
+
+func TestLincheckConformanceMaps(t *testing.T) {
+	for i, e := range Maps() {
+		e, i := e, i
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			m, stop := e.New()
+			defer stop()
+			lincheck.StressMap(t, lcfg(200+int64(i), e.Name), func() lincheck.Map { return m })
+		})
+	}
+}
+
+func TestLincheckConformancePQs(t *testing.T) {
+	for i, e := range PQs() {
+		e, i := e, i
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			q, stop := e.New()
+			defer stop()
+			cfg := lcfg(300+int64(i), e.Name)
+			cfg.Threads, cfg.Ops = 3, 120 // pq histories are unpartitioned
+			if testing.Short() {
+				cfg.Ops = 60
+			}
+			lincheck.StressPQ(t, cfg, func() lincheck.PQ { return q })
+		})
+	}
+}

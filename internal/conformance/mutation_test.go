@@ -1,0 +1,165 @@
+package conformance
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/mem"
+	"repro/internal/spin"
+	"repro/internal/stm"
+)
+
+// Mutation tests: seed a known concurrency bug into a copy of a structure
+// (or algorithm) and require the checkers to catch it. They pin down that
+// the harness has teeth — the conformance matrix passing means something
+// only if these fail loudly on broken code.
+
+// unvalidatedNode / unvalidatedList is conc.LazyList with the post-lock
+// validation deliberately removed: Add and Remove lock (pred, curr) and
+// mutate without re-checking that the pair is still adjacent and unmarked.
+// Inserts after a concurrently removed predecessor are lost, and removals
+// can resurrect unlinked suffixes. All shared fields stay atomic so the bug
+// is invisible to the race detector — only a linearizability check sees it.
+type unvalidatedNode struct {
+	key    int64
+	next   atomic.Pointer[unvalidatedNode]
+	marked atomic.Bool
+	mu     sync.Mutex
+}
+
+type unvalidatedList struct{ head *unvalidatedNode }
+
+func newUnvalidatedList() *unvalidatedList {
+	tail := &unvalidatedNode{key: math.MaxInt64}
+	head := &unvalidatedNode{key: math.MinInt64}
+	head.next.Store(tail)
+	return &unvalidatedList{head: head}
+}
+
+func (l *unvalidatedList) locate(key int64) (pred, curr *unvalidatedNode) {
+	pred = l.head
+	curr = pred.next.Load()
+	for curr.key < key {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+func (l *unvalidatedList) Add(key int64) bool {
+	pred, curr := l.locate(key)
+	runtime.Gosched() // widen the locate-to-lock window the validation would close
+	pred.mu.Lock()
+	curr.mu.Lock()
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.key == key {
+		return false
+	}
+	n := &unvalidatedNode{key: key}
+	n.next.Store(curr)
+	pred.next.Store(n)
+	return true
+}
+
+func (l *unvalidatedList) Remove(key int64) bool {
+	pred, curr := l.locate(key)
+	runtime.Gosched()
+	pred.mu.Lock()
+	curr.mu.Lock()
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.key != key {
+		return false
+	}
+	curr.marked.Store(true)
+	pred.next.Store(curr.next.Load())
+	return true
+}
+
+func (l *unvalidatedList) Contains(key int64) bool {
+	curr := l.head
+	for curr.key < key {
+		curr = curr.next.Load()
+	}
+	return curr.key == key && !curr.marked.Load()
+}
+
+// TestLincheckMutationUnvalidatedList requires the linearizability checker
+// to catch the missing-validation bug within a bounded number of seeded
+// runs. The workload is deliberately hot: few keys, many threads, heavy
+// preemption jitter.
+func TestLincheckMutationUnvalidatedList(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		cfg := lincheck.Config{
+			Name: "mutant-lazy-list", Seed: seed,
+			Threads: 6, Ops: 150, Keys: 3,
+			AddPct: 40, RemovePct: 40, JitterPermille: 150,
+		}
+		res, _ := lincheck.RunSet(cfg, func() lincheck.Set { return newUnvalidatedList() })
+		if res.Outcome == lincheck.Violation {
+			t.Logf("caught at seed %d: %s", seed, res.Detail)
+			return
+		}
+	}
+	t.Fatal("checker never caught the unvalidated lazy list in 25 seeded runs")
+}
+
+// racySTM is a deliberately broken software transactional memory: writes
+// are buffered and flushed under a global lock, but reads go straight to
+// memory with no validation and no snapshot, so a transaction can observe
+// half of another transaction's commit. It is the "skip NOrec's value-based
+// revalidation" mutation distilled to its essence.
+type racySTM struct {
+	mu  sync.Mutex
+	ctr spin.Counters
+}
+
+func (*racySTM) Name() string               { return "racy" }
+func (*racySTM) Stop()                      {}
+func (a *racySTM) Counters() *spin.Counters { return &a.ctr }
+
+type racyTx struct {
+	writes map[*mem.Cell]uint64
+}
+
+func (t *racyTx) Read(c *mem.Cell) uint64 {
+	if v, ok := t.writes[c]; ok {
+		return v
+	}
+	return c.Load() // unvalidated direct read: torn snapshots possible
+}
+
+func (t *racyTx) Write(c *mem.Cell, v uint64) { t.writes[c] = v }
+
+func (a *racySTM) Atomic(fn func(stm.Tx)) {
+	tx := &racyTx{writes: make(map[*mem.Cell]uint64)}
+	fn(tx)
+	a.mu.Lock()
+	for c, v := range tx.writes {
+		c.Store(v)
+	}
+	a.mu.Unlock()
+}
+
+// TestOpacityMutationRacySTM requires the opacity checker to catch the
+// torn reads the validation-free STM produces.
+func TestOpacityMutationRacySTM(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		cfg := lincheck.STMConfig{
+			Name: "racy-stm", Seed: seed,
+			Threads: 6, Txns: 80, OpsPerTx: 6, Cells: 4,
+			WritePct: 50, JitterPermille: 150,
+		}
+		res, _ := lincheck.RunSTM(&racySTM{}, cfg)
+		if res.Outcome == lincheck.Violation {
+			t.Logf("caught at seed %d: %s", seed, res.Detail)
+			return
+		}
+	}
+	t.Fatal("checker never caught the validation-free STM in 25 seeded runs")
+}

@@ -1,0 +1,70 @@
+package lincheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DumpArtifact writes a failing history to a replayable text file and
+// returns its path. The directory comes from LINCHECK_ARTIFACTS (the CI
+// lincheck job sets it and uploads the directory on failure) and falls back
+// to the system temp directory. Dumping is best effort: on any error the
+// returned "path" carries the error text instead, so the caller's failure
+// message still prints something useful.
+func DumpArtifact(name string, seed int64, res Result, hist []Op, txns []Txn) string {
+	dir := os.Getenv("LINCHECK_ARTIFACTS")
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "(artifact not written: " + err.Error() + ")"
+	}
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.history", clean, seed))
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# lincheck failure: %s\n# seed: %d\n# verdict: %s\n# detail: %s\n# cost: %d steps\n",
+		name, seed, res.Outcome, res.Detail, res.Cost)
+	fmt.Fprintf(&sb, "# replay: LINCHECK_SEED=%d go test -run <the failing test> -count=1 <its package>\n\n", seed)
+	if len(txns) > 0 {
+		for i := range txns {
+			t := &txns[i]
+			fmt.Fprintf(&sb, "%s\n", t)
+			for _, op := range t.Ops {
+				fmt.Fprintf(&sb, "    %s\n", opBody(op))
+			}
+		}
+	} else {
+		for _, op := range hist {
+			fmt.Fprintf(&sb, "%s\n", op)
+		}
+	}
+	if len(res.Failed) > 0 && len(txns) == 0 {
+		sb.WriteString("\n# minimal failing sub-history:\n")
+		for _, op := range res.Failed {
+			fmt.Fprintf(&sb, "# %s\n", op)
+		}
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "(artifact not written: " + err.Error() + ")"
+	}
+	return path
+}
+
+// opBody renders an op without its thread/timestamp prefix (transaction
+// dumps already carry those on the transaction line).
+func opBody(o Op) string {
+	s := o.String()
+	if i := strings.Index(s, "] "); i >= 0 {
+		return s[i+2:]
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+// Package lincheck is the repository's history-based correctness oracle: it
+// records concurrent operation histories and decides, after the fact,
+// whether they satisfy the correctness criterion the paper's argument rests
+// on — linearizability of the abstract data types (Herlihy & Wing) and
+// opacity/strict serializability of the transactional runtimes (Guerraoui &
+// Kapalka).
+//
+// The package has four layers:
+//
+//   - A low-overhead concurrent history Recorder: per-thread sharded op
+//     logs stamped from one global logical clock, plus thin recording
+//     wrappers (RecordedSet, RecordedMap, RecordedPQ) for the abstract
+//     types every implementation in this repository exposes.
+//
+//   - A linearizability checker (Check/CheckBudget) implementing the
+//     Wing–Gong search with Lowe's just-in-time caching and the
+//     P-compositionality optimization: set and map histories are
+//     partitioned per key and each sub-history is checked independently
+//     against its sequential specification Model.
+//
+//   - An opacity/strict-serializability checker (CheckOpacity) for
+//     transactional histories: a DFS over commit orders of the committed
+//     transactions, constrained by real time, searching for a witness
+//     order under which every transaction's recorded reads are legal —
+//     including the reads of aborted attempts, which opacity requires to
+//     have observed a consistent prefix too.
+//
+//   - A randomized schedule-stressing driver (StressSet, StressMap,
+//     StressPQ, StressSTM): seeded PRNG, configurable thread count and
+//     operation mix, preemption-point jitter via chaos.Jitter, feeding the
+//     recorded history straight into the checkers and dumping failing
+//     histories as replayable artifacts.
+//
+// Checking is NP-hard in general, so the checkers carry a step budget;
+// exhausting it yields Inconclusive, never a false verdict. Violation is
+// only reported when the search space was exhausted, and Ok only when a
+// witness linearization (or commit order) was found.
+package lincheck

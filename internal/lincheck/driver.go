@@ -1,0 +1,226 @@
+package lincheck
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// Config parameterizes one schedule-stressing run against an abstract data
+// type. The zero value is not useful; start from DefaultConfig.
+type Config struct {
+	// Name labels artifacts and log lines (usually the implementation).
+	Name string
+	// Seed drives every random decision of the run. The same seed, config
+	// and binary replay the same operation sequence per thread (the
+	// interleaving itself still varies — that is the point of rechecking).
+	Seed int64
+	// Threads is the number of concurrent workers.
+	Threads int
+	// Ops is the number of operations per worker.
+	Ops int
+	// Keys is the key-range size; smaller ranges mean more contention.
+	Keys int64
+	// AddPct and RemovePct set the operation mix; the remainder are reads
+	// (Contains / Get / Min).
+	AddPct, RemovePct int
+	// JitterPermille is the per-operation preemption probability fed to
+	// chaos.NewJitter (0 disables schedule jitter).
+	JitterPermille int
+	// Budget bounds the checker's search steps (0 means DefaultBudget).
+	Budget int64
+}
+
+// DefaultConfig is a contended mixed workload sized so a full stress run
+// plus check completes in tens of milliseconds.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed: seed, Threads: 4, Ops: 400, Keys: 16,
+		AddPct: 35, RemovePct: 35, JitterPermille: 30,
+	}
+}
+
+// Scaled returns the config with the per-thread op count divided by n (at
+// least 1); stress tests use it to shrink under -short.
+func (c Config) Scaled(n int) Config {
+	c.Ops = max(c.Ops/n, 1)
+	return c
+}
+
+func (c Config) budget() int64 {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	return DefaultBudget
+}
+
+// prng is the driver's deterministic per-worker random source (splitmix64).
+type prng struct{ state uint64 }
+
+func newPRNG(seed int64) *prng {
+	return &prng{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15}
+}
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	return mix64(p.state)
+}
+
+func (p *prng) intn(n int64) int64 { return int64(p.next() % uint64(n)) }
+
+// RunSet executes the configured workload against a fresh set from mk and
+// checks the recorded history for linearizability. It returns the result
+// and the history so callers (including mutation tests that expect a
+// violation) can inspect both.
+func RunSet(cfg Config, mk func() Set) (Result, []Op) {
+	rec := NewRecorder(cfg.Threads)
+	s := mk()
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := newPRNG(cfg.Seed + int64(th)*7919)
+			j := chaos.NewJitter(cfg.Seed^int64(th), cfg.JitterPermille)
+			rs := RecordedSet{S: s, R: rec, Thread: th}
+			for i := 0; i < cfg.Ops; i++ {
+				key := rng.intn(cfg.Keys)
+				j.Point()
+				switch p := rng.intn(100); {
+				case p < int64(cfg.AddPct):
+					rs.Add(key)
+				case p < int64(cfg.AddPct+cfg.RemovePct):
+					rs.Remove(key)
+				default:
+					rs.Contains(key)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	hist := rec.History()
+	return CheckBudget(SetModel(), hist, cfg.budget()), hist
+}
+
+// RunMap is RunSet for maps; the read share of the mix issues Gets, and
+// Puts store values unique across the whole run so stale reads cannot hide
+// behind coincidentally equal values.
+func RunMap(cfg Config, mk func() Map) (Result, []Op) {
+	rec := NewRecorder(cfg.Threads)
+	m := mk()
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := newPRNG(cfg.Seed + int64(th)*7919)
+			j := chaos.NewJitter(cfg.Seed^int64(th), cfg.JitterPermille)
+			rm := RecordedMap{M: m, R: rec, Thread: th}
+			for i := 0; i < cfg.Ops; i++ {
+				key := rng.intn(cfg.Keys)
+				j.Point()
+				switch p := rng.intn(100); {
+				case p < int64(cfg.AddPct):
+					rm.Put(key, uint64(th)<<32|uint64(i)|1<<63)
+				case p < int64(cfg.AddPct+cfg.RemovePct):
+					rm.Delete(key)
+				default:
+					rm.Get(key)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	hist := rec.History()
+	return CheckBudget(MapModel(), hist, cfg.budget()), hist
+}
+
+// RunPQ is RunSet for priority queues. Added keys are unique across the
+// whole run (random priority bits plus a disambiguating counter) so
+// implementations that reject duplicate keys and those that accept them
+// behave identically; Keys controls the priority range, i.e. how often
+// concurrent adds race for the same minimum.
+func RunPQ(cfg Config, mk func() PQ) (Result, []Op) {
+	rec := NewRecorder(cfg.Threads)
+	q := mk()
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := newPRNG(cfg.Seed + int64(th)*7919)
+			j := chaos.NewJitter(cfg.Seed^int64(th), cfg.JitterPermille)
+			rq := RecordedPQ{Q: q, R: rec, Thread: th}
+			for i := 0; i < cfg.Ops; i++ {
+				j.Point()
+				switch p := rng.intn(100); {
+				case p < int64(cfg.AddPct):
+					// priority | per-thread unique low bits
+					key := rng.intn(cfg.Keys)<<24 | int64(th)<<16 | int64(i)
+					rq.Add(key)
+				case p < int64(cfg.AddPct+cfg.RemovePct):
+					rq.RemoveMin()
+				default:
+					rq.Min()
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	hist := rec.History()
+	return CheckBudget(PQModel(), hist, cfg.budget()), hist
+}
+
+// seedOverride lets a recorded failure be replayed without editing the
+// test: LINCHECK_SEED=12345 go test -run TestLincheckLazyList ./internal/conc
+func seedOverride(t testing.TB, seed int64) int64 {
+	if env := os.Getenv("LINCHECK_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+			t.Logf("lincheck: seed overridden by LINCHECK_SEED=%d", v)
+			return v
+		}
+	}
+	return seed
+}
+
+// report turns a Result into the test outcome: Violation fails the test
+// after dumping the history artifact, Inconclusive logs (the run proved
+// nothing either way), Ok is silent.
+func report(t testing.TB, name string, seed int64, res Result, hist []Op, txns []Txn) {
+	t.Helper()
+	switch res.Outcome {
+	case Violation:
+		path := DumpArtifact(name, seed, res, hist, txns)
+		t.Fatalf("lincheck: %s violates its specification (seed %d): %s\nfull history: %s",
+			name, seed, res.Detail, path)
+	case Inconclusive:
+		t.Logf("lincheck: %s check inconclusive after %d steps (seed %d); raise Budget to decide", name, res.Cost, seed)
+	}
+}
+
+// StressSet runs RunSet and fails t on a violation.
+func StressSet(t testing.TB, cfg Config, mk func() Set) {
+	t.Helper()
+	cfg.Seed = seedOverride(t, cfg.Seed)
+	res, hist := RunSet(cfg, mk)
+	report(t, cfg.Name, cfg.Seed, res, hist, nil)
+}
+
+// StressMap runs RunMap and fails t on a violation.
+func StressMap(t testing.TB, cfg Config, mk func() Map) {
+	t.Helper()
+	cfg.Seed = seedOverride(t, cfg.Seed)
+	res, hist := RunMap(cfg, mk)
+	report(t, cfg.Name, cfg.Seed, res, hist, nil)
+}
+
+// StressPQ runs RunPQ and fails t on a violation.
+func StressPQ(t testing.TB, cfg Config, mk func() PQ) {
+	t.Helper()
+	cfg.Seed = seedOverride(t, cfg.Seed)
+	res, hist := RunPQ(cfg, mk)
+	report(t, cfg.Name, cfg.Seed, res, hist, nil)
+}

@@ -1,0 +1,75 @@
+package lincheck
+
+import (
+	"testing"
+)
+
+// FuzzCheckerVsBruteForce cross-validates the WGL search against a
+// permutation-enumerating reference on small random set histories: the two
+// must agree on every input. This is the "short fuzz smoke" the CI lincheck
+// job runs.
+func FuzzCheckerVsBruteForce(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x9a, 0x11, 0xfe})
+	f.Add([]byte{0xff, 0x00, 0x7c, 0x33})
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hist := decodeHistory(data)
+		if len(hist) == 0 {
+			return
+		}
+		res := CheckBudget(SetModel(), hist, 1<<30)
+		if res.Outcome == Inconclusive {
+			t.Fatalf("budget exhausted on a %d-op history", len(hist))
+		}
+		want := bruteCheck(SetModel(), hist)
+		if (res.Outcome == Ok) != want {
+			t.Fatalf("checker=%v brute=%v on history %v", res.Outcome, want, hist)
+		}
+	})
+}
+
+// decodeHistory turns fuzz bytes into a well-formed tiny set history: at
+// most 5 ops over 2 keys and 2 threads, with distinct timestamps drawn from
+// a byte-driven shuffle so call/return intervals overlap arbitrarily.
+func decodeHistory(data []byte) []Op {
+	n := len(data) / 2
+	if n > 5 {
+		n = 5
+	}
+	if n == 0 {
+		return nil
+	}
+	// Assign each of the 2n timestamps a distinct value via a seeded
+	// Fisher–Yates over [1, 2n].
+	times := make([]int64, 2*n)
+	for i := range times {
+		times[i] = int64(i + 1)
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	for _, b := range data {
+		seed = mix64(seed ^ uint64(b))
+	}
+	for i := len(times) - 1; i > 0; i-- {
+		seed = mix64(seed)
+		j := int(seed % uint64(i+1))
+		times[i], times[j] = times[j], times[i]
+	}
+	ops := make([]Op, n)
+	for i := 0; i < n; i++ {
+		b := data[2*i]
+		kinds := [3]Kind{Add, Remove, Contains}
+		a, r := times[2*i], times[2*i+1]
+		if a > r {
+			a, r = r, a
+		}
+		ops[i] = Op{
+			Thread: int(b>>7) & 1,
+			Kind:   kinds[int(b)%3],
+			Key:    int64(b>>2) & 1,
+			Ok:     data[2*i+1]&1 == 1,
+			Call:   a,
+			Ret:    r,
+		}
+	}
+	return ops
+}

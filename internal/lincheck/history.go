@@ -1,0 +1,250 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind identifies one abstract-type operation in a recorded history. One
+// vocabulary covers every abstract type checked here (set, map, priority
+// queue, transactional memory) so histories, models and dumps share code.
+type Kind uint8
+
+const (
+	// Set operations.
+	Add Kind = iota
+	Remove
+	Contains
+	// Map operations.
+	Put
+	Get
+	Delete
+	// Priority-queue operations.
+	Min
+	RemoveMin
+	// Transactional-memory operations (opacity histories only).
+	Read
+	Write
+)
+
+var kindNames = [...]string{
+	Add: "Add", Remove: "Remove", Contains: "Contains",
+	Put: "Put", Get: "Get", Delete: "Delete",
+	Min: "Min", RemoveMin: "RemoveMin",
+	Read: "Read", Write: "Write",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op is one completed operation: its arguments, its observed result, and
+// the logical timestamps of its invocation and response. Timestamps come
+// from a single atomic counter, so they totally order all invocation and
+// response events of a run.
+type Op struct {
+	Thread int
+	Kind   Kind
+	Key    int64  // set/map/pq key, or cell index for Read/Write
+	In     uint64 // input value (Put, Write)
+	Out    uint64 // output value (Get, Min, RemoveMin, Read)
+	Ok     bool   // boolean result
+	Call   int64  // invocation timestamp
+	Ret    int64  // response timestamp (0 inside transactional Txn records)
+}
+
+// String renders the op the way history dumps and failure messages show it,
+// e.g. "t2 [17,24] Add(5) -> true".
+func (o Op) String() string {
+	var call string
+	switch o.Kind {
+	case Put:
+		call = fmt.Sprintf("Put(%d,%d) -> %v", o.Key, o.In, o.Ok)
+	case Write:
+		call = fmt.Sprintf("Write(c%d,%d)", o.Key, o.In)
+	case Get:
+		call = fmt.Sprintf("Get(%d) -> (%d,%v)", o.Key, o.Out, o.Ok)
+	case Read:
+		call = fmt.Sprintf("Read(c%d) -> %d", o.Key, o.Out)
+	case Min, RemoveMin:
+		call = fmt.Sprintf("%s() -> (%d,%v)", o.Kind, int64(o.Out), o.Ok)
+	default:
+		call = fmt.Sprintf("%s(%d) -> %v", o.Kind, o.Key, o.Ok)
+	}
+	return fmt.Sprintf("t%d [%d,%d] %s", o.Thread, o.Call, o.Ret, call)
+}
+
+// histShard is one thread's private op log, padded so logs on adjacent
+// threads never share a cache line.
+type histShard struct {
+	ops     []Op
+	pending Op
+	open    bool
+	_       [64]byte
+}
+
+// Recorder collects a concurrent operation history with low overhead: each
+// thread appends to its own shard and the only shared write is the logical
+// clock increment at invocation and response.
+type Recorder struct {
+	clock  atomic.Int64
+	shards []histShard
+}
+
+// NewRecorder creates a recorder for the given number of threads. Thread
+// ids passed to Invoke/Return must be in [0, threads).
+func NewRecorder(threads int) *Recorder {
+	return &Recorder{shards: make([]histShard, threads)}
+}
+
+// Now draws the next logical timestamp.
+func (r *Recorder) Now() int64 { return r.clock.Add(1) }
+
+// Invoke records the invocation of an operation on thread. Each thread has
+// at most one operation in flight; Return completes it.
+func (r *Recorder) Invoke(thread int, k Kind, key int64, in uint64) {
+	sh := &r.shards[thread]
+	if sh.open {
+		panic("lincheck: Invoke with an operation already in flight")
+	}
+	sh.pending = Op{Thread: thread, Kind: k, Key: key, In: in, Call: r.Now()}
+	sh.open = true
+}
+
+// Return records the response of the thread's in-flight operation.
+func (r *Recorder) Return(thread int, out uint64, ok bool) {
+	sh := &r.shards[thread]
+	if !sh.open {
+		panic("lincheck: Return without a pending Invoke")
+	}
+	sh.pending.Out = out
+	sh.pending.Ok = ok
+	sh.pending.Ret = r.Now()
+	sh.ops = append(sh.ops, sh.pending)
+	sh.open = false
+}
+
+// History merges the per-thread logs into one history sorted by invocation
+// time. It must only be called after all recording threads have finished.
+func (r *Recorder) History() []Op {
+	var out []Op
+	for i := range r.shards {
+		out = append(out, r.shards[i].ops...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Call < out[j].Call })
+	return out
+}
+
+// Set is the abstract set interface the recording wrapper and stress driver
+// speak. Adapters for every implementation in the repository live next to
+// their packages' tests.
+type Set interface {
+	Add(key int64) bool
+	Remove(key int64) bool
+	Contains(key int64) bool
+}
+
+// Map is the abstract map interface (int64 keys, uint64 values). Put
+// returns true when the key was absent (inserted), false on update.
+type Map interface {
+	Put(key int64, val uint64) bool
+	Get(key int64) (uint64, bool)
+	Delete(key int64) bool
+}
+
+// PQ is the abstract min-priority-queue interface. Implementations whose
+// Add reports duplicate rejection drop the boolean in their adapter; the
+// stress driver only ever adds distinct keys, where all variants agree.
+type PQ interface {
+	Add(key int64)
+	Min() (int64, bool)
+	RemoveMin() (int64, bool)
+}
+
+// RecordedSet runs every operation through the recorder on behalf of one
+// thread. It is a thin wrapper: one Invoke, the real call, one Return.
+type RecordedSet struct {
+	S      Set
+	R      *Recorder
+	Thread int
+}
+
+func (s RecordedSet) Add(key int64) bool {
+	s.R.Invoke(s.Thread, Add, key, 0)
+	ok := s.S.Add(key)
+	s.R.Return(s.Thread, 0, ok)
+	return ok
+}
+
+func (s RecordedSet) Remove(key int64) bool {
+	s.R.Invoke(s.Thread, Remove, key, 0)
+	ok := s.S.Remove(key)
+	s.R.Return(s.Thread, 0, ok)
+	return ok
+}
+
+func (s RecordedSet) Contains(key int64) bool {
+	s.R.Invoke(s.Thread, Contains, key, 0)
+	ok := s.S.Contains(key)
+	s.R.Return(s.Thread, 0, ok)
+	return ok
+}
+
+// RecordedMap records map operations on behalf of one thread.
+type RecordedMap struct {
+	M      Map
+	R      *Recorder
+	Thread int
+}
+
+func (m RecordedMap) Put(key int64, val uint64) bool {
+	m.R.Invoke(m.Thread, Put, key, val)
+	ok := m.M.Put(key, val)
+	m.R.Return(m.Thread, 0, ok)
+	return ok
+}
+
+func (m RecordedMap) Get(key int64) (uint64, bool) {
+	m.R.Invoke(m.Thread, Get, key, 0)
+	v, ok := m.M.Get(key)
+	m.R.Return(m.Thread, v, ok)
+	return v, ok
+}
+
+func (m RecordedMap) Delete(key int64) bool {
+	m.R.Invoke(m.Thread, Delete, key, 0)
+	ok := m.M.Delete(key)
+	m.R.Return(m.Thread, 0, ok)
+	return ok
+}
+
+// RecordedPQ records priority-queue operations on behalf of one thread.
+type RecordedPQ struct {
+	Q      PQ
+	R      *Recorder
+	Thread int
+}
+
+func (q RecordedPQ) Add(key int64) {
+	q.R.Invoke(q.Thread, Add, key, 0)
+	q.Q.Add(key)
+	q.R.Return(q.Thread, 0, true)
+}
+
+func (q RecordedPQ) Min() (int64, bool) {
+	q.R.Invoke(q.Thread, Min, 0, 0)
+	k, ok := q.Q.Min()
+	q.R.Return(q.Thread, uint64(k), ok)
+	return k, ok
+}
+
+func (q RecordedPQ) RemoveMin() (int64, bool) {
+	q.R.Invoke(q.Thread, RemoveMin, 0, 0)
+	k, ok := q.Q.RemoveMin()
+	q.R.Return(q.Thread, uint64(k), ok)
+	return k, ok
+}

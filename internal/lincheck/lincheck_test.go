@@ -1,0 +1,214 @@
+package lincheck
+
+import (
+	"testing"
+)
+
+// mkOp builds a history op with explicit timestamps.
+func mkOp(thread int, k Kind, key int64, ok bool, call, ret int64) Op {
+	return Op{Thread: thread, Kind: k, Key: key, Ok: ok, Call: call, Ret: ret}
+}
+
+func TestSetSequentialLegal(t *testing.T) {
+	hist := []Op{
+		mkOp(0, Add, 1, true, 1, 2),
+		mkOp(0, Contains, 1, true, 3, 4),
+		mkOp(0, Add, 1, false, 5, 6),
+		mkOp(0, Remove, 1, true, 7, 8),
+		mkOp(0, Remove, 1, false, 9, 10),
+		mkOp(0, Contains, 1, false, 11, 12),
+	}
+	if res := Check(SetModel(), hist); res.Outcome != Ok {
+		t.Fatalf("sequential legal history rejected: %+v", res)
+	}
+}
+
+func TestSetSequentialIllegal(t *testing.T) {
+	// Add succeeds twice with no Remove between: no order explains it.
+	hist := []Op{
+		mkOp(0, Add, 1, true, 1, 2),
+		mkOp(0, Add, 1, true, 3, 4),
+	}
+	res := Check(SetModel(), hist)
+	if res.Outcome != Violation {
+		t.Fatalf("double successful Add accepted: %+v", res)
+	}
+	if len(res.Failed) != 2 {
+		t.Fatalf("Failed sub-history has %d ops, want 2", len(res.Failed))
+	}
+}
+
+func TestSetConcurrentReorderingAccepted(t *testing.T) {
+	// Two overlapping Adds where the one that *returned first* failed: only
+	// legal if the other is linearized before it, which overlap permits.
+	hist := []Op{
+		mkOp(0, Add, 1, false, 1, 4),
+		mkOp(1, Add, 1, true, 2, 3),
+	}
+	if res := Check(SetModel(), hist); res.Outcome != Ok {
+		t.Fatalf("legal concurrent reordering rejected: %+v", res)
+	}
+}
+
+func TestSetRealTimeOrderEnforced(t *testing.T) {
+	// Same returns, but strictly sequential: the failed Add completed
+	// before the successful one was even invoked, so no witness exists.
+	hist := []Op{
+		mkOp(0, Add, 1, false, 1, 2),
+		mkOp(1, Add, 1, true, 3, 4),
+	}
+	if res := Check(SetModel(), hist); res.Outcome != Violation {
+		t.Fatalf("real-time order violation accepted: %+v", res)
+	}
+}
+
+func TestSetStaleReadCaught(t *testing.T) {
+	// A Contains that missed a committed Add (lost-update symptom).
+	hist := []Op{
+		mkOp(0, Add, 7, true, 1, 2),
+		mkOp(1, Contains, 7, false, 3, 4),
+	}
+	if res := Check(SetModel(), hist); res.Outcome != Violation {
+		t.Fatalf("stale read accepted: %+v", res)
+	}
+}
+
+func TestPartitioningIsolatesKeys(t *testing.T) {
+	// An illegal history on key 2 must be caught even when drowned in legal
+	// traffic on other keys; and the reported sub-history is just key 2.
+	hist := []Op{
+		mkOp(0, Add, 1, true, 1, 2),
+		mkOp(0, Add, 2, true, 3, 4),
+		mkOp(1, Add, 3, true, 5, 6),
+		mkOp(1, Add, 2, true, 7, 8), // illegal second Add
+		mkOp(0, Remove, 1, true, 9, 10),
+		mkOp(1, Contains, 3, true, 11, 12),
+	}
+	res := Check(SetModel(), hist)
+	if res.Outcome != Violation {
+		t.Fatalf("per-key violation not found: %+v", res)
+	}
+	for _, op := range res.Failed {
+		if op.Key != 2 {
+			t.Fatalf("failed partition contains key %d, want only key 2", op.Key)
+		}
+	}
+}
+
+func TestMapModelValues(t *testing.T) {
+	legal := []Op{
+		{Thread: 0, Kind: Put, Key: 1, In: 10, Ok: true, Call: 1, Ret: 2},
+		{Thread: 0, Kind: Get, Key: 1, Out: 10, Ok: true, Call: 3, Ret: 4},
+		{Thread: 0, Kind: Put, Key: 1, In: 20, Ok: false, Call: 5, Ret: 6},
+		{Thread: 0, Kind: Get, Key: 1, Out: 20, Ok: true, Call: 7, Ret: 8},
+		{Thread: 0, Kind: Delete, Key: 1, Ok: true, Call: 9, Ret: 10},
+		{Thread: 0, Kind: Get, Key: 1, Ok: false, Call: 11, Ret: 12},
+	}
+	if res := Check(MapModel(), legal); res.Outcome != Ok {
+		t.Fatalf("legal map history rejected: %+v", res)
+	}
+	stale := []Op{
+		{Thread: 0, Kind: Put, Key: 1, In: 10, Ok: true, Call: 1, Ret: 2},
+		{Thread: 0, Kind: Put, Key: 1, In: 20, Ok: false, Call: 3, Ret: 4},
+		{Thread: 1, Kind: Get, Key: 1, Out: 10, Ok: true, Call: 5, Ret: 6}, // stale value
+	}
+	if res := Check(MapModel(), stale); res.Outcome != Violation {
+		t.Fatalf("stale map read accepted: %+v", res)
+	}
+}
+
+func TestPQModel(t *testing.T) {
+	legal := []Op{
+		{Thread: 0, Kind: Add, Key: 5, Call: 1, Ret: 2},
+		{Thread: 0, Kind: Add, Key: 3, Call: 3, Ret: 4},
+		{Thread: 0, Kind: Min, Out: 3, Ok: true, Call: 5, Ret: 6},
+		{Thread: 0, Kind: RemoveMin, Out: 3, Ok: true, Call: 7, Ret: 8},
+		{Thread: 0, Kind: RemoveMin, Out: 5, Ok: true, Call: 9, Ret: 10},
+		{Thread: 0, Kind: RemoveMin, Ok: false, Call: 11, Ret: 12},
+	}
+	if res := Check(PQModel(), legal); res.Outcome != Ok {
+		t.Fatalf("legal pq history rejected: %+v", res)
+	}
+	// RemoveMin returns 5 while 3 is queued and no overlap allows it.
+	illegal := []Op{
+		{Thread: 0, Kind: Add, Key: 5, Call: 1, Ret: 2},
+		{Thread: 0, Kind: Add, Key: 3, Call: 3, Ret: 4},
+		{Thread: 0, Kind: RemoveMin, Out: 5, Ok: true, Call: 5, Ret: 6},
+	}
+	if res := Check(PQModel(), illegal); res.Outcome != Violation {
+		t.Fatalf("non-minimal RemoveMin accepted: %+v", res)
+	}
+	// With overlap, Add(3) may linearize after the RemoveMin: accepted.
+	concurrent := []Op{
+		{Thread: 0, Kind: Add, Key: 5, Call: 1, Ret: 2},
+		{Thread: 1, Kind: Add, Key: 3, Call: 3, Ret: 7},
+		{Thread: 0, Kind: RemoveMin, Out: 5, Ok: true, Call: 4, Ret: 6},
+	}
+	if res := Check(PQModel(), concurrent); res.Outcome != Ok {
+		t.Fatalf("legal concurrent pq history rejected: %+v", res)
+	}
+}
+
+func TestBudgetYieldsInconclusive(t *testing.T) {
+	hist := []Op{
+		mkOp(0, Add, 1, true, 1, 2),
+		mkOp(0, Remove, 1, true, 3, 4),
+		mkOp(0, Add, 1, true, 5, 6),
+	}
+	res := CheckBudget(SetModel(), hist, 2)
+	if res.Outcome != Inconclusive {
+		t.Fatalf("tiny budget should be inconclusive, got %+v", res)
+	}
+}
+
+func TestRecorderHistoryOrdering(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.Invoke(0, Add, 1, 0)
+	rec.Invoke(1, Contains, 1, 0) // overlaps with thread 0's Add
+	rec.Return(0, 0, true)
+	rec.Return(1, 0, false)
+	hist := rec.History()
+	if len(hist) != 2 {
+		t.Fatalf("history has %d ops, want 2", len(hist))
+	}
+	if hist[0].Kind != Add || hist[1].Kind != Contains {
+		t.Fatalf("history not sorted by invocation: %v", hist)
+	}
+	if hist[0].Ret < hist[1].Call {
+		t.Fatal("ops should overlap in logical time")
+	}
+	// Overlapping Add(true) / Contains(false) is linearizable.
+	if res := Check(SetModel(), hist); res.Outcome != Ok {
+		t.Fatalf("recorded overlap rejected: %+v", res)
+	}
+}
+
+// TestStressKnownGoodSet runs the full driver path against a trivially
+// correct mutex-guarded set, checking the end-to-end plumbing accepts it.
+func TestStressKnownGoodSet(t *testing.T) {
+	cfg := DefaultConfig(42)
+	cfg.Name = "mutex-set"
+	if testing.Short() {
+		cfg = cfg.Scaled(4)
+	}
+	StressSet(t, cfg, func() Set { return newMutexSet() })
+}
+
+func TestStressKnownGoodMap(t *testing.T) {
+	cfg := DefaultConfig(43)
+	cfg.Name = "mutex-map"
+	if testing.Short() {
+		cfg = cfg.Scaled(4)
+	}
+	StressMap(t, cfg, func() Map { return newMutexMap() })
+}
+
+func TestStressKnownGoodPQ(t *testing.T) {
+	cfg := DefaultConfig(44)
+	cfg.Name = "mutex-pq"
+	cfg.Threads, cfg.Ops = 3, 120 // pq histories are unpartitioned: keep small
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	StressPQ(t, cfg, func() PQ { return newMutexPQ() })
+}

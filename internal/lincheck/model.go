@@ -1,0 +1,181 @@
+package lincheck
+
+import "sort"
+
+// Model is a sequential specification of an abstract data type. The checker
+// searches for an order of the recorded operations under which every Step
+// is legal.
+//
+// States are treated as immutable values: Step must not modify its input
+// state, and the returned state must be safe to retain. Hash and Equal let
+// the checker memoize (bitset-of-linearized-ops, state) pairs.
+type Model struct {
+	Name string
+	// Init returns the initial (empty) state.
+	Init func() any
+	// Step applies op to state, returning the successor state and whether
+	// the op's recorded result is legal in that state.
+	Step func(state any, op Op) (any, bool)
+	// Partition splits a history into independently-checkable
+	// sub-histories (P-compositionality). Nil means no partitioning.
+	Partition func(ops []Op) [][]Op
+	// Hash fingerprints a state for the memo table.
+	Hash func(state any) uint64
+	// Equal reports whether two states are identical.
+	Equal func(a, b any) bool
+}
+
+// PartitionByKey splits a history into one sub-history per key, preserving
+// the original order within each. Sets and maps are products of independent
+// per-key objects, so a history is linearizable iff each per-key
+// sub-history is — shrinking the search from one large problem to many
+// trivial ones.
+func PartitionByKey(ops []Op) [][]Op {
+	byKey := make(map[int64][]Op)
+	var keys []int64
+	for _, op := range ops {
+		if _, seen := byKey[op.Key]; !seen {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([][]Op, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// SetModel is the sequential specification of an int64 set, partitioned per
+// key: the state of one partition is a single presence bit.
+func SetModel() Model {
+	return Model{
+		Name: "set",
+		Init: func() any { return false },
+		Step: func(state any, op Op) (any, bool) {
+			present := state.(bool)
+			switch op.Kind {
+			case Add:
+				return true, op.Ok == !present
+			case Remove:
+				return false, op.Ok == present
+			case Contains:
+				return present, op.Ok == present
+			}
+			return state, false
+		},
+		Partition: PartitionByKey,
+		Hash: func(state any) uint64 {
+			if state.(bool) {
+				return 1
+			}
+			return 0
+		},
+		Equal: func(a, b any) bool { return a.(bool) == b.(bool) },
+	}
+}
+
+// mapCell is the per-key state of the map model.
+type mapCell struct {
+	present bool
+	val     uint64
+}
+
+// MapModel is the sequential specification of an int64→uint64 map,
+// partitioned per key. Put reports insertion (true) vs update (false),
+// matching otb.Map and stmds.HashMap.
+func MapModel() Model {
+	return Model{
+		Name: "map",
+		Init: func() any { return mapCell{} },
+		Step: func(state any, op Op) (any, bool) {
+			c := state.(mapCell)
+			switch op.Kind {
+			case Put:
+				return mapCell{present: true, val: op.In}, op.Ok == !c.present
+			case Get:
+				if c.present {
+					return c, op.Ok && op.Out == c.val
+				}
+				return c, !op.Ok
+			case Delete:
+				return mapCell{}, op.Ok == c.present
+			}
+			return state, false
+		},
+		Partition: PartitionByKey,
+		Hash: func(state any) uint64 {
+			c := state.(mapCell)
+			if !c.present {
+				return 0
+			}
+			return mix64(c.val | 1<<63)
+		},
+		Equal: func(a, b any) bool { return a.(mapCell) == b.(mapCell) },
+	}
+}
+
+// PQModel is the sequential specification of a min-priority queue. Priority
+// queues do not decompose per key (RemoveMin orders all keys against each
+// other), so the model carries the full sorted multiset and histories are
+// checked unpartitioned — keep them small.
+func PQModel() Model {
+	return Model{
+		Name: "pq",
+		Init: func() any { return []int64(nil) },
+		Step: func(state any, op Op) (any, bool) {
+			keys := state.([]int64)
+			switch op.Kind {
+			case Add:
+				i := sort.Search(len(keys), func(i int) bool { return keys[i] >= op.Key })
+				next := make([]int64, 0, len(keys)+1)
+				next = append(next, keys[:i]...)
+				next = append(next, op.Key)
+				next = append(next, keys[i:]...)
+				return next, true
+			case Min:
+				if len(keys) == 0 {
+					return keys, !op.Ok
+				}
+				return keys, op.Ok && int64(op.Out) == keys[0]
+			case RemoveMin:
+				if len(keys) == 0 {
+					return keys, !op.Ok
+				}
+				return keys[1:], op.Ok && int64(op.Out) == keys[0]
+			}
+			return state, false
+		},
+		Hash: func(state any) uint64 {
+			h := uint64(1469598103934665603)
+			for _, k := range state.([]int64) {
+				h = mix64(h ^ uint64(k))
+			}
+			return h
+		},
+		Equal: func(a, b any) bool {
+			ka, kb := a.([]int64), b.([]int64)
+			if len(ka) != len(kb) {
+				return false
+			}
+			for i := range ka {
+				if ka[i] != kb[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// mix64 is the splitmix64 finalizer, used as the package's hash mixer and
+// as the driver PRNG's output function.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,446 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Txn is one recorded transaction attempt: its program-order operations
+// with their observed results, its lifetime in logical time, and whether it
+// committed. Aborted attempts matter: opacity demands that even they only
+// ever observed a consistent prefix of committed transactions.
+type Txn struct {
+	ID        int
+	Thread    int
+	Begin     int64
+	End       int64
+	Committed bool
+	Ops       []Op
+}
+
+// String renders a compact one-line form for dumps.
+func (t *Txn) String() string {
+	status := "committed"
+	if !t.Committed {
+		status = "aborted"
+	}
+	return fmt.Sprintf("tx%d t%d [%d,%d] %s (%d ops)", t.ID, t.Thread, t.Begin, t.End, status, len(t.Ops))
+}
+
+// txnShard is one thread's private attempt log.
+type txnShard struct {
+	txns []Txn
+	cur  Txn
+	open bool
+	_    [64]byte
+}
+
+// TxnRecorder collects transactional histories. Each thread records its own
+// attempts; the only shared state is the logical clock. The attempt
+// protocol mirrors how retry loops re-invoke transaction bodies:
+//
+//	BeginAttempt(th)   // at the top of the body — closes the previous
+//	                   // attempt (if still open) as aborted
+//	Op(th, op)         // after each successful transactional operation
+//	Commit(th)         // after the Atomic call returns
+//
+// An attempt left open when BeginAttempt is called again was aborted by the
+// runtime after the body returned (e.g. commit-time validation); its end
+// timestamp is over-approximated by the next attempt's begin, which only
+// relaxes the real-time constraints the checker derives — never creating a
+// false violation.
+type TxnRecorder struct {
+	clock  atomic.Int64
+	nextID atomic.Int64
+	shards []txnShard
+}
+
+// NewTxnRecorder creates a recorder for the given number of threads.
+func NewTxnRecorder(threads int) *TxnRecorder {
+	return &TxnRecorder{shards: make([]txnShard, threads)}
+}
+
+// Now draws the next logical timestamp.
+func (r *TxnRecorder) Now() int64 { return r.clock.Add(1) }
+
+// BeginAttempt opens a new attempt on thread, closing any previous open
+// attempt as aborted.
+func (r *TxnRecorder) BeginAttempt(thread int) {
+	sh := &r.shards[thread]
+	if sh.open {
+		r.closeAttempt(sh, false)
+	}
+	sh.cur = Txn{ID: int(r.nextID.Add(1)), Thread: thread, Begin: r.Now()}
+	sh.open = true
+}
+
+// Op appends one completed operation to the thread's open attempt.
+func (r *TxnRecorder) Op(thread int, op Op) {
+	sh := &r.shards[thread]
+	if !sh.open {
+		panic("lincheck: Op outside an attempt")
+	}
+	op.Thread = thread
+	sh.cur.Ops = append(sh.cur.Ops, op)
+}
+
+// Commit closes the thread's open attempt as committed.
+func (r *TxnRecorder) Commit(thread int) {
+	sh := &r.shards[thread]
+	if !sh.open {
+		panic("lincheck: Commit outside an attempt")
+	}
+	r.closeAttempt(sh, true)
+}
+
+// closeAttempt stamps and files the current attempt. Aborted attempts that
+// recorded no operations are dropped: they constrain nothing.
+func (r *TxnRecorder) closeAttempt(sh *txnShard, committed bool) {
+	sh.open = false
+	sh.cur.End = r.Now()
+	sh.cur.Committed = committed
+	if committed || len(sh.cur.Ops) > 0 {
+		sh.txns = append(sh.txns, sh.cur)
+	}
+}
+
+// History merges the per-thread logs, sorted by begin time. Call only after
+// all recording threads have finished.
+func (r *TxnRecorder) History() []Txn {
+	var out []Txn
+	for i := range r.shards {
+		if r.shards[i].open {
+			r.closeAttempt(&r.shards[i], false)
+		}
+		out = append(out, r.shards[i].txns...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}
+
+// TxnSpec is a sequential specification at transaction granularity: Apply
+// replays a whole transaction's operations, in program order, against a
+// state, reporting whether every recorded result is legal. Like Model
+// states, TxnSpec states are immutable values.
+type TxnSpec struct {
+	Name  string
+	Init  func() any
+	Apply func(state any, t *Txn) (any, bool)
+	Hash  func(state any) uint64
+	Equal func(a, b any) bool
+}
+
+// MemSpec is the transactional-memory specification over a fixed array of
+// cells with the given initial values. Op.Key indexes the cell; Read ops
+// carry the observed value in Out, Write ops the stored value in In.
+// Read-after-write inside one transaction is handled by sequential replay.
+func MemSpec(initial []uint64) TxnSpec {
+	return TxnSpec{
+		Name: "memory",
+		Init: func() any { return initial },
+		Apply: func(state any, t *Txn) (any, bool) {
+			cells := state.([]uint64)
+			cloned := false
+			for _, op := range t.Ops {
+				switch op.Kind {
+				case Read:
+					if cells[op.Key] != op.Out {
+						return state, false
+					}
+				case Write:
+					if !cloned {
+						cells = append([]uint64(nil), cells...)
+						cloned = true
+					}
+					cells[op.Key] = op.In
+				default:
+					return state, false
+				}
+			}
+			if !t.Committed {
+				// An aborted attempt's writes never took effect; only its
+				// reads had to be consistent.
+				return state, true
+			}
+			return cells, true
+		},
+		Hash: func(state any) uint64 {
+			h := uint64(1469598103934665603)
+			for _, v := range state.([]uint64) {
+				h = mix64(h ^ v)
+			}
+			return h
+		},
+		Equal: func(a, b any) bool {
+			va, vb := a.([]uint64), b.([]uint64)
+			if len(va) != len(vb) {
+				return false
+			}
+			for i := range va {
+				if va[i] != vb[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// SetTxnSpec is the abstract-set specification at transaction granularity,
+// for semantic (OTB/boosting) transactions that perform several set
+// operations atomically. State is the sorted key slice.
+func SetTxnSpec() TxnSpec {
+	return TxnSpec{
+		Name: "set",
+		Init: func() any { return []int64(nil) },
+		Apply: func(state any, t *Txn) (any, bool) {
+			keys := state.([]int64)
+			find := func(k int64) int {
+				return sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+			}
+			for _, op := range t.Ops {
+				i := find(op.Key)
+				present := i < len(keys) && keys[i] == op.Key
+				switch op.Kind {
+				case Add:
+					if op.Ok == present {
+						return state, false
+					}
+					if op.Ok {
+						next := make([]int64, 0, len(keys)+1)
+						next = append(next, keys[:i]...)
+						next = append(next, op.Key)
+						next = append(next, keys[i:]...)
+						keys = next
+					}
+				case Remove:
+					if op.Ok != present {
+						return state, false
+					}
+					if op.Ok {
+						next := make([]int64, 0, len(keys)-1)
+						next = append(next, keys[:i]...)
+						next = append(next, keys[i+1:]...)
+						keys = next
+					}
+				case Contains:
+					if op.Ok != present {
+						return state, false
+					}
+				default:
+					return state, false
+				}
+			}
+			if !t.Committed {
+				return state, true
+			}
+			return keys, true
+		},
+		Hash: func(state any) uint64 {
+			h := uint64(1469598103934665603)
+			for _, k := range state.([]int64) {
+				h = mix64(h ^ uint64(k))
+			}
+			return h
+		},
+		Equal: func(a, b any) bool {
+			ka, kb := a.([]int64), b.([]int64)
+			if len(ka) != len(kb) {
+				return false
+			}
+			for i := range ka {
+				if ka[i] != kb[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// CheckOpacity decides whether the transactional history is opaque with
+// respect to spec, using the default budget.
+func CheckOpacity(spec TxnSpec, txns []Txn) Result {
+	return CheckOpacityBudget(spec, txns, DefaultBudget)
+}
+
+// CheckOpacityBudget searches for a commit order of the committed
+// transactions that (a) respects real time — a transaction that ended
+// before another began must serialize first, (b) makes every committed
+// transaction's reads legal, and (c) leaves, for every aborted attempt,
+// some prefix compatible with the attempt's lifetime under which its reads
+// are legal too. (a)+(b) is strict serializability; adding (c) is the
+// testable core of opacity: no transaction, not even a doomed one, ever
+// observed an inconsistent state.
+func CheckOpacityBudget(spec TxnSpec, txns []Txn, budget int64) Result {
+	var committed, aborted []*Txn
+	for i := range txns {
+		if txns[i].Committed {
+			committed = append(committed, &txns[i])
+		} else if len(txns[i].Ops) > 0 {
+			aborted = append(aborted, &txns[i])
+		}
+	}
+	n := len(committed)
+	na := len(aborted)
+	sort.Slice(committed, func(i, j int) bool { return committed[i].Begin < committed[j].Begin })
+
+	c := &opacityCheck{
+		spec:      spec,
+		committed: committed,
+		aborted:   aborted,
+		scheduled: newBitset(n),
+		satisfied: newBitset(max(na, 1)),
+		cache:     make(map[uint64][]opacityMemo),
+		budget:    budget,
+	}
+	order := make([]int, 0, n)
+	verdict := c.search(spec.Init(), order)
+	res := Result{Cost: c.spent}
+	switch verdict {
+	case partOk:
+		res.Outcome = Ok
+		res.Witness = c.witness
+	case partInconclusive:
+		res.Outcome = Inconclusive
+		res.Detail = "search budget exhausted"
+	default:
+		res.Outcome = Violation
+		res.Detail = fmt.Sprintf(
+			"no commit order of %d committed transactions satisfies the %s specification and real-time order (%d aborted attempts constrained)",
+			n, spec.Name, na)
+		for _, t := range txns {
+			res.Failed = append(res.Failed, t.Ops...)
+		}
+	}
+	return res
+}
+
+// opacityMemo is one memoized search configuration.
+type opacityMemo struct {
+	scheduled bitset
+	satisfied bitset
+	state     any
+}
+
+type opacityCheck struct {
+	spec      TxnSpec
+	committed []*Txn
+	aborted   []*Txn
+	scheduled bitset
+	satisfied bitset
+	cache     map[uint64][]opacityMemo
+	budget    int64
+	spent     int64
+	witness   []int
+}
+
+// ready reports whether committed[i] may be scheduled next: every
+// still-unscheduled transaction that ended before it began would violate
+// real time by coming later.
+func (c *opacityCheck) ready(i int) bool {
+	ti := c.committed[i]
+	for j, tj := range c.committed {
+		if tj.Begin > ti.Begin {
+			break // sorted by Begin: no later txn can have ended earlier
+		}
+		if j == i || c.has(c.scheduled, j) {
+			continue
+		}
+		if tj.End < ti.Begin {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *opacityCheck) has(b bitset, i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// absorbAborted marks every aborted attempt whose lifetime is compatible
+// with the current prefix and whose reads are legal in the current state.
+// It returns the indices newly satisfied so the caller can roll them back.
+func (c *opacityCheck) absorbAborted(state any) []int {
+	var marked []int
+	for ai, a := range c.aborted {
+		if c.has(c.satisfied, ai) {
+			continue
+		}
+		// Every committed txn that ended before the attempt began must
+		// already be in the prefix; none that began after it ended may be.
+		compatible := true
+		for j, tj := range c.committed {
+			in := c.has(c.scheduled, j)
+			if !in && tj.End < a.Begin {
+				compatible = false
+				break
+			}
+			if in && tj.Begin > a.End {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			continue
+		}
+		if _, legal := c.spec.Apply(state, a); legal {
+			c.satisfied.set(ai)
+			marked = append(marked, ai)
+		}
+	}
+	return marked
+}
+
+func (c *opacityCheck) seen(state any) bool {
+	key := c.scheduled.hash() ^ c.satisfied.hash() ^ c.spec.Hash(state)
+	for _, m := range c.cache[key] {
+		if m.scheduled.equal(c.scheduled) && m.satisfied.equal(c.satisfied) && c.spec.Equal(m.state, state) {
+			return true
+		}
+	}
+	c.cache[key] = append(c.cache[key], opacityMemo{c.scheduled.clone(), c.satisfied.clone(), state})
+	return false
+}
+
+func (c *opacityCheck) search(state any, order []int) partVerdict {
+	if c.spent++; c.spent > c.budget {
+		return partInconclusive
+	}
+	marked := c.absorbAborted(state)
+	defer func() {
+		for _, ai := range marked {
+			c.satisfied.clear(ai)
+		}
+	}()
+	if len(order) == len(c.committed) {
+		for ai := range c.aborted {
+			if !c.has(c.satisfied, ai) {
+				return partViolation
+			}
+		}
+		c.witness = make([]int, len(order))
+		for i, idx := range order {
+			c.witness[i] = c.committed[idx].ID
+		}
+		return partOk
+	}
+	if c.seen(state) {
+		return partViolation
+	}
+	for i := range c.committed {
+		if c.has(c.scheduled, i) || !c.ready(i) {
+			continue
+		}
+		next, legal := c.spec.Apply(state, c.committed[i])
+		if !legal {
+			continue
+		}
+		c.scheduled.set(i)
+		v := c.search(next, append(order, i))
+		c.scheduled.clear(i)
+		if v != partViolation {
+			return v
+		}
+	}
+	return partViolation
+}

@@ -1,0 +1,154 @@
+package lincheck
+
+import "testing"
+
+// mkTxn builds a transaction record with explicit timestamps.
+func mkTxn(id, thread int, begin, end int64, committed bool, ops ...Op) Txn {
+	return Txn{ID: id, Thread: thread, Begin: begin, End: end, Committed: committed, Ops: ops}
+}
+
+func rd(cell int64, saw uint64) Op { return Op{Kind: Read, Key: cell, Out: saw} }
+func wr(cell int64, v uint64) Op   { return Op{Kind: Write, Key: cell, In: v} }
+
+func TestOpacitySequentialWitness(t *testing.T) {
+	txns := []Txn{
+		mkTxn(1, 0, 1, 2, true, wr(0, 1), wr(1, 1)),
+		mkTxn(2, 1, 3, 4, true, rd(0, 1), rd(1, 1)),
+	}
+	res := CheckOpacity(MemSpec([]uint64{0, 0}), txns)
+	if res.Outcome != Ok {
+		t.Fatalf("consistent history rejected: %+v", res)
+	}
+	if len(res.Witness) != 2 || res.Witness[0] != 1 || res.Witness[1] != 2 {
+		t.Fatalf("witness = %v, want [1 2]", res.Witness)
+	}
+}
+
+func TestOpacityTornReadCaught(t *testing.T) {
+	// The reader observed x from before the writer and y from after: no
+	// commit order explains the snapshot.
+	txns := []Txn{
+		mkTxn(1, 0, 1, 6, true, wr(0, 1), wr(1, 1)),
+		mkTxn(2, 1, 2, 5, true, rd(0, 0), rd(1, 1)),
+	}
+	res := CheckOpacity(MemSpec([]uint64{0, 0}), txns)
+	if res.Outcome != Violation {
+		t.Fatalf("torn read accepted: %+v", res)
+	}
+}
+
+func TestOpacityRealTimeEnforced(t *testing.T) {
+	// Reader starts strictly after the writer committed but still saw the
+	// old value: serializable (reader first), yet not strictly so.
+	txns := []Txn{
+		mkTxn(1, 0, 1, 2, true, wr(0, 1)),
+		mkTxn(2, 1, 3, 4, true, rd(0, 0)),
+	}
+	if res := CheckOpacity(MemSpec([]uint64{0}), txns); res.Outcome != Violation {
+		t.Fatalf("stale read across real-time gap accepted: %+v", res)
+	}
+	// The same values with overlapping lifetimes are fine: the reader may
+	// serialize first.
+	overlapped := []Txn{
+		mkTxn(1, 0, 1, 4, true, wr(0, 1)),
+		mkTxn(2, 1, 2, 5, true, rd(0, 0)),
+	}
+	if res := CheckOpacity(MemSpec([]uint64{0}), overlapped); res.Outcome != Ok {
+		t.Fatalf("legal overlapped serialization rejected: %+v", res)
+	}
+}
+
+func TestOpacityReadOwnWrites(t *testing.T) {
+	txns := []Txn{
+		mkTxn(1, 0, 1, 2, true, wr(0, 7), rd(0, 7)),
+	}
+	if res := CheckOpacity(MemSpec([]uint64{0}), txns); res.Outcome != Ok {
+		t.Fatalf("read-own-write rejected: %+v", res)
+	}
+}
+
+func TestOpacityAbortedAttemptMustBeConsistent(t *testing.T) {
+	// The aborted attempt saw a torn snapshot. Strict serializability of
+	// the committed transactions holds, but opacity does not.
+	txns := []Txn{
+		mkTxn(1, 0, 1, 6, true, wr(0, 1), wr(1, 1)),
+		mkTxn(2, 1, 2, 5, false, rd(0, 0), rd(1, 1)),
+	}
+	res := CheckOpacity(MemSpec([]uint64{0, 0}), txns)
+	if res.Outcome != Violation {
+		t.Fatalf("torn aborted read accepted: %+v", res)
+	}
+	// A consistent aborted attempt (saw the pre-state) passes.
+	fine := []Txn{
+		mkTxn(1, 0, 1, 6, true, wr(0, 1), wr(1, 1)),
+		mkTxn(2, 1, 2, 5, false, rd(0, 0), rd(1, 0)),
+	}
+	if res := CheckOpacity(MemSpec([]uint64{0, 0}), fine); res.Outcome != Ok {
+		t.Fatalf("consistent aborted attempt rejected: %+v", res)
+	}
+}
+
+func TestOpacityAbortedWritesDiscarded(t *testing.T) {
+	// The aborted attempt wrote 9 to cell 0; a later committed reader must
+	// NOT see it — and seeing the initial value is legal.
+	txns := []Txn{
+		mkTxn(1, 0, 1, 2, false, wr(0, 9), rd(0, 9)),
+		mkTxn(2, 1, 3, 4, true, rd(0, 0)),
+	}
+	if res := CheckOpacity(MemSpec([]uint64{0}), txns); res.Outcome != Ok {
+		t.Fatalf("aborted writes leaked into the model: %+v", res)
+	}
+}
+
+func TestOpacitySetTxnSpecAtomicity(t *testing.T) {
+	// Transaction 1 atomically adds keys 1 and 2; transaction 2, strictly
+	// later, sees key 1 present but key 2 absent: atomicity broken.
+	txns := []Txn{
+		mkTxn(1, 0, 1, 2, true,
+			Op{Kind: Add, Key: 1, Ok: true}, Op{Kind: Add, Key: 2, Ok: true}),
+		mkTxn(2, 1, 3, 4, true,
+			Op{Kind: Contains, Key: 1, Ok: true}, Op{Kind: Contains, Key: 2, Ok: false}),
+	}
+	if res := CheckOpacity(SetTxnSpec(), txns); res.Outcome != Violation {
+		t.Fatalf("half-visible transaction accepted: %+v", res)
+	}
+	fine := []Txn{
+		mkTxn(1, 0, 1, 2, true,
+			Op{Kind: Add, Key: 1, Ok: true}, Op{Kind: Add, Key: 2, Ok: true}),
+		mkTxn(2, 1, 3, 4, true,
+			Op{Kind: Contains, Key: 1, Ok: true}, Op{Kind: Contains, Key: 2, Ok: true},
+			Op{Kind: Remove, Key: 1, Ok: true}),
+		mkTxn(3, 0, 5, 6, true,
+			Op{Kind: Contains, Key: 1, Ok: false}, Op{Kind: Contains, Key: 2, Ok: true}),
+	}
+	if res := CheckOpacity(SetTxnSpec(), fine); res.Outcome != Ok {
+		t.Fatalf("legal set-transaction history rejected: %+v", res)
+	}
+}
+
+func TestTxnRecorderAttemptProtocol(t *testing.T) {
+	rec := NewTxnRecorder(1)
+	rec.BeginAttempt(0)
+	rec.Op(0, rd(0, 0))
+	rec.BeginAttempt(0) // retry: previous attempt aborted
+	rec.Op(0, rd(0, 1))
+	rec.Commit(0)
+	txns := rec.History()
+	if len(txns) != 2 {
+		t.Fatalf("recorded %d attempts, want 2", len(txns))
+	}
+	if txns[0].Committed || !txns[1].Committed {
+		t.Fatalf("attempt status wrong: %v / %v", txns[0].Committed, txns[1].Committed)
+	}
+	if txns[0].End > txns[1].Begin {
+		t.Fatal("aborted attempt must close before the retry begins")
+	}
+	// An attempt that never did anything is dropped.
+	rec2 := NewTxnRecorder(1)
+	rec2.BeginAttempt(0)
+	rec2.BeginAttempt(0)
+	rec2.Commit(0)
+	if got := len(rec2.History()); got != 1 {
+		t.Fatalf("empty aborted attempt kept: %d txns, want 1", got)
+	}
+}

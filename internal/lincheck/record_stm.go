@@ -1,0 +1,129 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// STMConfig parameterizes an opacity stress run against an stm.Algorithm.
+type STMConfig struct {
+	Name string
+	Seed int64
+	// Threads workers each run Txns transactions of OpsPerTx operations
+	// over Cells shared cells; WritePct of the operations are writes.
+	Threads, Txns, OpsPerTx, Cells int
+	WritePct                       int
+	JitterPermille                 int
+	Budget                         int64
+}
+
+// DefaultSTMConfig is a contended read-write mix small enough that the
+// witness search stays well inside the default budget.
+func DefaultSTMConfig(seed int64) STMConfig {
+	return STMConfig{
+		Seed: seed, Threads: 4, Txns: 60, OpsPerTx: 4, Cells: 6,
+		WritePct: 40, JitterPermille: 30,
+	}
+}
+
+// Scaled divides the per-thread transaction count by n (at least 1).
+func (c STMConfig) Scaled(n int) STMConfig {
+	c.Txns = max(c.Txns/n, 1)
+	return c
+}
+
+func (c STMConfig) budget() int64 {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	return DefaultBudget
+}
+
+// recTx interposes on an stm.Tx, mirroring every read and write into the
+// transaction recorder. Cell identity is translated to a dense index so the
+// memory specification can replay the history over a plain value array.
+type recTx struct {
+	inner  stm.Tx
+	rec    *TxnRecorder
+	thread int
+	index  map[*mem.Cell]int
+}
+
+func (t *recTx) Read(c *mem.Cell) uint64 {
+	v := t.inner.Read(c)
+	t.rec.Op(t.thread, Op{Kind: Read, Key: int64(t.index[c]), Out: v})
+	return v
+}
+
+func (t *recTx) Write(c *mem.Cell, v uint64) {
+	t.inner.Write(c, v)
+	t.rec.Op(t.thread, Op{Kind: Write, Key: int64(t.index[c]), In: v})
+}
+
+// AtomicRecorded runs fn through alg.Atomic with every attempt recorded:
+// the body's re-invocation on retry closes the previous attempt as aborted,
+// and the Atomic return commits the final one. Operations that abort
+// mid-call (unwinding through a panic) are deliberately not recorded — the
+// history holds only operations that returned a value to the body.
+func AtomicRecorded(alg stm.Algorithm, rec *TxnRecorder, thread int, index map[*mem.Cell]int, fn func(stm.Tx)) {
+	alg.Atomic(func(inner stm.Tx) {
+		rec.BeginAttempt(thread)
+		fn(&recTx{inner: inner, rec: rec, thread: thread, index: index})
+	})
+	rec.Commit(thread)
+}
+
+// RunSTM executes the configured workload against alg over a fresh cell
+// array and checks the recorded transactional history for opacity. Written
+// values are unique across the run, so distinct serializations never
+// coincide by value and the witness search is sharply constrained.
+func RunSTM(alg stm.Algorithm, cfg STMConfig) (Result, []Txn) {
+	cells := make([]*mem.Cell, cfg.Cells)
+	initial := make([]uint64, cfg.Cells)
+	index := make(map[*mem.Cell]int, cfg.Cells)
+	for i := range cells {
+		cells[i] = mem.NewCell(0)
+		index[cells[i]] = i
+	}
+	rec := NewTxnRecorder(cfg.Threads)
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := newPRNG(cfg.Seed + int64(th)*7919)
+			j := chaos.NewJitter(cfg.Seed^int64(th), cfg.JitterPermille)
+			for i := 0; i < cfg.Txns; i++ {
+				AtomicRecorded(alg, rec, th, index, func(tx stm.Tx) {
+					for o := 0; o < cfg.OpsPerTx; o++ {
+						c := cells[rng.intn(int64(cfg.Cells))]
+						j.Point()
+						if rng.intn(100) < int64(cfg.WritePct) {
+							tx.Write(c, uint64(th)<<40|uint64(i)<<16|uint64(o)|1<<63)
+						} else {
+							tx.Read(c)
+						}
+					}
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+	txns := rec.History()
+	return CheckOpacityBudget(MemSpec(initial), txns, cfg.budget()), txns
+}
+
+// StressSTM runs RunSTM and fails t on an opacity violation.
+func StressSTM(t testing.TB, alg stm.Algorithm, cfg STMConfig) {
+	t.Helper()
+	cfg.Seed = seedOverride(t, cfg.Seed)
+	if cfg.Name == "" {
+		cfg.Name = alg.Name()
+	}
+	res, txns := RunSTM(alg, cfg)
+	report(t, cfg.Name, cfg.Seed, res, nil, txns)
+}

@@ -1,0 +1,166 @@
+package lincheck
+
+import (
+	"sort"
+	"sync"
+)
+
+// Reference implementations (coarse mutex around a sequential structure)
+// used by the known-good stress tests, and a brute-force linearizability
+// checker used by the fuzz target to cross-validate the WGL search on tiny
+// histories.
+
+type mutexSet struct {
+	mu sync.Mutex
+	m  map[int64]bool
+}
+
+func newMutexSet() *mutexSet { return &mutexSet{m: make(map[int64]bool)} }
+
+func (s *mutexSet) Add(k int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[k] {
+		return false
+	}
+	s.m[k] = true
+	return true
+}
+
+func (s *mutexSet) Remove(k int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.m[k] {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *mutexSet) Contains(k int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+type mutexMap struct {
+	mu sync.Mutex
+	m  map[int64]uint64
+}
+
+func newMutexMap() *mutexMap { return &mutexMap{m: make(map[int64]uint64)} }
+
+func (m *mutexMap) Put(k int64, v uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, had := m.m[k]
+	m.m[k] = v
+	return !had
+}
+
+func (m *mutexMap) Get(k int64) (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.m[k]
+	return v, ok
+}
+
+func (m *mutexMap) Delete(k int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, had := m.m[k]
+	delete(m.m, k)
+	return had
+}
+
+type mutexPQ struct {
+	mu   sync.Mutex
+	keys []int64 // sorted ascending
+}
+
+func newMutexPQ() *mutexPQ { return &mutexPQ{} }
+
+func (q *mutexPQ) Add(k int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i := sort.Search(len(q.keys), func(i int) bool { return q.keys[i] >= k })
+	q.keys = append(q.keys, 0)
+	copy(q.keys[i+1:], q.keys[i:])
+	q.keys[i] = k
+}
+
+func (q *mutexPQ) Min() (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.keys) == 0 {
+		return 0, false
+	}
+	return q.keys[0], true
+}
+
+func (q *mutexPQ) RemoveMin() (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.keys) == 0 {
+		return 0, false
+	}
+	k := q.keys[0]
+	q.keys = q.keys[1:]
+	return k, true
+}
+
+// bruteCheck decides linearizability by enumerating, per partition, every
+// permutation that respects real-time order and testing it against the
+// model. Exponential; callers keep histories at or below ~7 ops.
+func bruteCheck(m Model, ops []Op) bool {
+	if m.Partition != nil {
+		for _, part := range m.Partition(ops) {
+			if !bruteCheckPart(m, part) {
+				return false
+			}
+		}
+		return true
+	}
+	return bruteCheckPart(m, ops)
+}
+
+func bruteCheckPart(m Model, ops []Op) bool {
+	n := len(ops)
+	used := make([]bool, n)
+	var rec func(state any, placed int, maxRet int64) bool
+	rec = func(state any, placed int, maxRet int64) bool {
+		if placed == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time: an op cannot linearize after one that had already
+			// returned before it was invoked — i.e. every op whose return
+			// precedes this op's invocation must already be placed.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && ops[j].Ret < ops[i].Call {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next, legal := m.Step(state, ops[i])
+			if !legal {
+				continue
+			}
+			used[i] = true
+			if rec(next, placed+1, maxRet) {
+				used[i] = false
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(m.Init(), 0, 0)
+}

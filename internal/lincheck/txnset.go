@@ -1,0 +1,85 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// RecordedTxnSet mirrors transactional set operations into a TxnRecorder as
+// operations of the current attempt. Operations that abort mid-call
+// (unwinding through a panic) record nothing: only responses the body
+// actually observed enter the history.
+type RecordedTxnSet struct {
+	S      Set
+	R      *TxnRecorder
+	Thread int
+}
+
+func (r RecordedTxnSet) Add(k int64) bool {
+	ok := r.S.Add(k)
+	r.R.Op(r.Thread, Op{Kind: Add, Key: k, Ok: ok})
+	return ok
+}
+
+func (r RecordedTxnSet) Remove(k int64) bool {
+	ok := r.S.Remove(k)
+	r.R.Op(r.Thread, Op{Kind: Remove, Key: k, Ok: ok})
+	return ok
+}
+
+func (r RecordedTxnSet) Contains(k int64) bool {
+	ok := r.S.Contains(k)
+	r.R.Op(r.Thread, Op{Kind: Contains, Key: k, Ok: ok})
+	return ok
+}
+
+// RunTxnSet drives multi-operation set transactions through an arbitrary
+// transactional runner and checks the recorded history for opacity against
+// the set specification. atomic must execute body transactionally —
+// invoking it once per attempt with that attempt's transactional set view —
+// and return once the transaction has committed; RunTxnSet handles all
+// attempt bookkeeping around it. Cells doubles as the key range.
+func RunTxnSet(cfg STMConfig, atomic func(thread int, body func(Set))) (Result, []Txn) {
+	rec := NewTxnRecorder(cfg.Threads)
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := newPRNG(cfg.Seed + int64(th)*7919)
+			j := chaos.NewJitter(cfg.Seed^int64(th), cfg.JitterPermille)
+			for i := 0; i < cfg.Txns; i++ {
+				atomic(th, func(view Set) {
+					rec.BeginAttempt(th)
+					rs := RecordedTxnSet{S: view, R: rec, Thread: th}
+					for o := 0; o < cfg.OpsPerTx; o++ {
+						key := rng.intn(int64(cfg.Cells))
+						j.Point()
+						switch p := rng.intn(100); {
+						case p < int64(cfg.WritePct)/2:
+							rs.Add(key)
+						case p < int64(cfg.WritePct):
+							rs.Remove(key)
+						default:
+							rs.Contains(key)
+						}
+					}
+				})
+				rec.Commit(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	txns := rec.History()
+	return CheckOpacityBudget(SetTxnSpec(), txns, cfg.budget()), txns
+}
+
+// StressTxnSet runs RunTxnSet and fails t on an opacity violation.
+func StressTxnSet(t testing.TB, cfg STMConfig, atomic func(thread int, body func(Set))) {
+	t.Helper()
+	cfg.Seed = seedOverride(t, cfg.Seed)
+	res, txns := RunTxnSet(cfg, atomic)
+	report(t, cfg.Name, cfg.Seed, res, nil, txns)
+}

@@ -1,0 +1,255 @@
+package lincheck
+
+import "sort"
+
+// Wing–Gong linearizability search with Lowe's caching, operating on one
+// partition at a time (P-compositionality). The algorithm walks the events
+// of the history in timestamp order, provisionally linearizing any pending
+// operation whose effect is legal, and backtracks when it reaches the
+// response of an operation it could not linearize. A memo table of
+// (linearized-set, state) pairs prunes re-exploration.
+
+// Outcome classifies a check.
+type Outcome int
+
+const (
+	// Ok: a witness linearization (or commit order) was found.
+	Ok Outcome = iota
+	// Violation: the search space was exhausted without a witness.
+	Violation
+	// Inconclusive: the step budget ran out before either verdict.
+	Inconclusive
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Ok:
+		return "ok"
+	case Violation:
+		return "violation"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Result reports a check's verdict and diagnostics.
+type Result struct {
+	Outcome Outcome
+	// Failed holds the sub-history that admitted no witness (Violation).
+	Failed []Op
+	// Detail is a one-line human explanation of a Violation.
+	Detail string
+	// Witness, for opacity checks, is the found commit order (txn IDs).
+	Witness []int
+	// Cost is the number of search steps spent across all partitions.
+	Cost int64
+}
+
+// DefaultBudget is the default search-step budget for one check.
+const DefaultBudget = 4 << 20
+
+// Check decides whether hist is linearizable with respect to m, using the
+// default step budget.
+func Check(m Model, hist []Op) Result { return CheckBudget(m, hist, DefaultBudget) }
+
+// CheckBudget is Check with an explicit search-step budget shared across
+// all partitions. Exhausting it yields Inconclusive, never a wrong verdict.
+func CheckBudget(m Model, hist []Op, budget int64) Result {
+	parts := [][]Op{hist}
+	if m.Partition != nil {
+		parts = m.Partition(hist)
+	}
+	res := Result{Outcome: Ok}
+	remaining := budget
+	for _, part := range parts {
+		ok, spent := checkPartition(m, part, remaining)
+		res.Cost += spent
+		remaining -= spent
+		switch {
+		case ok == partViolation:
+			res.Outcome = Violation
+			res.Failed = part
+			res.Detail = "no linearization of this sub-history satisfies the " + m.Name + " specification"
+			return res
+		case ok == partInconclusive:
+			res.Outcome = Inconclusive
+			res.Detail = "search budget exhausted"
+			return res
+		}
+	}
+	return res
+}
+
+type partVerdict int
+
+const (
+	partOk partVerdict = iota
+	partViolation
+	partInconclusive
+)
+
+// event is one node of the doubly-linked event list: an invocation (with
+// match pointing at its response) or a response (match nil).
+type event struct {
+	op         int // index into the partition's ops
+	match      *event
+	prev, next *event
+}
+
+// lift removes a linearized operation's invocation and response from the
+// event list.
+func lift(e *event) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	m := e.match
+	m.prev.next = m.next
+	m.next.prev = m.prev
+}
+
+// unlift reverses lift during backtracking.
+func unlift(e *event) {
+	m := e.match
+	m.prev.next = m
+	m.next.prev = m
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// bitset is a fixed-size bit vector over op indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+func (b bitset) hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range b {
+		h = mix64(h ^ w)
+	}
+	return h
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// cacheEntry is one memoized (linearized-set, state) configuration.
+type cacheEntry struct {
+	lin   bitset
+	state any
+}
+
+// frame is one provisional linearization on the backtracking stack.
+type frame struct {
+	entry *event
+	state any
+}
+
+// checkPartition runs the WGL search on one partition. ops must be a
+// complete history (every op has Call and Ret set).
+func checkPartition(m Model, ops []Op, budget int64) (partVerdict, int64) {
+	n := len(ops)
+	if n == 0 {
+		return partOk, 0
+	}
+	// Build the event list in timestamp order. Timestamps are unique (one
+	// atomic counter), so a plain sort on the combined event set suffices.
+	type rawEvent struct {
+		time   int64
+		op     int
+		invoke bool
+	}
+	raw := make([]rawEvent, 0, 2*n)
+	for i, op := range ops {
+		raw = append(raw, rawEvent{op.Call, i, true}, rawEvent{op.Ret, i, false})
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i].time < raw[j].time })
+
+	head := &event{op: -1}
+	tail := &event{op: -1}
+	head.next, tail.prev = tail, head
+	returns := make([]*event, n)
+	at := head
+	for _, re := range raw {
+		e := &event{op: re.op}
+		e.prev, e.next = at, tail
+		at.next, tail.prev = e, e
+		at = e
+		if re.invoke {
+			// match is fixed up when the response is linked.
+		} else {
+			returns[re.op] = e
+		}
+	}
+	for e := head.next; e != tail; e = e.next {
+		if returns[e.op] != e { // invocation node
+			e.match = returns[e.op]
+		}
+	}
+
+	state := m.Init()
+	linearized := newBitset(n)
+	cache := make(map[uint64][]cacheEntry)
+	var stack []frame
+	var spent int64
+
+	cacheSeen := func(lin bitset, st any) bool {
+		key := lin.hash() ^ m.Hash(st)
+		for _, ce := range cache[key] {
+			if ce.lin.equal(lin) && m.Equal(ce.state, st) {
+				return true
+			}
+		}
+		cache[key] = append(cache[key], cacheEntry{lin.clone(), st})
+		return false
+	}
+
+	entry := head.next
+	for head.next != tail {
+		if spent++; spent > budget {
+			return partInconclusive, spent
+		}
+		if entry.match != nil {
+			// Invocation: try to linearize this op here.
+			next, legal := m.Step(state, ops[entry.op])
+			if legal {
+				linearized.set(entry.op)
+				fresh := !cacheSeen(linearized, next)
+				if fresh {
+					stack = append(stack, frame{entry, state})
+					state = next
+					lift(entry)
+					entry = head.next
+					continue
+				}
+				linearized.clear(entry.op)
+			}
+			entry = entry.next
+			continue
+		}
+		// Response of an op we could not linearize: backtrack.
+		if len(stack) == 0 {
+			return partViolation, spent
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		entry, state = f.entry, f.state
+		linearized.clear(entry.op)
+		unlift(entry)
+		entry = entry.next
+	}
+	return partOk, spent
+}

@@ -1,0 +1,22 @@
+package glock_test
+
+import (
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/stm/glock"
+)
+
+// TestOpacityGLock records a contended transactional workload and checks
+// that some commit order of the committed transactions explains every read,
+// respects real-time order, and leaves each aborted attempt with a
+// consistent view (see internal/lincheck).
+func TestOpacityGLock(t *testing.T) {
+	s := glock.New()
+	defer s.Stop()
+	cfg := lincheck.DefaultSTMConfig(106)
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	lincheck.StressSTM(t, s, cfg)
+}

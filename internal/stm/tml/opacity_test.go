@@ -1,0 +1,22 @@
+package tml_test
+
+import (
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/stm/tml"
+)
+
+// TestOpacityTML records a contended transactional workload and checks
+// that some commit order of the committed transactions explains every read,
+// respects real-time order, and leaves each aborted attempt with a
+// consistent view (see internal/lincheck).
+func TestOpacityTML(t *testing.T) {
+	s := tml.New()
+	defer s.Stop()
+	cfg := lincheck.DefaultSTMConfig(103)
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	lincheck.StressSTM(t, s, cfg)
+}

@@ -1,0 +1,74 @@
+package stmds_test
+
+import (
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/stm"
+	"repro/internal/stm/norec"
+	"repro/internal/stmds"
+)
+
+// Linearizability and opacity checks for the STM-composed structures. The
+// arena capacity is generous because aborted attempts allocate nodes that
+// are never reclaimed.
+const lcArenaCap = 1 << 18
+
+// algSet runs each abstract operation in its own STM transaction.
+type algSet struct {
+	alg stm.Algorithm
+	s   *stmds.List
+}
+
+func (a algSet) Add(k int64) (ok bool) {
+	a.alg.Atomic(func(tx stm.Tx) { ok = a.s.Add(tx, k) })
+	return
+}
+
+func (a algSet) Remove(k int64) (ok bool) {
+	a.alg.Atomic(func(tx stm.Tx) { ok = a.s.Remove(tx, k) })
+	return
+}
+
+func (a algSet) Contains(k int64) (ok bool) {
+	a.alg.Atomic(func(tx stm.Tx) { ok = a.s.Contains(tx, k) })
+	return
+}
+
+func TestLincheckSTMList(t *testing.T) {
+	alg := norec.New()
+	defer alg.Stop()
+	cfg := lincheck.DefaultConfig(31)
+	cfg.Name = "stmds/list"
+	if testing.Short() {
+		cfg = cfg.Scaled(4)
+	}
+	lincheck.StressSet(t, cfg, func() lincheck.Set {
+		return algSet{alg, stmds.NewList(lcArenaCap)}
+	})
+}
+
+// listView is one attempt's transactional view of an STM-backed list set.
+type listView struct {
+	tx stm.Tx
+	s  *stmds.List
+}
+
+func (v listView) Add(k int64) bool      { return v.s.Add(v.tx, k) }
+func (v listView) Remove(k int64) bool   { return v.s.Remove(v.tx, k) }
+func (v listView) Contains(k int64) bool { return v.s.Contains(v.tx, k) }
+
+func TestOpacitySTMListTxns(t *testing.T) {
+	alg := norec.New()
+	defer alg.Stop()
+	s := stmds.NewList(lcArenaCap)
+	cfg := lincheck.DefaultSTMConfig(32)
+	cfg.Name = "stmds/list-txns"
+	cfg.Cells = 8 // key range
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	lincheck.StressTxnSet(t, cfg, func(th int, body func(lincheck.Set)) {
+		alg.Atomic(func(tx stm.Tx) { body(listView{tx, s}) })
+	})
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/abort"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update. Export formats are consumed by scripts that scrape the table and
+// dashboards that read the expvar JSON, so shape changes must be deliberate.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run with -update after deliberate changes)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// histWith places count observations in the bucket covering ns, yielding a
+// deterministic snapshot with known quantile edges.
+func histWith(ns int64, count uint64) HistogramSnapshot {
+	var h HistogramSnapshot
+	h.Counts[bucketOf(ns)] = count
+	h.Total = count
+	h.SumNS = ns * int64(count)
+	return h
+}
+
+func TestGoldenWriteTable(t *testing.T) {
+	snaps := []MeterSnapshot{
+		{
+			Name: "otb-norec", Policy: "karma",
+			Commits: 1200, Retries: 40,
+			Aborts: func() (a [abort.NumReasons]uint64) {
+				a[abort.Conflict] = 30
+				a[abort.LockBusy] = 8
+				a[abort.Explicit] = 2
+				return
+			}(),
+			Escalations:   1,
+			TxLatency:     histWith(1500, 1200), // [1024,2048) → p50/p99 edge 2.048µs
+			CommitLatency: histWith(700, 1200),  // [512,1024) → edge 1.024µs
+		},
+		{
+			Name:    "glock", // default policy renders as "-"
+			Commits: 900, Fallbacks: 3,
+			TxLatency: histWith(90000, 900),
+		},
+		{Name: "idle"}, // zero activity: must be omitted entirely
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, snaps)
+	golden(t, "table.golden", buf.Bytes())
+}
+
+func TestGoldenVarsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	m := r.Meter("otb-tl2")
+	m.SetPolicySource(func() string { return "backoff" })
+	l := m.Local()
+	for i := 0; i < 5; i++ {
+		l.Commit(0) // zero stamp: count the commit, record no latency
+	}
+	l.Abort(abort.Conflict)
+	l.Abort(abort.Conflict)
+	l.Abort(abort.Timeout)
+	l.Escalated()
+	l.Fallback()
+	r.Meter("silent") // no activity: must be omitted
+
+	got, err := json.MarshalIndent(r.Vars(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "vars.golden", append(got, '\n'))
+}
