@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/telemetry"
 )
@@ -34,12 +35,19 @@ func main() {
 		telemetryOff = flag.Bool("no-telemetry", false, "disable per-experiment abort-reason telemetry tables")
 		cmPolicy     = flag.String("cm", "", "contention-management policy: "+strings.Join(cm.Names(), ", "))
 		cmBudget     = flag.Int("cm-budget", 0, "retry budget before serial-mode escalation (<0 disables)")
+		failspec     = flag.String("failpoints", "", "fault-injection specs, 'name=action[@triggers];...' (see internal/chaos/failpoint)")
 	)
 	flag.Parse()
 
 	if err := cm.Configure(*cmPolicy, *cmBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
+	}
+	if *failspec != "" {
+		if err := failpoint.Apply(*failspec); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
 	}
 	if !*telemetryOff {
 		telemetry.Enable()

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/boosting"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/conc"
 	"repro/internal/integrate"
@@ -114,12 +116,20 @@ func main() {
 		noTel     = flag.Bool("no-telemetry", false, "disable the end-of-run telemetry snapshot")
 		cmPolicy  = flag.String("cm", "", "contention-management policy: "+strings.Join(cm.Names(), ", "))
 		cmBudget  = flag.Int("cm-budget", 0, "retry budget before serial-mode escalation (<0 disables)")
+		failspec  = flag.String("failpoints", "", "fault-injection specs, 'name=action[@triggers];...' (see internal/chaos/failpoint)")
+		deadline  = flag.Duration("deadline", 0, "run transactions under a context with this deadline; expired transactions abort with the canceled reason (0 = off)")
 	)
 	flag.Parse()
 
 	if err := cm.Configure(*cmPolicy, *cmBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "stmbench:", err)
 		os.Exit(2)
+	}
+	if *failspec != "" {
+		if err := failpoint.Apply(*failspec); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(2)
+		}
 	}
 	if !*noTel {
 		telemetry.Enable()
@@ -159,17 +169,53 @@ func main() {
 		gens[i] = wl.NewSetWorker(i)
 	}
 	cfg := bench.Config{Threads: []int{*threads}, Warmup: *warmup, Measure: *duration}
+
+	// -deadline runs every transaction under one shared expiring context:
+	// once it passes, transactions return canceled instead of committing
+	// (the count shows up in the telemetry table). -failpoints with a panic
+	// action injects crashes; the worker recovers the injected value — the
+	// runtimes have already rolled back — and keeps going, so recovered
+	// panics are countable too.
+	var runCtx context.Context
+	if *deadline > 0 {
+		var cancelRun context.CancelFunc
+		runCtx, cancelRun = context.WithTimeout(context.Background(), *deadline)
+		defer cancelRun()
+	}
+	runOne := func(id int, rng *rand.Rand) {
+		ops := gens[id](rng)
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if _, injected := p.(*failpoint.PanicValue); !injected {
+				panic(p)
+			}
+		}()
+		if runCtx != nil {
+			_ = d.RunTxCtx(runCtx, ops)
+			return
+		}
+		d.RunTx(ops)
+	}
+
 	var tput float64
 	telemetry.Default.Do(d.Name(), func() {
-		tput = bench.Throughput(cfg, *threads, func(id int, rng *rand.Rand) {
-			d.RunTx(gens[id](rng))
-		})
+		tput = bench.Throughput(cfg, *threads, runOne)
 	})
 	fmt.Printf("%-16s %-10s threads=%-3d size=%-7d writes=%d%% ops/tx=%d\n",
 		*structure, d.Name(), *threads, *size, *writes, *opsPerTx)
 	fmt.Printf("throughput: %.0f tx/sec (%.0f ops/sec)\n", tput, tput*float64(*opsPerTx))
 	if telemetry.Default.Enabled() {
 		fmt.Println()
-		telemetry.WriteTable(os.Stdout, telemetry.Default.Snapshot())
+		snap := telemetry.Default.Snapshot()
+		telemetry.WriteTable(os.Stdout, snap)
+		var panics, canceled uint64
+		for _, m := range snap {
+			panics += m.RecoveredPanics()
+			canceled += m.Canceled()
+		}
+		fmt.Printf("recovered panics: %d   cancelled transactions: %d\n", panics, canceled)
 	}
 }

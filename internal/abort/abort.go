@@ -5,9 +5,26 @@
 //
 // This mirrors DEUCE's exception-driven retry: user code inside an atomic
 // block simply calls the transactional API and never observes the panic.
+//
+// Two failure modes beyond ordinary conflicts are handled here so every
+// runtime inherits them uniformly:
+//
+//   - Foreign panics. A panic that is not an abort Signal (a user callback
+//     blowing up, a runtime error, an armed failpoint) unwinds the attempt
+//     through the same rollback path with the Panicked reason — locks are
+//     released, logs discarded, the serial gate reopened — and is then
+//     re-raised to the caller.
+//   - Cancellation. RunPolicyCtx observes a context at every retry-loop top
+//     and inside the contention manager's serial-gate wait; a cancelled
+//     transaction rolls back with the Canceled reason and returns the
+//     context's error instead of committing.
 package abort
 
-import "repro/internal/spin"
+import (
+	"context"
+
+	"repro/internal/spin"
+)
 
 // Signal is the panic value used to unwind an aborted transaction.
 // Its Reason is reported by statistics hooks.
@@ -33,6 +50,14 @@ const (
 	// Timeout means a bounded lock-acquisition spin was exhausted
 	// (pessimistic boosting's deadlock-avoidance timeout).
 	Timeout
+	// Canceled means the transaction's context was cancelled or its
+	// deadline expired; the retry loop gave up instead of retrying.
+	Canceled
+	// Panicked means a non-transactional panic (user callback, runtime
+	// error, armed failpoint) unwound the attempt. The rollback path runs
+	// as for any abort, then the panic is re-raised to the caller — the
+	// transaction is not retried.
+	Panicked
 
 	// NumReasons is the number of distinct abort reasons; statistics
 	// layers (package telemetry) size per-reason counter arrays with it.
@@ -52,6 +77,10 @@ func (r Reason) String() string {
 		return "explicit"
 	case Timeout:
 		return "timeout"
+	case Canceled:
+		return "canceled"
+	case Panicked:
+		return "panicked"
 	default:
 		return "unknown"
 	}
@@ -110,6 +139,16 @@ func Run(stats *Stats, begin func(), attempt func(), rollback func(Reason)) {
 	RunPolicy(stats, nil, begin, attempt, rollback)
 }
 
+// CtxPauser is implemented by managers whose serial-gate wait can observe a
+// context (cm.Manager). RunPolicyCtx uses it so a transaction cancelled
+// while parked at the gate returns promptly instead of waiting out the
+// escalated transaction.
+type CtxPauser interface {
+	// PauseCtx is Manager.Pause returning early with the context's error
+	// when ctx is cancelled during the wait.
+	PauseCtx(ctx context.Context) error
+}
+
 // RunPolicy is Run with a pluggable contention manager. A nil Manager gives
 // the default yielding exponential backoff and never escalates.
 //
@@ -123,11 +162,56 @@ func Run(stats *Stats, begin func(), attempt func(), rollback func(Reason)) {
 // bounded number of retries. RunPolicy reports whether the transaction
 // escalated, so callers can record it (telemetry's Escalated counter).
 func RunPolicy(stats *Stats, m Manager, begin func(), attempt func(), rollback func(Reason)) (escalated bool) {
+	escalated, _ = RunPolicyCtx(nil, stats, m, begin, attempt, rollback)
+	return escalated
+}
+
+// RunPolicyCtx is RunPolicy observing a context: cancellation (or deadline
+// expiry) is checked before every attempt, after every abort, and inside the
+// serial-gate wait of managers implementing CtxPauser. On cancellation the
+// loop calls rollback with the Canceled reason (attempt state was already
+// rolled back, so this only classifies the outcome and lets runtimes record
+// it), releases the serial gate if this transaction held it, and returns the
+// context's error; the transaction did not commit. A nil ctx never cancels.
+//
+// Foreign panics (anything that is not an abort Signal) unwind through the
+// rollback path with the Panicked reason — releasing locks, logs, and the
+// serial gate — and are then re-raised to the caller.
+func RunPolicyCtx(ctx context.Context, stats *Stats, m Manager, begin func(), attempt func(), rollback func(Reason)) (escalated bool, err error) {
 	var b spin.Backoff
 	n := 0
+	defer func() {
+		// A foreign panic has already been rolled back by runOnce; make sure
+		// an escalated transaction reopens the gate on its way out so the
+		// process stays usable, then let the panic continue to the caller.
+		if p := recover(); p != nil {
+			if escalated {
+				m.Release()
+			}
+			panic(p)
+		}
+	}()
+	cancel := func(e error) (bool, error) {
+		rollback(Canceled)
+		if escalated {
+			m.Release()
+		}
+		return escalated, e
+	}
 	for {
+		if ctx != nil {
+			if e := ctx.Err(); e != nil {
+				return cancel(e)
+			}
+		}
 		if m != nil && !escalated {
-			m.Pause()
+			if pc, ok := m.(CtxPauser); ok && ctx != nil {
+				if e := pc.PauseCtx(ctx); e != nil {
+					return cancel(e)
+				}
+			} else {
+				m.Pause()
+			}
 		}
 		done, r := runOnce(begin, attempt, rollback)
 		if done {
@@ -137,12 +221,21 @@ func RunPolicy(stats *Stats, m Manager, begin func(), attempt func(), rollback f
 			if escalated {
 				m.Release()
 			}
-			return escalated
+			return escalated, nil
 		}
 		if stats != nil {
 			stats.Aborts++
 		}
 		n++
+		// Mid-backoff cancellation: check both before pacing (covers a
+		// context that expired during the aborted attempt, e.g. while it was
+		// validating) and at the next loop top (covers expiry during the
+		// policy wait itself — policy waits are bounded at microseconds).
+		if ctx != nil {
+			if e := ctx.Err(); e != nil {
+				return cancel(e)
+			}
+		}
 		switch {
 		case m == nil:
 			b.Wait()
@@ -160,17 +253,23 @@ func RunPolicy(stats *Stats, m Manager, begin func(), attempt func(), rollback f
 }
 
 // runOnce runs one attempt, converting an abort Signal into a false return
-// carrying the signal's reason.
+// carrying the signal's reason. Any other panic runs the same rollback with
+// the Panicked reason — the attempt may have been holding locks when it blew
+// up, and the rollback path is the one place that knows how to release them
+// — and is then re-raised.
 func runOnce(begin func(), attempt func(), rollback func(Reason)) (committed bool, reason Reason) {
 	defer func() {
-		if p := recover(); p != nil {
-			sig, ok := p.(Signal)
-			if !ok {
-				panic(p)
-			}
+		p := recover()
+		if p == nil {
+			return
+		}
+		if sig, ok := p.(Signal); ok {
 			rollback(sig.Reason)
 			committed, reason = false, sig.Reason
+			return
 		}
+		rollback(Panicked)
+		panic(p)
 	}()
 	begin()
 	attempt()

@@ -35,13 +35,20 @@ func TestRunRetriesUntilSuccess(t *testing.T) {
 
 func TestForeignPanicsPropagate(t *testing.T) {
 	boom := errors.New("boom")
+	rolledBack := false
 	defer func() {
 		if p := recover(); p != boom {
 			t.Fatalf("recovered %v, want the foreign panic", p)
 		}
+		if !rolledBack {
+			t.Error("foreign panic must roll back (release locks) before propagating")
+		}
 	}()
-	Run(nil, func() {}, func() { panic(boom) }, func(Reason) {
-		t.Error("rollback must not run for foreign panics")
+	Run(nil, func() {}, func() { panic(boom) }, func(r Reason) {
+		if r != Panicked {
+			t.Errorf("rollback reason = %v, want Panicked", r)
+		}
+		rolledBack = true
 	})
 }
 

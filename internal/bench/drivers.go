@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"repro/internal/boosting"
@@ -33,6 +34,11 @@ type SetDriver interface {
 	// RunTx executes ops atomically (or, for the lazy baseline, merely
 	// sequentially — it has no transactions, as the paper notes).
 	RunTx(ops []SetOp)
+	// RunTxCtx is RunTx observing ctx: a cancelled or expired context makes
+	// the transaction give up (rolling back any attempt in flight) and
+	// return the context's error instead of committing. A nil ctx never
+	// cancels.
+	RunTxCtx(ctx context.Context, ops []SetOp) error
 	// Stop releases background resources.
 	Stop()
 }
@@ -66,6 +72,18 @@ func (d *lazyDriver) RunTx(ops []SetOp) {
 	}
 }
 
+// RunTxCtx has no transaction to abandon; it just refuses to start after
+// cancellation.
+func (d *lazyDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	d.RunTx(ops)
+	return nil
+}
+
 // --- Pessimistic boosting ---
 
 type boostedDriver struct{ set *boosting.Set }
@@ -73,10 +91,11 @@ type boostedDriver struct{ set *boosting.Set }
 // NewBoostedDriver wraps a pessimistically boosted set.
 func NewBoostedDriver(set *boosting.Set) SetDriver { return &boostedDriver{set: set} }
 
-func (d *boostedDriver) Name() string { return "PessimisticBoosted" }
-func (d *boostedDriver) Stop()        {}
-func (d *boostedDriver) RunTx(ops []SetOp) {
-	boosting.Atomic(nil, nil, func(tx *boosting.Tx) {
+func (d *boostedDriver) Name() string      { return "PessimisticBoosted" }
+func (d *boostedDriver) Stop()             {}
+func (d *boostedDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
+func (d *boostedDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	return boosting.AtomicCtx(ctx, nil, nil, func(tx *boosting.Tx) {
 		for _, op := range ops {
 			switch op.Kind {
 			case OpAdd:
@@ -104,10 +123,11 @@ type otbDriver struct{ set otbSet }
 // NewOTBDriver wraps an optimistically boosted set.
 func NewOTBDriver(set otbSet) SetDriver { return &otbDriver{set: set} }
 
-func (d *otbDriver) Name() string { return "OptimisticBoosted" }
-func (d *otbDriver) Stop()        {}
-func (d *otbDriver) RunTx(ops []SetOp) {
-	otb.Atomic(nil, func(tx *otb.Tx) {
+func (d *otbDriver) Name() string      { return "OptimisticBoosted" }
+func (d *otbDriver) Stop()             {}
+func (d *otbDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
+func (d *otbDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	return otb.AtomicCtx(ctx, nil, func(tx *otb.Tx) {
 		for _, op := range ops {
 			switch op.Kind {
 			case OpAdd:
@@ -158,10 +178,11 @@ func NewSTMDriver(name string, alg stm.Algorithm, set stmSet) SetDriver {
 	return &stmDriver{name: name, alg: alg, set: set}
 }
 
-func (d *stmDriver) Name() string { return d.name }
-func (d *stmDriver) Stop()        { d.alg.Stop() }
-func (d *stmDriver) RunTx(ops []SetOp) {
-	d.alg.Atomic(func(tx stm.Tx) {
+func (d *stmDriver) Name() string      { return d.name }
+func (d *stmDriver) Stop()             { d.alg.Stop() }
+func (d *stmDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
+func (d *stmDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	body := func(tx stm.Tx) {
 		for _, op := range ops {
 			switch op.Kind {
 			case OpAdd:
@@ -172,7 +193,17 @@ func (d *stmDriver) RunTx(ops []SetOp) {
 				d.set.Contains(tx, op.Key)
 			}
 		}
-	})
+	}
+	if ac, ok := d.alg.(stm.AlgorithmCtx); ok {
+		return ac.AtomicCtx(ctx, body)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	d.alg.Atomic(body)
+	return nil
 }
 
 // --- Integrated (Chapter 4) ---
@@ -188,18 +219,19 @@ func NewIntegratedDriver(alg integrate.Algorithm, set otbSet) SetDriver {
 	return &integDriver{alg: alg, set: set}
 }
 
-func (d *integDriver) Name() string { return d.alg.Name() }
-func (d *integDriver) Stop()        { d.alg.Stop() }
-func (d *integDriver) RunTx(ops []SetOp) {
-	d.alg.Atomic(func(ctx *integrate.Ctx) {
+func (d *integDriver) Name() string      { return d.alg.Name() }
+func (d *integDriver) Stop()             { d.alg.Stop() }
+func (d *integDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
+func (d *integDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	return d.alg.AtomicCtx(ctx, func(ic *integrate.Ctx) {
 		for _, op := range ops {
 			switch op.Kind {
 			case OpAdd:
-				d.set.Add(ctx.Sem(), op.Key)
+				d.set.Add(ic.Sem(), op.Key)
 			case OpRemove:
-				d.set.Remove(ctx.Sem(), op.Key)
+				d.set.Remove(ic.Sem(), op.Key)
 			default:
-				d.set.Contains(ctx.Sem(), op.Key)
+				d.set.Contains(ic.Sem(), op.Key)
 			}
 		}
 	})

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/abort"
 	"repro/internal/chaos"
+	"repro/internal/chaos/leak"
 	"repro/internal/conc"
 	"repro/internal/telemetry"
 )
@@ -69,6 +70,7 @@ func TestChaosTimeoutTelemetryLine(t *testing.T) {
 // checks the final contents match the committed operations (undo logs must
 // have rolled every timed-out attempt back exactly).
 func TestChaosStormConsistency(t *testing.T) {
+	leak.CheckCleanup(t)
 	set := NewSet(conc.NewLazyList(), 8) // few stripes: force lock conflicts
 	const workers = 8
 	var adds [workers]atomic.Int64

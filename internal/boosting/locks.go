@@ -7,13 +7,27 @@
 package boosting
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the boosting lock and commit paths.
+var (
+	// fpLockPartial fires when a transaction that already holds at least one
+	// abstract lock goes to acquire another — the partial-lock-set window.
+	// Recovery must replay the undo log and release the held locks in
+	// reverse acquisition order.
+	fpLockPartial = failpoint.New("boosting.lock.partial")
+	// fpCommitPre fires at the top of commit, with all abstract locks and
+	// eager writes in place.
+	fpCommitPre = failpoint.New("boosting.commit.pre")
 )
 
 // RWLock is an abstract reader/writer lock: state counts readers, or is -1
@@ -127,11 +141,26 @@ var txPool = sync.Pool{New: func() any { return &Tx{tel: meter.Local()} }}
 // Atomic runs fn as a boosted transaction, retrying on abort. Stats and
 // counters may be nil.
 func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
+	AtomicCtx(nil, stats, ctr, fn)
+}
+
+// AtomicCtx is Atomic observing ctx: cancellation is checked at retry-loop
+// tops and in contention-management waits; an abandoned transaction replays
+// its undo log, releases its abstract locks, and returns the context's
+// error. The descriptor returns to its pool even when fn (or an armed
+// failpoint) panics — the rollback path has already restored the structure
+// by then.
+func AtomicCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) error {
 	tx := txPool.Get().(*Tx)
 	tx.ctr = ctr
 	tx.mgr = cm.Or(cmgr.Load())
+	defer func() {
+		tx.ctr = nil
+		tx.mgr = nil
+		txPool.Put(tx)
+	}()
 	start := tx.tel.Start()
-	escalated := abort.RunPolicy(stats, tx.mgr,
+	escalated, err := abort.RunPolicyCtx(ctx, stats, tx.mgr,
 		func() {
 			tx.held = tx.held[:0]
 			tx.undo = tx.undo[:0]
@@ -148,10 +177,11 @@ func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 	if escalated {
 		tx.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	tx.tel.Commit(start)
-	tx.ctr = nil
-	tx.mgr = nil
-	txPool.Put(tx)
+	return nil
 }
 
 // OnAbort registers an inverse operation to replay if the transaction
@@ -164,6 +194,9 @@ func (tx *Tx) OnAbort(inverse func()) {
 func (tx *Tx) AcquireRead(l *RWLock) {
 	if tx.holds(l) {
 		return // read or write hold both admit reading
+	}
+	if len(tx.held) > 0 {
+		fpLockPartial.Hit()
 	}
 	tx.spinAcquire(l, (*RWLock).tryRead)
 	tx.held = append(tx.held, heldLock{lock: l, mode: readHeld})
@@ -184,6 +217,9 @@ func (tx *Tx) AcquireWrite(l *RWLock) {
 		tx.spinAcquireWrite(l, (*RWLock).tryUpgrade)
 		h.mode = upgradedHeld
 		return
+	}
+	if len(tx.held) > 0 {
+		fpLockPartial.Hit()
 	}
 	tx.spinAcquireWrite(l, (*RWLock).tryWrite)
 	tx.held = append(tx.held, heldLock{lock: l, mode: writeHeld})
@@ -236,6 +272,7 @@ func (tx *Tx) holds(l *RWLock) bool {
 
 // commit releases all abstract locks; eager writes are already in place.
 func (tx *Tx) commit() {
+	fpCommitPre.Hit()
 	tx.releaseAll()
 	tx.undo = tx.undo[:0]
 }
@@ -249,9 +286,22 @@ func (tx *Tx) rollback() {
 	tx.releaseAll()
 }
 
+// releaseHook, when non-nil, observes every lock release in order. It is a
+// test seam: the lock-timeout test uses it to prove partially acquired lock
+// sets are released in reverse acquisition order.
+var releaseHook func(*RWLock, lockMode)
+
+// releaseAll releases every held abstract lock in reverse acquisition
+// order. Reverse order matters for partial lock sets: a transaction that
+// timed out acquiring lock N must give up N-1..0 in the opposite order it
+// took them, so a competing transaction spinning on an early lock never
+// sees this one reacquire-after-release.
 func (tx *Tx) releaseAll() {
 	for i := len(tx.held) - 1; i >= 0; i-- {
 		h := tx.held[i]
+		if releaseHook != nil {
+			releaseHook(h.lock, h.mode)
+		}
 		switch h.mode {
 		case readHeld:
 			h.lock.releaseRead()

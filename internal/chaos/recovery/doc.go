@@ -1,0 +1,7 @@
+// Package recovery holds the crash-recovery conformance suite: for every
+// registered failpoint it arms a one-shot panic, provokes it, and proves the
+// runtime survives — follow-up transactions on the same structure commit, no
+// abstract or commit-time lock stays stuck, the serial gate reopens, and no
+// goroutine leaks. A companion test checks opacity of histories produced
+// while fault injection is live. See DESIGN.md's "Failure model" section.
+package recovery

@@ -1,0 +1,91 @@
+package recovery
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/chaos/failpoint"
+	"repro/internal/lincheck"
+	"repro/internal/otb"
+	"repro/internal/stm/norec"
+)
+
+// seedOffset lets CI rotate the fault-injection seeds per run: every
+// failpoint seed below is offset by $FAILPOINT_SEED (default 0), so the
+// probabilistic panic/abort/delay schedules differ between runs while any
+// failure stays reproducible by exporting the printed value.
+func seedOffset(t *testing.T) uint64 {
+	v := os.Getenv("FAILPOINT_SEED")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		t.Fatalf("bad FAILPOINT_SEED %q: %v", v, err)
+	}
+	t.Logf("FAILPOINT_SEED=%d", n)
+	return n
+}
+
+// txView is one attempt's transactional view of an OTB set (mirrors the
+// wrapper in the otb package's own opacity test).
+type txView struct {
+	tx *otb.Tx
+	s  *otb.ListSet
+}
+
+func (v txView) Add(k int64) bool      { return v.s.Add(v.tx, k) }
+func (v txView) Remove(k int64) bool   { return v.s.Remove(v.tx, k) }
+func (v txView) Contains(k int64) bool { return v.s.Contains(v.tx, k) }
+
+// TestOpacityOTBUnderFailpoints runs the opacity checker while fault
+// injection is live on OTB's validation and commit paths: probabilistic
+// forced aborts (including after commit locks are taken) and delays that
+// widen the race windows. The surviving history must still be opaque —
+// injected aborts must be indistinguishable from real conflicts.
+func TestOpacityOTBUnderFailpoints(t *testing.T) {
+	defer failpoint.DisarmAll()
+	off := seedOffset(t)
+	spec := fmt.Sprintf("otb.validate.mid=abort@prob:0.05,seed:%d;"+
+		"otb.commit.post-lock=abort@prob:0.05,seed:%d;"+
+		"otb.commit.pre-lock=delay:20us@prob:0.1,seed:%d",
+		7+off, 11+off, 13+off)
+	if err := failpoint.Apply(spec); err != nil {
+		t.Fatal(err)
+	}
+	s := otb.NewListSet()
+	cfg := lincheck.DefaultSTMConfig(31)
+	cfg.Name = "recovery/otb-failpoints"
+	cfg.Cells = 8 // key range
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	lincheck.StressTxnSet(t, cfg, func(th int, body func(lincheck.Set)) {
+		otb.Atomic(nil, func(tx *otb.Tx) { body(txView{tx, s}) })
+	})
+}
+
+// TestOpacityNOrecUnderFailpoints is the memory-STM counterpart: forced
+// aborts with the writer lock held (recovery must restore the pre-lock
+// timestamp) and delays in validation, with the recorded history checked
+// for opacity.
+func TestOpacityNOrecUnderFailpoints(t *testing.T) {
+	defer failpoint.DisarmAll()
+	off := seedOffset(t)
+	spec := fmt.Sprintf("norec.commit.locked=abort@prob:0.1,seed:%d;"+
+		"norec.validate.mid=delay:20us@prob:0.2,seed:%d",
+		3+off, 5+off)
+	if err := failpoint.Apply(spec); err != nil {
+		t.Fatal(err)
+	}
+	s := norec.New()
+	defer s.Stop()
+	cfg := lincheck.DefaultSTMConfig(41)
+	cfg.Name = "recovery/norec-failpoints"
+	if testing.Short() {
+		cfg = cfg.Scaled(2)
+	}
+	lincheck.StressSTM(t, s, cfg)
+}

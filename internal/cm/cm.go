@@ -30,6 +30,7 @@
 package cm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,23 @@ func (m *Manager) Pause() {
 	}
 }
 
+// PauseCtx implements abort.CtxPauser: Pause that gives up with the
+// context's error when ctx is cancelled while parked at the serial gate, so
+// an abandoned transaction does not wait out an escalated one.
+func (m *Manager) PauseCtx(ctx context.Context) error {
+	if serialGate.active.Load() == 0 {
+		return nil
+	}
+	var b spin.Backoff
+	for serialGate.active.Load() != 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.Wait()
+	}
+	return nil
+}
+
 // OnAbort implements abort.Manager: it paces the retry per the current
 // policy and reports whether the budget is exhausted.
 func (m *Manager) OnAbort(n int, r abort.Reason) (escalate bool) {
@@ -149,7 +167,10 @@ func (m *Manager) Release() {
 	serialGate.mu.Unlock()
 }
 
-var _ abort.Manager = (*Manager)(nil)
+var (
+	_ abort.Manager   = (*Manager)(nil)
+	_ abort.CtxPauser = (*Manager)(nil)
+)
 
 // defaultMgr is the process-wide manager runtimes fall back to when no
 // explicit one is configured. Its policy and budget are retuned in place by

@@ -13,15 +13,27 @@
 package htm
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the hybrid commit paths.
+var (
+	// fpHWCommit fires at the end of a hardware attempt, before commit
+	// arbitration opens; nothing is held.
+	fpHWCommit = failpoint.New("htm.hw.commit")
+	// fpSWLocked fires on the software fallback with the clock held, before
+	// the redo log is published; recovery restores the pre-lock timestamp.
+	fpSWLocked = failpoint.New("htm.sw.locked")
 )
 
 // AbortCode classifies why a hardware transaction failed.
@@ -141,17 +153,34 @@ func (t *TM) HWAborts(code AbortCode) uint64 { return t.stats.hwAborts[code].Loa
 // htx is a transaction descriptor shared by the hardware and software
 // paths (the software path simply ignores the capacity bounds).
 type htx struct {
-	tm       *TM
-	hardware bool
-	snapshot uint64
-	reads    []stm.ReadEntry
-	writes   stm.WriteSet
-	tel      *telemetry.Local
+	tm         *TM
+	hardware   bool
+	holdsClock bool // software path holds the clock (commit in progress)
+	snapshot   uint64
+	reads      []stm.ReadEntry
+	writes     stm.WriteSet
+	tel        *telemetry.Local
+}
+
+// rollback releases the clock if the software path died holding it (an
+// armed failpoint between lock and publish); nothing was published, so the
+// pre-lock timestamp is restored.
+func (x *htx) rollback() {
+	if x.holdsClock {
+		x.holdsClock = false
+		x.tm.clock.UnlockUnchanged()
+	}
 }
 
 // Atomic implements stm.Algorithm: up to retries hardware attempts, then
 // the software fallback (which cannot fail permanently).
-func (t *TM) Atomic(fn func(stm.Tx)) {
+func (t *TM) Atomic(fn func(stm.Tx)) { t.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx.
+// Cancellation is checked before each hardware attempt and inside the
+// software fallback's retry loop; the descriptor returns to its pool even
+// when fn (or an armed failpoint) panics.
+func (t *TM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	x := t.pool.Get().(*htx)
 	defer func() {
 		x.reads = x.reads[:0]
@@ -161,14 +190,25 @@ func (t *TM) Atomic(fn func(stm.Tx)) {
 	start := x.tel.Start()
 	m := cm.Or(t.cmgr)
 	for attempt := 0; attempt < t.retries; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			x.tel.Abort(abort.Canceled)
+			return ctx.Err()
+		}
 		// Serial-mode subscription: like the fallback-lock subscription,
 		// hardware attempts stand aside while any transaction runs serially.
-		m.Pause()
+		if ctx != nil {
+			if err := m.PauseCtx(ctx); err != nil {
+				x.tel.Abort(abort.Canceled)
+				return err
+			}
+		} else {
+			m.Pause()
+		}
 		code, ok := t.tryHardware(x, fn)
 		if ok {
 			t.stats.hwCommits.Add(1)
 			x.tel.Commit(start)
-			return
+			return nil
 		}
 		t.stats.hwAborts[code].Add(1)
 		// Hardware aborts are conflicts from telemetry's viewpoint: the
@@ -184,11 +224,16 @@ func (t *TM) Atomic(fn func(stm.Tx)) {
 		m.Policy().Wait(attempt+1, abort.Conflict)
 	}
 	x.tel.Fallback()
-	if t.software(x, fn, m) {
+	escalated, err := t.software(ctx, x, fn, m)
+	if escalated {
 		x.tel.Escalated()
+	}
+	if err != nil {
+		return err
 	}
 	t.stats.swCommits.Add(1)
 	x.tel.Commit(start)
+	return nil
 }
 
 // tryHardware runs one emulated hardware attempt.
@@ -221,6 +266,7 @@ func (t *TM) tryHardware(x *htx, fn func(stm.Tx)) (code AbortCode, ok bool) {
 		panic(p)
 	}()
 	fn(x)
+	fpHWCommit.Hit()
 	// Commit arbitration: a brief exclusive window standing in for the
 	// cache-coherence commit point.
 	if !t.clock.TryLock(x.snapshot) {
@@ -239,9 +285,9 @@ func (t *TM) tryHardware(x *htx, fn func(stm.Tx)) (code AbortCode, ok bool) {
 
 // software runs the NOrec-style fallback to completion, reporting whether
 // it had to escalate to serial mode.
-func (t *TM) software(x *htx, fn func(stm.Tx), m *cm.Manager) bool {
+func (t *TM) software(ctx context.Context, x *htx, fn func(stm.Tx), m *cm.Manager) (bool, error) {
 	x.hardware = false
-	return abort.RunPolicy(nil, m,
+	return abort.RunPolicyCtx(ctx, nil, m,
 		func() {
 			x.reads = x.reads[:0]
 			x.writes.Reset()
@@ -251,7 +297,12 @@ func (t *TM) software(x *htx, fn func(stm.Tx), m *cm.Manager) bool {
 			fn(x)
 			x.swCommit()
 		},
-		func(abort.Reason) {},
+		func(r abort.Reason) {
+			x.rollback()
+			if r == abort.Canceled || r == abort.Panicked {
+				x.tel.Abort(r)
+			}
+		},
 	)
 }
 
@@ -322,8 +373,11 @@ func (x *htx) swCommit() {
 		x.tm.ctr.IncCAS()
 		x.snapshot = x.validate()
 	}
+	x.holdsClock = true
+	fpSWLocked.Hit()
 	x.writes.Publish()
 	x.tm.clock.Unlock()
+	x.holdsClock = false
 }
 
 var _ stm.Algorithm = (*TM)(nil)

@@ -25,16 +25,29 @@
 package integrate
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/otb"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the integrated commit paths.
+var (
+	// fpNOrecCommitLocked fires with OTB-NOrec's global lock held, before
+	// any memory or semantic publication.
+	fpNOrecCommitLocked = failpoint.New("otbnorec.commit.locked")
+	// fpTL2CommitLocked fires with both the memory orecs and the semantic
+	// locks held, before anything is published — the deepest lock nesting in
+	// the repository; recovery unwinds both layers.
+	fpTL2CommitLocked = failpoint.New("otbtl2.commit.locked")
 )
 
 // Ctx is the transaction handle passed to atomic blocks: STM memory access
@@ -58,6 +71,8 @@ func (c *Ctx) Sem() *otb.Tx { return c.sem }
 type Algorithm interface {
 	Name() string
 	Atomic(fn func(*Ctx))
+	// AtomicCtx is Atomic observing a context; see stm.AlgorithmCtx.
+	AtomicCtx(ctx context.Context, fn func(*Ctx)) error
 	Counters() *spin.Counters
 	Stop()
 }
@@ -145,10 +160,21 @@ func newNorecCtx(s *OTBNOrec) *norecCtx {
 }
 
 // Atomic implements Algorithm.
-func (s *OTBNOrec) Atomic(fn func(*Ctx)) {
+func (s *OTBNOrec) Atomic(fn func(*Ctx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements Algorithm: Atomic observing ctx. The descriptor
+// returns to its pool even when fn (or an armed failpoint) panics — the
+// rollback path has already released the semantic state and global lock.
+func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	t := s.pool.Get().(*norecCtx)
+	defer func() {
+		t.ctx.sem.Reset()
+		t.reads = t.reads[:0]
+		t.writes.Reset()
+		s.pool.Put(t)
+	}()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(&t.ctx)
@@ -169,12 +195,12 @@ func (s *OTBNOrec) Atomic(fn func(*Ctx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
-	t.ctx.sem.Reset()
-	t.reads = t.reads[:0]
-	t.writes.Reset()
-	s.pool.Put(t)
+	return nil
 }
 
 func (t *norecCtx) begin() {
@@ -240,6 +266,7 @@ func (t *norecCtx) commit() {
 		t.snapshot = t.validateAll()
 	}
 	t.holdsClock = true
+	fpNOrecCommitLocked.Hit()
 	if t.s.semanticLocks {
 		// Ablation: pay for the fine-grained semantic locks the global
 		// lock makes redundant.
@@ -347,10 +374,20 @@ func newTL2Ctx(s *OTBTL2) *tl2Ctx {
 }
 
 // Atomic implements Algorithm.
-func (s *OTBTL2) Atomic(fn func(*Ctx)) {
+func (s *OTBTL2) Atomic(fn func(*Ctx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements Algorithm: Atomic observing ctx. The descriptor
+// returns to its pool even when fn (or an armed failpoint) panics — the
+// rollback path has already unwound both the orec and semantic lock layers.
+func (s *OTBTL2) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	t := s.pool.Get().(*tl2Ctx)
+	defer func() {
+		t.ctx.sem.Reset()
+		t.reset()
+		s.pool.Put(t)
+	}()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(&t.ctx)
@@ -368,11 +405,12 @@ func (s *OTBTL2) Atomic(fn func(*Ctx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
-	t.ctx.sem.Reset()
-	t.reset()
-	s.pool.Put(t)
+	return nil
 }
 
 func (t *tl2Ctx) begin() {
@@ -422,6 +460,7 @@ func (t *tl2Ctx) commit() {
 	}
 	t.lockWriteSet()
 	sem.PreCommitAll()
+	fpTL2CommitLocked.Hit()
 	wv := t.s.clock.Add(1)
 	if wv != t.rv+1 {
 		t.validateReads()

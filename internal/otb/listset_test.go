@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/leak"
 )
 
 // run executes fn in a standalone OTB transaction.
@@ -186,6 +187,7 @@ func TestListSetPairInvariant(t *testing.T) {
 // TestListSetConcurrentDisjoint checks that transactions on disjoint keys
 // all commit and the final set matches the sequential expectation.
 func TestListSetConcurrentDisjoint(t *testing.T) {
+	leak.CheckCleanup(t)
 	const workers = 8
 	const each = 100
 	s := NewListSet()

@@ -26,13 +26,30 @@
 package otb
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the OTB validation and commit paths; disarmed they are one
+// atomic load each. See DESIGN.md's "Failure model" for placement rules.
+var (
+	// fpValidateMid fires inside post-validation, before the semantic read
+	// sets are checked — nothing is held, so any action is recoverable.
+	fpValidateMid = failpoint.New("otb.validate.mid")
+	// fpCommitPreLock fires at the top of commit, before any semantic lock
+	// is acquired.
+	fpCommitPreLock = failpoint.New("otb.commit.pre-lock")
+	// fpCommitPostLock fires after every semantic lock is held but before
+	// anything is published — the most dangerous window; recovery must
+	// release the locks via OnAbort.
+	fpCommitPostLock = failpoint.New("otb.commit.post-lock")
 )
 
 // Datastructure is the OTB-DS interface of Chapter 4: the sub-routines an
@@ -199,6 +216,7 @@ func (tx *Tx) Reset() {
 // the memory level), aborting on failure. Integration contexts install a
 // replacement strategy via SetValidator.
 func (tx *Tx) PostValidate() {
+	fpValidateMid.Hit()
 	if tx.validator != nil {
 		tx.validator(tx)
 		return
@@ -213,9 +231,11 @@ func (tx *Tx) PostValidate() {
 // all write sets, release. Any failure aborts (the rollback path releases
 // acquired locks via OnAbort).
 func (tx *Tx) Commit() {
+	fpCommitPreLock.Hit()
 	for _, ds := range tx.attached {
 		ds.PreCommit(tx)
 	}
+	fpCommitPostLock.Hit()
 	for _, ds := range tx.attached {
 		if !ds.ValidateWithLocks(tx) {
 			abort.Retry(abort.Conflict)
@@ -265,15 +285,36 @@ var txPool = sync.Pool{New: func() any {
 // Atomic runs fn as a standalone OTB transaction, retrying on abort until
 // it commits. Stats may be nil.
 func Atomic(stats *abort.Stats, fn func(*Tx)) {
-	AtomicCtr(stats, nil, fn)
+	AtomicCtrCtx(nil, stats, nil, fn)
+}
+
+// AtomicCtx is Atomic observing ctx: cancellation or deadline expiry is
+// checked at every retry-loop top and inside contention-management waits;
+// an abandoned transaction rolls back with abort.Canceled and the context's
+// error is returned (nil after a successful commit).
+func AtomicCtx(ctx context.Context, stats *abort.Stats, fn func(*Tx)) error {
+	return AtomicCtrCtx(ctx, stats, nil, fn)
 }
 
 // AtomicCtr is Atomic with contention counters attached to the transaction.
 func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
+	AtomicCtrCtx(nil, stats, ctr, fn)
+}
+
+// AtomicCtrCtx is the full standalone entry point: context plus counters.
+// The transaction descriptor returns to its pool even when fn (or an armed
+// failpoint) panics — by then the rollback path has already released every
+// semantic lock and discarded the logs, so the descriptor is clean.
+func AtomicCtrCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) error {
 	tx := txPool.Get().(*Tx)
 	tx.ctr = ctr
+	defer func() {
+		tx.Reset()
+		tx.ctr = nil
+		txPool.Put(tx)
+	}()
 	start := tx.tel.Start()
-	escalated := abort.RunPolicy(stats, cm.Or(cmgr.Load()),
+	escalated, err := abort.RunPolicyCtx(ctx, stats, cm.Or(cmgr.Load()),
 		func() { tx.Reset() },
 		func() {
 			fn(tx)
@@ -289,8 +330,9 @@ func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 	if escalated {
 		tx.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	tx.tel.Commit(start)
-	tx.Reset()
-	tx.ctr = nil
-	txPool.Put(tx)
+	return nil
 }

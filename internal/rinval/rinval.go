@@ -19,17 +19,31 @@
 package rinval
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/stm/invalstm"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the RInval commit paths.
+var (
+	// fpCommitPre fires client-side, before the commit request is posted to
+	// the server; nothing is held.
+	fpCommitPre = failpoint.New("rinval.commit.pre")
+	// fpServerDrop fires on the commit server before a request's commit
+	// routine runs (and before the clock window opens). Injected panics are
+	// recovered by the server itself — a dead server would strand every
+	// client — which aborts the in-flight request and keeps serving.
+	fpServerDrop = failpoint.New("rinval.server.drop")
 )
 
 // Version selects the RInval variant.
@@ -167,13 +181,28 @@ type client struct {
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The registry
+// slot is deactivated and the client returned to the channel even when fn
+// (or an armed failpoint) panics — a leaked Active slot makes every later
+// committer scan a ghost reader forever, and a leaked client shrinks the
+// request array for the life of the instance. No commit request is in
+// flight when a panic unwinds: the client posts at most one request per
+// attempt and blocks until its verdict.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	c := <-s.clients
 	total := s.prof.Now()
 	start := c.tel.Start()
 	d := &s.descs[c.tx.slot]
 	d.Active.Store(true)
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	defer func() {
+		d.Starved.Store(0)
+		d.ClearFilter()
+		d.Active.Store(false)
+		s.clients <- c
+	}()
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		c.begin,
 		func() {
 			fn(c)
@@ -192,13 +221,13 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		c.tel.Escalated()
 	}
-	d.Starved.Store(0)
-	d.ClearFilter()
-	d.Active.Store(false)
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	c.tel.Commit(start)
 	s.prof.AddTotal(total, true)
-	s.clients <- c
+	return nil
 }
 
 func (c *client) begin() {
@@ -259,6 +288,7 @@ func (c *client) commit() {
 		}
 		return
 	}
+	fpCommitPre.Hit()
 	start := c.s.prof.Now()
 	defer c.s.prof.AddCommit(start)
 	req := &c.s.reqs[c.tx.slot]
@@ -305,20 +335,40 @@ func (s *STM) commitServer() {
 				req.state.Store(stateAborted)
 				continue
 			}
-			switch s.version {
-			case V1:
-				s.commitV1(req, t)
-			case V2:
-				s.commitV2(req, t)
-			default:
-				s.commitV3(req, t)
-			}
+			s.dispatch(req, t)
 		}
 		if !progressed {
 			b.Wait()
 		} else {
 			b.Reset()
 		}
+	}
+}
+
+// dispatch runs one request's commit routine. An injected (failpoint)
+// panic is recovered here: the drop point is before the clock window
+// opens, so nothing is held; the request is aborted — the client retries —
+// and the server keeps running. Anything else still crashes: a real bug in
+// a commit routine must stay loud.
+func (s *STM) dispatch(req *request, t *txDesc) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if _, injected := p.(*failpoint.PanicValue); !injected {
+			panic(p)
+		}
+		req.state.Store(stateAborted)
+	}()
+	fpServerDrop.Hit()
+	switch s.version {
+	case V1:
+		s.commitV1(req, t)
+	case V2:
+		s.commitV2(req, t)
+	default:
+		s.commitV3(req, t)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/chaos/leak"
 	"repro/internal/mem"
 	"repro/internal/rinval"
 	"repro/internal/stm"
@@ -14,6 +15,7 @@ func versions() []rinval.Version {
 }
 
 func TestCounterIncrement(t *testing.T) {
+	leak.CheckCleanup(t)
 	for _, v := range versions() {
 		s := rinval.New(v)
 		t.Run(s.Name(), func(t *testing.T) {
@@ -40,6 +42,7 @@ func TestCounterIncrement(t *testing.T) {
 }
 
 func TestBankInvariant(t *testing.T) {
+	leak.CheckCleanup(t)
 	for _, v := range versions() {
 		s := rinval.New(v)
 		t.Run(s.Name(), func(t *testing.T) {
@@ -88,6 +91,7 @@ func TestBankInvariant(t *testing.T) {
 }
 
 func TestReadConsistency(t *testing.T) {
+	leak.CheckCleanup(t)
 	for _, v := range versions() {
 		s := rinval.New(v)
 		t.Run(s.Name(), func(t *testing.T) {
@@ -128,6 +132,7 @@ func TestReadConsistency(t *testing.T) {
 // committer is actually doomed and retried rather than committing a stale
 // snapshot.
 func TestInvalidationDoomsReaders(t *testing.T) {
+	leak.CheckCleanup(t)
 	for _, v := range versions() {
 		s := rinval.New(v)
 		t.Run(s.Name(), func(t *testing.T) {
@@ -177,6 +182,7 @@ func TestInvalidationDoomsReaders(t *testing.T) {
 // writer doomed a conflicting reader on every attempt; the contention
 // manager must let the reader through.
 func TestWriterDoesNotStarveReaders(t *testing.T) {
+	leak.CheckCleanup(t)
 	for _, v := range versions() {
 		s := rinval.New(v)
 		t.Run(s.Name(), func(t *testing.T) {

@@ -14,17 +14,31 @@
 package rtc
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the RTC commit paths.
+var (
+	// fpCommitPre fires client-side, before the commit request is posted to
+	// the server; nothing is held.
+	fpCommitPre = failpoint.New("rtc.commit.pre")
+	// fpServerDrop fires in the main server's serve routine before the
+	// request is examined. Injected panics are recovered by the server
+	// itself — a dead server would strand every client — which aborts the
+	// in-flight request and keeps serving.
+	fpServerDrop = failpoint.New("rtc.server.drop")
 )
 
 // Request states.
@@ -172,11 +186,19 @@ type client struct {
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The client
+// descriptor returns to the channel even when fn (or an armed failpoint)
+// panics — a leaked client would shrink the request array for the life of
+// the instance. No commit request is in flight when the panic unwinds: the
+// client posts at most one request per attempt and blocks until its verdict.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	c := <-s.clients
+	defer func() { s.clients <- c }()
 	c.tx.attempts = 0
 	start := c.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		c.begin,
 		func() {
 			fn(c)
@@ -193,9 +215,12 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		c.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	c.tel.Commit(start)
-	s.clients <- c
+	return nil
 }
 
 func (c *client) begin() {
@@ -259,6 +284,7 @@ func (c *client) commit() {
 	if c.tx.writes.Len() == 0 {
 		return
 	}
+	fpCommitPre.Hit()
 	if !serverValidateWouldPass(c.tx) {
 		// Cheap pre-check to spare the server a doomed request.
 		abort.Retry(abort.Conflict)
@@ -339,9 +365,24 @@ func (s *STM) serveMostStarved() bool {
 	return true
 }
 
-// serve runs the commit protocol for the pending request at slot i.
+// serve runs the commit protocol for the pending request at slot i. An
+// injected (failpoint) panic is recovered here: the drop point is before
+// the clock is touched, so nothing is held; the request is aborted — the
+// client retries — and the server keeps running. Anything else still
+// crashes: a real bug in the commit protocol must stay loud.
 func (s *STM) serve(i int) {
 	req := &s.reqs[i]
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if _, injected := p.(*failpoint.PanicValue); !injected {
+			panic(p)
+		}
+		req.state.Store(stateAborted)
+	}()
+	fpServerDrop.Hit()
 	t := req.tx
 	if !serverValidateWouldPass(t) {
 		req.state.Store(stateAborted)

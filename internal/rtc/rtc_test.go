@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/chaos/leak"
 	"repro/internal/mem"
 	"repro/internal/rtc"
 	"repro/internal/stm"
@@ -18,6 +19,7 @@ func variants() map[string]rtc.Options {
 }
 
 func TestCounterIncrement(t *testing.T) {
+	leak.CheckCleanup(t)
 	for name, opts := range variants() {
 		t.Run(name, func(t *testing.T) {
 			s := rtc.New(opts)
@@ -44,6 +46,7 @@ func TestCounterIncrement(t *testing.T) {
 }
 
 func TestBankInvariant(t *testing.T) {
+	leak.CheckCleanup(t)
 	for name, opts := range variants() {
 		t.Run(name, func(t *testing.T) {
 			s := rtc.New(opts)
@@ -92,6 +95,7 @@ func TestBankInvariant(t *testing.T) {
 }
 
 func TestReadConsistency(t *testing.T) {
+	leak.CheckCleanup(t)
 	s := rtc.New(rtc.Options{Secondaries: 1, DDThreshold: 1})
 	defer s.Stop()
 	a, b := mem.NewCell(0), mem.NewCell(0)
@@ -128,6 +132,7 @@ func TestReadConsistency(t *testing.T) {
 // write sets so the dependency detector has windows to fill, then checks it
 // actually committed some of them.
 func TestSecondaryCommitsIndependent(t *testing.T) {
+	leak.CheckCleanup(t)
 	s := rtc.New(rtc.Options{Secondaries: 1, DDThreshold: 2})
 	defer s.Stop()
 	const workers = 8

@@ -5,16 +5,23 @@
 package glock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
 )
+
+// fpCommitPre fires at the end of the body, with the global mutex held and
+// in-place writes applied; recovery must replay the undo log (the deferred
+// mutex unlock releases the lock).
+var fpCommitPre = failpoint.New("glock.commit.pre")
 
 // STM is a global-lock instance.
 type STM struct {
@@ -77,14 +84,22 @@ func (t *tx) Write(c *mem.Cell, v uint64) {
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The global
+// mutex is released by defer on every exit, including foreign panics; the
+// rollback path replays the undo log first.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := &tx{}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := s.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		func() { t.undo = t.undo[:0] },
-		func() { fn(t) },
+		func() {
+			fn(t)
+			fpCommitPre.Hit()
+		},
 		func(r abort.Reason) {
 			for i := len(t.undo) - 1; i >= 0; i-- {
 				t.undo[i].Cell.Store(t.undo[i].Val)
@@ -96,8 +111,12 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		s.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	s.tel.Commit(start)
+	return nil
 }
 
 var _ stm.Algorithm = (*STM)(nil)

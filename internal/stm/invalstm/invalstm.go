@@ -7,17 +7,24 @@
 package invalstm
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
 )
+
+// fpCommitLocked fires with the global lock held, before victims are chosen
+// or anything is published; recovery must restore the pre-lock timestamp
+// and release the registry slot.
+var fpCommitLocked = failpoint.New("invalstm.commit.locked")
 
 // MaxTxs is the size of the in-flight transaction registry.
 const MaxTxs = 256
@@ -120,20 +127,33 @@ func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
 
 // tx is an InvalSTM transaction descriptor.
 type tx struct {
-	s      *STM
-	slot   int
-	writeF bloom.Filter
-	writes stm.WriteSet
-	tel    *telemetry.Local
+	s          *STM
+	slot       int
+	holdsClock bool // global lock held (commit in progress)
+	writeF     bloom.Filter
+	writes     stm.WriteSet
+	tel        *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The registry
+// slot is released and the descriptor pooled even when fn (or an armed
+// failpoint) panics — a leaked Active slot would shrink the registry for
+// the life of the process.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
 	t.acquireSlot()
+	defer func() {
+		t.releaseSlot()
+		t.writeF.Clear()
+		t.writes.Reset()
+		s.pool.Put(t)
+	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -142,6 +162,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
+			t.rollback()
 			if r == abort.Invalidated {
 				s.descs[t.slot].Starved.Add(1)
 			}
@@ -152,14 +173,23 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
-	s.descs[t.slot].Starved.Store(0)
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
-	t.releaseSlot()
-	t.writeF.Clear()
-	t.writes.Reset()
-	s.pool.Put(t)
+	return nil
+}
+
+// rollback releases the global lock if this attempt died holding it (an
+// armed failpoint between lock and publish); nothing was published, so the
+// pre-lock timestamp is restored.
+func (t *tx) rollback() {
+	if t.holdsClock {
+		t.holdsClock = false
+		t.s.clock.UnlockUnchanged()
+	}
 }
 
 // acquireSlot claims a registry slot for the transaction's lifetime.
@@ -182,6 +212,7 @@ func (t *tx) acquireSlot() {
 func (t *tx) releaseSlot() {
 	d := &t.s.descs[t.slot]
 	d.ClearFilter()
+	d.Starved.Store(0) // the next occupant starts unstarved
 	d.Active.Store(false)
 	t.slot = -1
 }
@@ -250,7 +281,10 @@ func (t *tx) commit() {
 	}
 	start := t.s.prof.Now()
 	t.s.clock.Lock(&t.s.ctr)
+	t.holdsClock = true
+	fpCommitLocked.Hit()
 	if d.Invalidated.Load() {
+		t.holdsClock = false
 		t.s.clock.Unlock()
 		t.s.prof.AddCommit(start)
 		abort.Retry(abort.Invalidated)
@@ -269,6 +303,7 @@ func (t *tx) commit() {
 			continue
 		}
 		if !serial && ShouldDefer(od, i, mine, t.slot) {
+			t.holdsClock = false
 			t.s.clock.Unlock()
 			t.s.prof.AddCommit(start)
 			abort.Retry(abort.Invalidated)
@@ -280,6 +315,7 @@ func (t *tx) commit() {
 		od.Invalidated.Store(true)
 	}
 	t.s.clock.Unlock()
+	t.holdsClock = false
 	t.s.prof.AddCommit(start)
 }
 

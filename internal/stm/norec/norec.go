@@ -15,15 +15,27 @@
 package norec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+)
+
+// Failpoints on the NOrec validation and commit paths.
+var (
+	// fpValidateMid fires inside value-based validation — lock-free, so any
+	// action is recoverable.
+	fpValidateMid = failpoint.New("norec.validate.mid")
+	// fpCommitLocked fires with the global sequence lock held, before the
+	// redo log is published; recovery must restore the pre-lock timestamp.
+	fpCommitLocked = failpoint.New("norec.commit.locked")
 )
 
 // STM is a NOrec instance. Transactions from different STM instances are
@@ -79,19 +91,30 @@ func (s *STM) Clock() *spin.SeqLock { return &s.clock }
 
 // tx is a NOrec transaction descriptor, reused across attempts.
 type tx struct {
-	s        *STM
-	snapshot uint64
-	reads    []stm.ReadEntry
-	writes   stm.WriteSet
-	tel      *telemetry.Local
+	s          *STM
+	snapshot   uint64
+	holdsClock bool // global lock held (commit in progress)
+	reads      []stm.ReadEntry
+	writes     stm.WriteSet
+	tel        *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The
+// descriptor returns to its pool even when fn (or an armed failpoint)
+// panics — the rollback path has already released the global lock by then.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	defer func() {
+		t.reads = t.reads[:0]
+		t.writes.Reset()
+		s.pool.Put(t)
+	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -100,6 +123,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
+			t.rollback()
 			s.stats.aborts.Add(1)
 			t.tel.Abort(r)
 		},
@@ -107,12 +131,24 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
-	t.reads = t.reads[:0]
-	t.writes.Reset()
-	s.pool.Put(t)
+	return nil
+}
+
+// rollback releases the global lock if this attempt died holding it (an
+// armed failpoint or foreign panic between lock and publish). Nothing was
+// published, so the pre-lock timestamp is restored — concurrent readers saw
+// only an odd (locked) clock and re-validate against unchanged memory.
+func (t *tx) rollback() {
+	if t.holdsClock {
+		t.holdsClock = false
+		t.s.clock.UnlockUnchanged()
+	}
 }
 
 func (t *tx) begin() {
@@ -146,6 +182,7 @@ func (t *tx) Write(c *mem.Cell, v uint64) {
 func (t *tx) validate() uint64 {
 	start := t.s.prof.Now()
 	defer t.s.prof.AddValidation(start)
+	fpValidateMid.Hit()
 	var b spin.Backoff
 	for {
 		ts := t.s.clock.Load()
@@ -181,8 +218,11 @@ func (t *tx) commit() {
 		t.snapshot = t.validate()
 		start = t.s.prof.Now()
 	}
+	t.holdsClock = true
+	fpCommitLocked.Hit()
 	t.writes.Publish()
 	t.s.clock.Unlock()
+	t.holdsClock = false
 	t.s.prof.AddCommit(start)
 }
 

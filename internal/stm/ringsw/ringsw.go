@@ -10,17 +10,24 @@
 package ringsw
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
 	"repro/internal/bloom"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
 )
+
+// fpCommitLocked fires with the writer lock held, before the ring slot is
+// touched or anything is published; recovery must restore the pre-lock
+// timestamp so the ring and clock stay consistent.
+var fpCommitLocked = failpoint.New("ringsw.commit.locked")
 
 // ringSize is the number of retained commit filters.
 const ringSize = 1024
@@ -81,20 +88,32 @@ func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
 
 // tx is a RingSW transaction descriptor.
 type tx struct {
-	s        *STM
-	snapshot uint64
-	readF    bloom.Filter
-	writeF   bloom.Filter
-	writes   stm.WriteSet
-	tel      *telemetry.Local
+	s          *STM
+	snapshot   uint64
+	holdsClock bool // writer lock held (commit in progress)
+	readF      bloom.Filter
+	writeF     bloom.Filter
+	writes     stm.WriteSet
+	tel        *telemetry.Local
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The
+// descriptor returns to its pool even when fn (or an armed failpoint)
+// panics — the rollback path has already released the writer lock by then.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	defer func() {
+		t.readF.Clear()
+		t.writeF.Clear()
+		t.writes.Reset()
+		s.pool.Put(t)
+	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -103,6 +122,7 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
+			t.rollback()
 			s.stats.aborts.Add(1)
 			t.tel.Abort(r)
 		},
@@ -110,13 +130,23 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
-	t.readF.Clear()
-	t.writeF.Clear()
-	t.writes.Reset()
-	s.pool.Put(t)
+	return nil
+}
+
+// rollback releases the writer lock if this attempt died holding it. The
+// ring slot was not yet touched and nothing was published, so restoring the
+// pre-lock timestamp leaves readers' view unchanged.
+func (t *tx) rollback() {
+	if t.holdsClock {
+		t.holdsClock = false
+		t.s.clock.UnlockUnchanged()
+	}
 }
 
 func (t *tx) begin() {
@@ -205,6 +235,8 @@ func (t *tx) commit() {
 		t.validateRing()
 		start = t.s.prof.Now()
 	}
+	t.holdsClock = true
+	fpCommitLocked.Hit()
 	commitTS := t.snapshot + 2
 	sl := &t.s.ring[(commitTS/2)%ringSize]
 	sl.ts.Store(0) // invalidate slot while its filter is rewritten
@@ -214,6 +246,7 @@ func (t *tx) commit() {
 	sl.ts.Store(commitTS)
 	t.writes.Publish()
 	t.s.clock.Unlock()
+	t.holdsClock = false
 	t.s.prof.AddCommit(start)
 }
 

@@ -17,6 +17,7 @@
 package stm
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/mem"
@@ -46,6 +47,20 @@ type Algorithm interface {
 	Counters() *spin.Counters
 	// Stop shuts down any background goroutines owned by the algorithm.
 	Stop()
+}
+
+// AlgorithmCtx is implemented by algorithms whose transactions can observe
+// a context: AtomicCtx gives up (with the context's error) when ctx is
+// cancelled or its deadline expires instead of retrying forever. Every
+// algorithm in this repository implements it; the interface is separate
+// from Algorithm so external implementations are not forced to.
+type AlgorithmCtx interface {
+	Algorithm
+	// AtomicCtx executes fn transactionally, retrying until commit or until
+	// ctx is done, in which case the attempt is rolled back (all locks
+	// released, no effects visible) and the context's error returned. A nil
+	// ctx behaves exactly like Atomic.
+	AtomicCtx(ctx context.Context, fn func(Tx)) error
 }
 
 // ReadEntry records one transactional read for value-based validation.

@@ -13,17 +13,24 @@
 package tl2
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
 )
+
+// fpCommitLocked fires with the write-set orecs locked, before anything is
+// published; recovery must restore the pre-lock orec versions. (The clock
+// may already have advanced — harmless: TL2 readers tolerate clock skips.)
+var fpCommitLocked = failpoint.New("tl2.commit.locked")
 
 // orecBits sets the ownership-record table size (2^orecBits stripes).
 const orecBits = 16
@@ -115,11 +122,20 @@ type lockedOrec struct {
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The
+// descriptor returns to its pool even when fn (or an armed failpoint)
+// panics — the rollback path has already restored the locked orecs by then.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	defer func() {
+		t.reset()
+		s.pool.Put(t)
+	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -136,11 +152,13 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
-	t.reset()
-	s.pool.Put(t)
+	return nil
 }
 
 func (t *tx) begin() {
@@ -182,6 +200,7 @@ func (t *tx) commit() {
 	}
 	start := t.s.prof.Now()
 	t.lockWriteSet()
+	fpCommitLocked.Hit()
 	wv := t.s.clock.Add(1)
 	t.s.prof.AddCommit(start)
 	if wv != t.rv+1 {

@@ -6,16 +6,22 @@
 package tml
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
 )
+
+// fpCommitLocked fires at writer commit, with the global lock held and all
+// writes already in place; recovery must replay the undo log and release.
+var fpCommitLocked = failpoint.New("tml.commit.locked")
 
 // STM is a TML instance.
 type STM struct {
@@ -75,11 +81,21 @@ type tx struct {
 }
 
 // Atomic implements stm.Algorithm.
-func (s *STM) Atomic(fn func(stm.Tx)) {
+func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
+
+// AtomicCtx implements stm.AlgorithmCtx: Atomic observing ctx. The
+// descriptor returns to its pool even when fn (or an armed failpoint)
+// panics — the rollback path has already undone in-place writes and
+// released the global lock by then.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	defer func() {
+		t.undo = t.undo[:0]
+		s.pool.Put(t)
+	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
-	escalated := abort.RunPolicy(nil, cm.Or(s.cmgr),
+	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
@@ -96,11 +112,13 @@ func (s *STM) Atomic(fn func(stm.Tx)) {
 	if escalated {
 		t.tel.Escalated()
 	}
+	if err != nil {
+		return err
+	}
 	s.stats.commits.Add(1)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
-	t.undo = t.undo[:0]
-	s.pool.Put(t)
+	return nil
 }
 
 func (t *tx) begin() {
@@ -135,6 +153,7 @@ func (t *tx) Write(c *mem.Cell, v uint64) {
 
 func (t *tx) commit() {
 	if t.writer {
+		fpCommitLocked.Hit()
 		start := t.s.prof.Now()
 		t.s.clock.Unlock()
 		t.s.prof.AddCommit(start)

@@ -167,7 +167,9 @@ func (l *Local) CommitPhase(start Stamp) {
 }
 
 // Abort records one aborted attempt classified by reason, and the retry it
-// implies (every runtime here re-executes after an abort).
+// implies (every runtime here re-executes after an abort). Canceled and
+// Panicked are terminal — the transaction leaves the retry loop — so they
+// count as aborts but not retries.
 func (l *Local) Abort(r abort.Reason) {
 	if l == nil || !l.m.enabled() {
 		return
@@ -176,7 +178,9 @@ func (l *Local) Abort(r abort.Reason) {
 		r = abort.Conflict
 	}
 	l.s.aborts[r].Add(1)
-	l.s.retries.Add(1)
+	if r != abort.Canceled && r != abort.Panicked {
+		l.s.retries.Add(1)
+	}
 }
 
 // Fallback records one fall-through to a slow path (e.g. the hybrid HTM
@@ -211,6 +215,15 @@ type MeterSnapshot struct {
 	TxLatency     HistogramSnapshot
 	CommitLatency HistogramSnapshot
 }
+
+// RecoveredPanics returns the count of attempts that unwound with a foreign
+// panic and were rolled back by the runtime's recovery path (the panic was
+// then re-raised to the caller).
+func (s MeterSnapshot) RecoveredPanics() uint64 { return s.Aborts[abort.Panicked] }
+
+// Canceled returns the count of transactions abandoned because their
+// context was cancelled or its deadline expired.
+func (s MeterSnapshot) Canceled() uint64 { return s.Aborts[abort.Canceled] }
 
 // TotalAborts sums the per-reason abort counts.
 func (s MeterSnapshot) TotalAborts() uint64 {
