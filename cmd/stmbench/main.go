@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -21,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/abort"
 	"repro/internal/bench"
 	"repro/internal/boosting"
 	"repro/internal/chaos/failpoint"
@@ -39,7 +41,88 @@ import (
 	"repro/internal/stm/tml"
 	"repro/internal/stmds"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// jsonResult is the machine-readable run summary emitted by -json. The
+// schema is documented in EXPERIMENTS.md ("Machine-readable results").
+type jsonResult struct {
+	Schema      string       `json:"schema"`
+	Structure   string       `json:"structure"`
+	Algorithm   string       `json:"algorithm"`
+	Threads     int          `json:"threads"`
+	InitialSize int          `json:"initial_size"`
+	WritePct    int          `json:"write_pct"`
+	OpsPerTx    int          `json:"ops_per_tx"`
+	DurationNS  int64        `json:"duration_ns"`
+	TxPerSec    float64      `json:"tx_per_sec"`
+	OpsPerSec   float64      `json:"ops_per_sec"`
+	Meters      []jsonMeter  `json:"meters,omitempty"`
+	Conflicts   []jsonHotKey `json:"hot_keys,omitempty"`
+}
+
+// jsonMeter is one telemetry meter in the JSON summary.
+type jsonMeter struct {
+	Name        string            `json:"name"`
+	Policy      string            `json:"policy,omitempty"`
+	Commits     uint64            `json:"commits"`
+	AbortsTotal uint64            `json:"aborts_total"`
+	AbortRate   float64           `json:"abort_rate"`
+	Aborts      map[string]uint64 `json:"aborts_by_reason,omitempty"`
+	Fallbacks   uint64            `json:"fallbacks,omitempty"`
+	Escalations uint64            `json:"escalations,omitempty"`
+	TxP50NS     int64             `json:"tx_p50_ns"`
+	TxP99NS     int64             `json:"tx_p99_ns"`
+	CommitP50NS int64             `json:"commit_p50_ns"`
+	CommitP99NS int64             `json:"commit_p99_ns"`
+}
+
+// jsonHotKey is one conflict-attribution entry in the JSON summary
+// (present only when the flight recorder is armed via -trace-sample).
+type jsonHotKey struct {
+	Runtime    string `json:"runtime"`
+	Key        uint64 `json:"key"`
+	Aborts     uint64 `json:"aborts"`
+	LostTimeNS uint64 `json:"lost_time_ns"`
+}
+
+// writeJSON assembles and writes the -json result file.
+func writeJSON(path string, res jsonResult, snap []telemetry.MeterSnapshot) error {
+	for _, m := range snap {
+		jm := jsonMeter{
+			Name:        m.Name,
+			Policy:      m.Policy,
+			Commits:     m.Commits,
+			AbortsTotal: m.TotalAborts(),
+			AbortRate:   m.AbortRate(),
+			Fallbacks:   m.Fallbacks,
+			Escalations: m.Escalations,
+			TxP50NS:     int64(m.TxLatency.Quantile(0.50)),
+			TxP99NS:     int64(m.TxLatency.Quantile(0.99)),
+			CommitP50NS: int64(m.CommitLatency.Quantile(0.50)),
+			CommitP99NS: int64(m.CommitLatency.Quantile(0.99)),
+		}
+		for r, n := range m.Aborts {
+			if n > 0 {
+				if jm.Aborts == nil {
+					jm.Aborts = make(map[string]uint64)
+				}
+				jm.Aborts[telemetry.ReasonName(abort.Reason(r))] = n
+			}
+		}
+		res.Meters = append(res.Meters, jm)
+	}
+	for _, c := range trace.Default.Conflicts(10) {
+		res.Conflicts = append(res.Conflicts, jsonHotKey{
+			Runtime: c.Runtime, Key: c.Key, Aborts: c.Aborts, LostTimeNS: c.WaitNS,
+		})
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
 
 // stmAlgorithms maps -alg values to constructors (for stm-* structures).
 var stmAlgorithms = map[string]func() stm.Algorithm{
@@ -118,6 +201,10 @@ func main() {
 		cmBudget  = flag.Int("cm-budget", 0, "retry budget before serial-mode escalation (<0 disables)")
 		failspec  = flag.String("failpoints", "", "fault-injection specs, 'name=action[@triggers];...' (see internal/chaos/failpoint)")
 		deadline  = flag.Duration("deadline", 0, "run transactions under a context with this deadline; expired transactions abort with the canceled reason (0 = off)")
+		jsonOut   = flag.String("json", "", "write a machine-readable result file to this path (schema in EXPERIMENTS.md)")
+		debugAddr = flag.String("debug-addr", "", "serve the live debug endpoint (trace snapshot, conflict table, pprof, expvar) on this address")
+		traceEach = flag.Uint64("trace-sample", 0, "arm the transaction flight recorder, sampling 1 in N transactions (0 = off)")
+		traceOut  = flag.String("trace-out", "", "write the flight recorder's Perfetto trace-event JSON to this path at exit")
 	)
 	flag.Parse()
 
@@ -134,6 +221,22 @@ func main() {
 	if !*noTel {
 		telemetry.Enable()
 		telemetry.Publish()
+	}
+	if *traceEach > 0 || *traceOut != "" {
+		n := *traceEach
+		if n == 0 {
+			n = 1
+		}
+		trace.Enable(n)
+	}
+	if *debugAddr != "" {
+		srv, err := trace.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "stmbench: debug endpoint on http://%s/debug/trace\n", srv.Addr())
 	}
 
 	if *list {
@@ -200,9 +303,12 @@ func main() {
 		d.RunTx(ops)
 	}
 
+	workload := fmt.Sprintf("%s/w%d/t%d", *structure, *writes, *threads)
 	var tput float64
 	telemetry.Default.Do(d.Name(), func() {
-		tput = bench.Throughput(cfg, *threads, runOne)
+		trace.Do(d.Name(), workload, func() {
+			tput = bench.Throughput(cfg, *threads, runOne)
+		})
 	})
 	fmt.Printf("%-16s %-10s threads=%-3d size=%-7d writes=%d%% ops/tx=%d\n",
 		*structure, d.Name(), *threads, *size, *writes, *opsPerTx)
@@ -217,5 +323,36 @@ func main() {
 			canceled += m.Canceled()
 		}
 		fmt.Printf("recovered panics: %d   cancelled transactions: %d\n", panics, canceled)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.Default.WritePerfetto(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench: trace-out:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		res := jsonResult{
+			Schema:      "stmbench-result/v1",
+			Structure:   *structure,
+			Algorithm:   d.Name(),
+			Threads:     *threads,
+			InitialSize: *size,
+			WritePct:    *writes,
+			OpsPerTx:    *opsPerTx,
+			DurationNS:  int64(*duration),
+			TxPerSec:    tput,
+			OpsPerSec:   tput * float64(*opsPerTx),
+		}
+		if err := writeJSON(*jsonOut, res, telemetry.Default.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench: json:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Failpoints on the boosting lock and commit paths.
@@ -103,6 +104,7 @@ const (
 type heldLock struct {
 	lock *RWLock
 	mode lockMode
+	key  uint64 // flight-recorder attribution key noted at acquisition
 }
 
 // Tx is a pessimistic-boosting transaction: the set of abstract locks held
@@ -113,6 +115,17 @@ type Tx struct {
 	ctr  *spin.Counters
 	mgr  *cm.Manager // resolved contention manager for this execution
 	tel  *telemetry.Local
+	tr   *trace.Local
+	// lockKey is the attribution key for the lock currently being acquired,
+	// noted by the semantic layer before each Acquire* call (0 = unknown).
+	lockKey uint64
+}
+
+// noteLockKey records the abstract key behind the next lock acquisition so
+// timeout aborts and lock events name the contended key, not the stripe.
+func (tx *Tx) noteLockKey(k uint64) {
+	tx.lockKey = k
+	tx.tr.NoteKey(k)
 }
 
 // meter collects pessimistic-boosting statistics; exhausted lock-
@@ -136,7 +149,11 @@ func SetManager(m *cm.Manager) { cmgr.Store(m) }
 
 // txPool recycles transaction descriptors (with their shard-bound telemetry
 // handles) across Atomic calls.
-var txPool = sync.Pool{New: func() any { return &Tx{tel: meter.Local()} }}
+var traceSrc = trace.S("PessimisticBoosted")
+
+var txPool = sync.Pool{New: func() any {
+	return &Tx{tel: meter.Local(), tr: traceSrc.Local()}
+}}
 
 // Atomic runs fn as a boosted transaction, retrying on abort. Stats and
 // counters may be nil.
@@ -160,21 +177,28 @@ func AtomicCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, fn f
 		txPool.Put(tx)
 	}()
 	start := tx.tel.Start()
+	tx.tr.TxStart()
+	defer tx.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, stats, tx.mgr,
 		func() {
 			tx.held = tx.held[:0]
 			tx.undo = tx.undo[:0]
+			tx.tr.AttemptStart()
 		},
 		func() {
 			fn(tx)
+			tx.tr.CommitBegin()
 			tx.commit()
+			tx.tr.CommitEnd()
 		},
 		func(r abort.Reason) {
 			tx.rollback()
+			tx.tr.Abort(r)
 			tx.tel.Abort(r)
 		},
 	)
 	if escalated {
+		tx.tr.Escalated()
 		tx.tel.Escalated()
 	}
 	if err != nil {
@@ -199,7 +223,7 @@ func (tx *Tx) AcquireRead(l *RWLock) {
 		fpLockPartial.Hit()
 	}
 	tx.spinAcquire(l, (*RWLock).tryRead)
-	tx.held = append(tx.held, heldLock{lock: l, mode: readHeld})
+	tx.held = append(tx.held, heldLock{lock: l, mode: readHeld, key: tx.lockKey})
 }
 
 // AcquireWrite takes (or upgrades to) an exclusive hold on l, aborting on
@@ -222,7 +246,7 @@ func (tx *Tx) AcquireWrite(l *RWLock) {
 		fpLockPartial.Hit()
 	}
 	tx.spinAcquireWrite(l, (*RWLock).tryWrite)
-	tx.held = append(tx.held, heldLock{lock: l, mode: writeHeld})
+	tx.held = append(tx.held, heldLock{lock: l, mode: writeHeld, key: tx.lockKey})
 }
 
 // spinAcquireWrite raises the waiting-writer gate around the spin; the
@@ -242,11 +266,13 @@ func (tx *Tx) spinAcquire(l *RWLock, try func(*RWLock) bool) {
 	var b spin.Backoff
 	for i := 0; i < attempts; i++ {
 		if try(l) {
+			tx.tr.Lock(tx.lockKey)
 			return
 		}
 		tx.ctr.IncCAS()
 		b.Wait()
 	}
+	tx.tr.LockBusy(tx.lockKey)
 	abort.Retry(abort.Timeout)
 }
 
@@ -308,6 +334,7 @@ func (tx *Tx) releaseAll() {
 		default:
 			h.lock.releaseWrite()
 		}
+		tx.tr.Unlock(h.key)
 	}
 	tx.held = tx.held[:0]
 }

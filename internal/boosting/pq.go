@@ -32,6 +32,10 @@ func (a SkipPQAdapter) RemoveMin() (int64, bool) { return a.Q.RemoveMin() }
 // Len returns the queue size.
 func (a SkipPQAdapter) Len() int { return a.Q.Len() }
 
+// pqLockTraceKey is the flight-recorder attribution key for the queue's
+// single global abstract lock, tagged so it cannot collide with set keys.
+const pqLockTraceKey = 1<<61 | 1
+
 // PQ is the pessimistically boosted priority queue of the paper's
 // Algorithm 4: a concurrent queue guarded by one global abstract
 // readers/writer lock. Add operations commute, so they take the shared
@@ -57,6 +61,7 @@ func NewPQOver(q BlackBoxPQ) *PQ {
 
 // Add inserts key within tx (duplicates allowed).
 func (q *PQ) Add(tx *Tx, key int64) {
+	tx.noteLockKey(pqLockTraceKey)
 	tx.AcquireRead(&q.lock)
 	q.pq.Add(key)
 	tx.OnAbort(func() { q.markDeleted(key) })
@@ -64,6 +69,7 @@ func (q *PQ) Add(tx *Tx, key int64) {
 
 // Min returns the smallest live key within tx; ok is false when empty.
 func (q *PQ) Min(tx *Tx) (int64, bool) {
+	tx.noteLockKey(pqLockTraceKey)
 	tx.AcquireWrite(&q.lock)
 	for {
 		key, ok := q.pq.Min()
@@ -80,6 +86,7 @@ func (q *PQ) Min(tx *Tx) (int64, bool) {
 // RemoveMin removes and returns the smallest live key within tx; ok is
 // false when empty.
 func (q *PQ) RemoveMin(tx *Tx) (int64, bool) {
+	tx.noteLockKey(pqLockTraceKey)
 	tx.AcquireWrite(&q.lock)
 	for {
 		key, ok := q.pq.RemoveMin()

@@ -26,6 +26,7 @@ func NewSet(set BlackBoxSet, n int) *Set {
 
 // Add inserts key within tx, returning false if present.
 func (s *Set) Add(tx *Tx, key int64) bool {
+	tx.noteLockKey(boostTraceKey(key))
 	tx.AcquireWrite(s.locks.For(key))
 	if !s.set.Add(key) {
 		return false
@@ -36,6 +37,7 @@ func (s *Set) Add(tx *Tx, key int64) bool {
 
 // Remove deletes key within tx, returning false if absent.
 func (s *Set) Remove(tx *Tx, key int64) bool {
+	tx.noteLockKey(boostTraceKey(key))
 	tx.AcquireWrite(s.locks.For(key))
 	if !s.set.Remove(key) {
 		return false
@@ -48,6 +50,17 @@ func (s *Set) Remove(tx *Tx, key int64) bool {
 // wait-free contains, the boosted version must take the abstract read lock
 // to preserve opacity — one of the costs OTB eliminates.
 func (s *Set) Contains(tx *Tx, key int64) bool {
+	tx.noteLockKey(boostTraceKey(key))
 	tx.AcquireRead(s.locks.For(key))
 	return s.set.Contains(key)
+}
+
+// boostTraceKey maps a set element key to a flight-recorder attribution
+// key: positive keys map to themselves; others flip the top bit to stay
+// nonzero (0 means unattributed).
+func boostTraceKey(key int64) uint64 {
+	if key > 0 {
+		return uint64(key)
+	}
+	return uint64(key) ^ (1 << 63)
 }

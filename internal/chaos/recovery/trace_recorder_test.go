@@ -1,0 +1,105 @@
+package recovery
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/failpoint"
+	"repro/internal/otb"
+	"repro/internal/trace"
+)
+
+// TestFlightRecorderSurvivesInjectedPanic proves an injected panic
+// mid-attempt (between the semantic locks being taken and the commit
+// publishing) leaves the flight recorder consistent: the snapshot decodes
+// with no torn slots, the debug endpoint still serves, and the recorder
+// keeps recording afterwards.
+func TestFlightRecorderSurvivesInjectedPanic(t *testing.T) {
+	failpoint.DisarmAll()
+	trace.Enable(1) // sample everything so the dying attempt is in the rings
+	defer func() {
+		trace.Disable()
+		trace.Default.Reset()
+	}()
+
+	set := otb.NewListSet()
+	run := func(k int64) {
+		otb.Atomic(nil, func(tx *otb.Tx) {
+			set.Contains(tx, (k+1)%16)
+			set.Add(tx, k%16)
+		})
+	}
+
+	fp, ok := failpoint.Lookup("otb.commit.post-lock")
+	if !ok {
+		t.Fatal("failpoint otb.commit.post-lock is not registered")
+	}
+	disarm := failpoint.Arm("otb.commit.post-lock", failpoint.Spec{Action: failpoint.Panic, Nth: 1})
+	defer disarm()
+
+	var saw atomic.Bool
+	deadline := time.Now().Add(20 * time.Second)
+	for k := int64(0); fp.Hits() == 0; k++ {
+		if time.Now().After(deadline) {
+			t.Fatal("failpoint never fired")
+		}
+		runRecover(run, k, &saw)
+	}
+	if !saw.Load() {
+		t.Fatal("failpoint fired but the panic never reached the caller")
+	}
+
+	// The panic unwound a sampled transaction mid-commit with ring slots
+	// already written. Every slot the snapshot returns must decode cleanly.
+	snap := trace.Default.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("recorder lost its history across the injected panic")
+	}
+	for _, e := range snap {
+		if e.Kind.String() == "unknown" {
+			t.Fatalf("torn slot decoded: %+v", e)
+		}
+		if e.Runtime == "" {
+			t.Fatalf("event without a runtime: %+v", e)
+		}
+	}
+	// The Perfetto exporter walks the full history; it must not trip over
+	// the truncated span the panic left open.
+	if _, err := trace.ExportPerfetto(snap); err != nil {
+		t.Fatalf("perfetto export after panic: %v", err)
+	}
+
+	// The endpoint must still serve the live state.
+	srv, err := trace.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/trace", "/debug/trace/perfetto", "/debug/trace/conflicts", "/debug/trace/aborts"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+
+	// And it must still be recording: follow-up transactions append events.
+	before := len(snap)
+	for k := int64(0); k < 50; k++ {
+		run(k)
+	}
+	if after := len(trace.Default.Snapshot()); after <= before {
+		t.Fatalf("recorder stopped recording after the panic: %d -> %d events", before, after)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Failpoints on the hybrid commit paths.
@@ -119,7 +120,8 @@ func New(opts Options) *TM {
 	}
 	mtr := telemetry.M("HybridHTM")
 	mtr.SetPolicySource(func() string { return cm.Or(t.cmgr).Policy().Name() })
-	t.pool.New = func() any { return &htx{tm: t, tel: mtr.Local()} }
+	src := trace.S("HybridHTM")
+	t.pool.New = func() any { return &htx{tm: t, tel: mtr.Local(), tr: src.Local()} }
 	return t
 }
 
@@ -160,6 +162,7 @@ type htx struct {
 	reads      []stm.ReadEntry
 	writes     stm.WriteSet
 	tel        *telemetry.Local
+	tr         *trace.Local
 }
 
 // rollback releases the clock if the software path died holding it (an
@@ -188,9 +191,12 @@ func (t *TM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 		t.pool.Put(x)
 	}()
 	start := x.tel.Start()
+	x.tr.TxStart()
+	defer x.tr.TxEnd()
 	m := cm.Or(t.cmgr)
 	for attempt := 0; attempt < t.retries; attempt++ {
 		if ctx != nil && ctx.Err() != nil {
+			x.tr.Abort(abort.Canceled)
 			x.tel.Abort(abort.Canceled)
 			return ctx.Err()
 		}
@@ -198,12 +204,14 @@ func (t *TM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 		// hardware attempts stand aside while any transaction runs serially.
 		if ctx != nil {
 			if err := m.PauseCtx(ctx); err != nil {
+				x.tr.Abort(abort.Canceled)
 				x.tel.Abort(abort.Canceled)
 				return err
 			}
 		} else {
 			m.Pause()
 		}
+		x.tr.HWAttempt(attempt + 1)
 		code, ok := t.tryHardware(x, fn)
 		if ok {
 			t.stats.hwCommits.Add(1)
@@ -214,8 +222,10 @@ func (t *TM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 		// Hardware aborts are conflicts from telemetry's viewpoint: the
 		// lock-subscription case is a busy fallback lock.
 		if code == LockSubscription {
+			x.tr.Abort(abort.LockBusy)
 			x.tel.Abort(abort.LockBusy)
 		} else {
+			x.tr.Abort(abort.Conflict)
 			x.tel.Abort(abort.Conflict)
 		}
 		if code == Capacity {
@@ -223,9 +233,11 @@ func (t *TM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 		}
 		m.Policy().Wait(attempt+1, abort.Conflict)
 	}
+	x.tr.Fallback()
 	x.tel.Fallback()
 	escalated, err := t.software(ctx, x, fn, m)
 	if escalated {
+		x.tr.Escalated()
 		x.tel.Escalated()
 	}
 	if err != nil {
@@ -292,13 +304,17 @@ func (t *TM) software(ctx context.Context, x *htx, fn func(stm.Tx), m *cm.Manage
 			x.reads = x.reads[:0]
 			x.writes.Reset()
 			x.snapshot = t.clock.WaitUnlocked(&t.ctr)
+			x.tr.AttemptStart()
 		},
 		func() {
 			fn(x)
+			x.tr.CommitBegin()
 			x.swCommit()
+			x.tr.CommitEnd()
 		},
 		func(r abort.Reason) {
 			x.rollback()
+			x.tr.Abort(r)
 			if r == abort.Canceled || r == abort.Panicked {
 				x.tel.Abort(r)
 			}
@@ -355,6 +371,7 @@ func (x *htx) validate() uint64 {
 		}
 		for i := range x.reads {
 			if x.reads[i].Cell.Load() != x.reads[i].Val {
+				x.tr.ValidateFail(x.reads[i].Cell.ID())
 				abort.Retry(abort.Conflict)
 			}
 		}

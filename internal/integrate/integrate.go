@@ -37,7 +37,16 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// norecClockTraceKey tags flight-recorder lock events for OTB-NOrec's
+// single global commit lock, which has no per-cell identity.
+const norecClockTraceKey = 1<<60 | 3
+
+// tl2OrecTraceKey tags an ownership-record index so orec lock events
+// cannot collide with cell IDs or semantic keys in the conflict table.
+func tl2OrecTraceKey(idx int) uint64 { return uint64(idx) | 1<<62 }
 
 // Failpoints on the integrated commit paths.
 var (
@@ -143,11 +152,15 @@ type norecCtx struct {
 	writes     stm.WriteSet
 	ctx        Ctx
 	tel        *telemetry.Local
+	tr         *trace.Local
 }
 
 func newNorecCtx(s *OTBNOrec) *norecCtx {
-	t := &norecCtx{s: s, tel: telemetry.M(s.Name()).Local()}
+	t := &norecCtx{s: s, tel: telemetry.M(s.Name()).Local(), tr: trace.S(s.Name()).Local()}
 	sem := otb.NewTx(&s.ctr)
+	// The semantic layer traces into the integrated context's descriptor
+	// track, so OTB operations and memory events share one span.
+	sem.SetTraceLocal(t.tr)
 	// onOperationValidate: identical to onReadAccess — wait for a stable
 	// global timestamp while co-validating memory and semantics.
 	sem.SetValidator(func(*otb.Tx) {
@@ -174,12 +187,16 @@ func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 		s.pool.Put(t)
 	}()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(&t.ctx)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
@@ -187,12 +204,15 @@ func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 			if t.holdsClock {
 				t.s.clock.Unlock()
 				t.holdsClock = false
+				t.tr.Unlock(norecClockTraceKey)
 			}
 			s.stats.aborts.Add(1)
+			t.tr.Abort(r)
 			t.tel.Abort(r)
 		},
 	)
 	if escalated {
+		t.tr.Escalated()
 		t.tel.Escalated()
 	}
 	if err != nil {
@@ -204,6 +224,7 @@ func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 }
 
 func (t *norecCtx) begin() {
+	t.tr.AttemptStart()
 	t.reads = t.reads[:0]
 	t.writes.Reset()
 	t.ctx.sem.Reset()
@@ -242,6 +263,7 @@ func (t *norecCtx) validateAll() uint64 {
 		}
 		for i := range t.reads {
 			if t.reads[i].Cell.Load() != t.reads[i].Val {
+				t.tr.ValidateFail(t.reads[i].Cell.ID())
 				abort.Retry(abort.Conflict)
 			}
 		}
@@ -249,6 +271,7 @@ func (t *norecCtx) validateAll() uint64 {
 			abort.Retry(abort.Conflict)
 		}
 		if ts == t.s.clock.Load() {
+			t.tr.Validated()
 			return ts
 		}
 	}
@@ -266,6 +289,7 @@ func (t *norecCtx) commit() {
 		t.snapshot = t.validateAll()
 	}
 	t.holdsClock = true
+	t.tr.Lock(norecClockTraceKey)
 	fpNOrecCommitLocked.Hit()
 	if t.s.semanticLocks {
 		// Ablation: pay for the fine-grained semantic locks the global
@@ -280,6 +304,7 @@ func (t *norecCtx) commit() {
 	t.ctx.sem.PostCommitAll()
 	t.s.clock.Unlock()
 	t.holdsClock = false
+	t.tr.Unlock(norecClockTraceKey)
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +376,7 @@ type tl2Ctx struct {
 	locked []tl2Locked
 	ctx    Ctx
 	tel    *telemetry.Local
+	tr     *trace.Local
 }
 
 type tl2Locked struct {
@@ -360,8 +386,9 @@ type tl2Locked struct {
 }
 
 func newTL2Ctx(s *OTBTL2) *tl2Ctx {
-	t := &tl2Ctx{s: s, tel: telemetry.M(s.Name()).Local()}
+	t := &tl2Ctx{s: s, tel: telemetry.M(s.Name()).Local(), tr: trace.S(s.Name()).Local()}
 	sem := otb.NewTx(&s.ctr)
+	sem.SetTraceLocal(t.tr)
 	// onOperationValidate: semantic validation with lock sampling only; TL2
 	// memory reads are self-validating and need no re-check here.
 	sem.SetValidator(func(sem *otb.Tx) {
@@ -387,22 +414,28 @@ func (s *OTBTL2) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 		s.pool.Put(t)
 	}()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(&t.ctx)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			t.releaseLocked()
 			t.ctx.sem.Rollback()
 			s.stats.aborts.Add(1)
+			t.tr.Abort(r)
 			t.tel.Abort(r)
 		},
 	)
 	if escalated {
+		t.tr.Escalated()
 		t.tel.Escalated()
 	}
 	if err != nil {
@@ -414,6 +447,7 @@ func (s *OTBTL2) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 }
 
 func (t *tl2Ctx) begin() {
+	t.tr.AttemptStart()
 	t.reset()
 	t.ctx.sem.Reset()
 	t.rv = t.s.clock.Load()
@@ -436,6 +470,7 @@ func (t *tl2Ctx) Read(c *mem.Cell) uint64 {
 	val := c.Load()
 	v2 := o.v.Load()
 	if v1 != v2 || orecLocked(v1) || orecVersion(v1) > t.rv {
+		t.tr.ValidateFail(c.ID())
 		abort.Retry(abort.Conflict)
 	}
 	if !t.ctx.sem.ValidateAllWithLocks() {
@@ -468,10 +503,12 @@ func (t *tl2Ctx) commit() {
 	if !sem.ValidateAllWithLocks() {
 		abort.Retry(abort.Conflict)
 	}
+	t.tr.Validated()
 	t.writes.Publish()
 	sem.OnCommitAll()
 	for _, l := range t.locked {
 		l.o.v.Store(wv << 1)
+		t.tr.Unlock(tl2OrecTraceKey(l.idx))
 	}
 	t.locked = t.locked[:0]
 	sem.PostCommitAll()
@@ -501,8 +538,10 @@ func (t *tl2Ctx) lockWriteSet() {
 		v := l.o.v.Load()
 		if orecLocked(v) || orecVersion(v) > t.rv || !l.o.v.CompareAndSwap(v, v|1) {
 			t.s.ctr.IncCAS()
+			t.tr.LockBusy(tl2OrecTraceKey(l.idx))
 			abort.Retry(abort.LockBusy)
 		}
+		t.tr.Lock(tl2OrecTraceKey(l.idx))
 		t.locked = append(t.locked, tl2Locked{o: l.o, idx: l.idx, old: v})
 	}
 }
@@ -513,11 +552,13 @@ func (t *tl2Ctx) validateReads() {
 		if orecLocked(v) {
 			old, mine := t.ownedOld(o)
 			if !mine || orecVersion(old) > t.rv {
+				t.tr.ValidateFail(0) // orec identity only; no cell to name
 				abort.Retry(abort.Conflict)
 			}
 			continue
 		}
 		if orecVersion(v) > t.rv {
+			t.tr.ValidateFail(0)
 			abort.Retry(abort.Conflict)
 		}
 	}
@@ -535,6 +576,7 @@ func (t *tl2Ctx) ownedOld(o *orec) (uint64, bool) {
 func (t *tl2Ctx) releaseLocked() {
 	for _, l := range t.locked {
 		l.o.v.Store(l.old)
+		t.tr.Unlock(tl2OrecTraceKey(l.idx))
 	}
 	t.locked = t.locked[:0]
 }

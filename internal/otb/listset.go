@@ -36,6 +36,18 @@ func checkKey(key int64) {
 	}
 }
 
+// traceKey maps a set key to a flight-recorder attribution key. Positive
+// keys map to themselves so conflict tables stay readable; the rest are
+// offset into the high half. The head sentinel lands on 0, which the
+// recorder treats as "unattributed" — exactly right for a lock that guards
+// no user key.
+func traceKey(key int64) uint64 {
+	if key > 0 {
+		return uint64(key)
+	}
+	return uint64(key) ^ (1 << 63)
+}
+
 // opKind identifies a set operation.
 type opKind int8
 
@@ -132,6 +144,7 @@ func (s *ListSet) Contains(tx *Tx, key int64) bool { return s.op(tx, key, opCont
 func (s *ListSet) op(tx *Tx, key int64, kind opKind) bool {
 	checkKey(key)
 	st := s.state(tx)
+	tx.tr.Op(traceKey(key))
 
 	// Step 1: consult the local write set so the transaction reads its own
 	// deferred writes; opposite operations on the same key eliminate.
@@ -251,6 +264,7 @@ func (s *ListSet) ValidateWithLocks(tx *Tx) bool {
 			}
 			v := n.lock.Sample()
 			if spin.IsLocked(v) {
+				tx.tr.ValidateFail(traceKey(n.key))
 				return false
 			}
 			st.lockSnap = append(st.lockSnap, v)
@@ -268,6 +282,7 @@ func (s *ListSet) ValidateWithLocks(tx *Tx) bool {
 				continue
 			}
 			if n.lock.Sample() != v {
+				tx.tr.ValidateFail(traceKey(n.key))
 				return false
 			}
 		}
@@ -288,6 +303,7 @@ func (s *ListSet) ValidateWithoutLocks(tx *Tx) bool {
 	}
 	for i := range st.reads {
 		if !st.reads[i].check() {
+			tx.tr.ValidateFail(traceKey(st.reads[i].curr.key))
 			return false
 		}
 	}
@@ -321,8 +337,10 @@ func (s *ListSet) PreCommit(tx *Tx) {
 	for _, n := range toLock {
 		if _, ok := n.lock.TryLock(); !ok {
 			tx.Counters().IncCAS()
+			tx.tr.LockBusy(traceKey(n.key))
 			abort.Retry(abort.LockBusy)
 		}
+		tx.tr.Lock(traceKey(n.key))
 		st.locked = append(st.locked, n)
 	}
 }
@@ -369,6 +387,7 @@ func (s *ListSet) PostCommit(tx *Tx) {
 	}
 	for _, n := range st.locked {
 		n.lock.Unlock()
+		tx.tr.Unlock(traceKey(n.key))
 	}
 	st.locked = st.locked[:0]
 }

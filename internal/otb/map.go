@@ -171,6 +171,7 @@ func (st *mapState) deleteWrite(i int) {
 // Get returns the value stored for key within tx.
 func (m *Map) Get(tx *Tx, key int64) (uint64, bool) {
 	checkKey(key)
+	tx.tr.Op(traceKey(key))
 	st := m.state(tx)
 	if i := st.findWrite(key); i >= 0 {
 		w := &st.writes[i]
@@ -200,6 +201,7 @@ func (m *Map) ContainsKey(tx *Tx, key int64) bool {
 // (inserted) and false if an existing mapping was updated.
 func (m *Map) Put(tx *Tx, key int64, val uint64) bool {
 	checkKey(key)
+	tx.tr.Op(traceKey(key))
 	st := m.state(tx)
 	if i := st.findWrite(key); i >= 0 {
 		w := &st.writes[i]
@@ -227,6 +229,7 @@ func (m *Map) Put(tx *Tx, key int64, val uint64) bool {
 // Delete unmaps key within tx, returning false if absent.
 func (m *Map) Delete(tx *Tx, key int64) bool {
 	checkKey(key)
+	tx.tr.Op(traceKey(key))
 	st := m.state(tx)
 	if i := st.findWrite(key); i >= 0 {
 		w := st.writes[i]
@@ -241,6 +244,7 @@ func (m *Map) Delete(tx *Tx, key int64) bool {
 			// the entry into a delete with fresh, commit-validated preds.
 			found, preds, succs := m.locate(tx, key)
 			if found == -1 || succs[found] != w.victim || succs[found].marked.Load() {
+				tx.tr.NoteKey(traceKey(key))
 				abort.Retry(abort.Conflict)
 			}
 			st.reads = append(st.reads, mapRead{
@@ -337,6 +341,7 @@ func (m *Map) ValidateWithLocks(tx *Tx) bool {
 			}
 			v := n.lock.Sample()
 			if spin.IsLocked(v) {
+				tx.tr.ValidateFail(traceKey(n.key))
 				return false
 			}
 			st.lockSnap = append(st.lockSnap, v)
@@ -354,6 +359,7 @@ func (m *Map) ValidateWithLocks(tx *Tx) bool {
 				continue
 			}
 			if n.lock.Sample() != v {
+				tx.tr.ValidateFail(traceKey(n.key))
 				return false
 			}
 		}
@@ -369,10 +375,19 @@ func (m *Map) ValidateWithoutLocks(tx *Tx) bool {
 	}
 	for i := range st.reads {
 		if !st.reads[i].check() {
+			tx.tr.ValidateFail(mapReadTraceKey(&st.reads[i]))
 			return false
 		}
 	}
 	return true
+}
+
+// mapReadTraceKey names the node a failing map read entry is anchored on.
+func mapReadTraceKey(e *mapRead) uint64 {
+	if e.curr != nil {
+		return traceKey(e.curr.key)
+	}
+	return traceKey(e.succs[0].key)
 }
 
 // Dirty reports whether the transaction has pending writes on this map.
@@ -417,8 +432,10 @@ func (m *Map) PreCommit(tx *Tx) {
 	for _, n := range toLock {
 		if _, ok := n.lock.TryLock(); !ok {
 			tx.Counters().IncCAS()
+			tx.tr.LockBusy(traceKey(n.key))
 			abort.Retry(abort.LockBusy)
 		}
+		tx.tr.Lock(traceKey(n.key))
 		st.locked = append(st.locked, n)
 	}
 }
@@ -477,6 +494,7 @@ func (m *Map) PostCommit(tx *Tx) {
 	}
 	for _, n := range st.locked {
 		n.lock.Unlock()
+		tx.tr.Unlock(traceKey(n.key))
 	}
 	st.locked = st.locked[:0]
 }

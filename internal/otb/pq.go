@@ -22,12 +22,17 @@ const pqAcquireAttempts = 1024
 // the lock holder excludes everyone, the shared heap needs no internal
 // synchronization and no read validation.
 type HeapPQ struct {
+	id   uint64 // flight-recorder attribution key for the global lock
 	held atomic.Bool
 	pq   conc.SeqHeap // accessed only by the lock holder
 }
 
+// pqKeyBit tags HeapPQ lock attribution keys so they cannot collide with
+// element keys of the set structures in the conflict table.
+const pqKeyBit = 1 << 61
+
 // NewHeapPQ creates an empty queue.
-func NewHeapPQ() *HeapPQ { return &HeapPQ{} }
+func NewHeapPQ() *HeapPQ { return &HeapPQ{id: nodeSeq.Add(1) | pqKeyBit} }
 
 // heapPQState is the per-transaction state for one HeapPQ.
 type heapPQState struct {
@@ -100,10 +105,12 @@ func (q *HeapPQ) ensureHeld(tx *Tx, st *heapPQState) {
 		}
 		tx.Counters().IncCAS()
 		if i >= pqAcquireAttempts {
+			tx.tr.LockBusy(q.id)
 			abort.Retry(abort.LockBusy)
 		}
 		b.Wait()
 	}
+	tx.tr.Lock(q.id)
 	st.holds = true
 	q.flushRedo(st)
 }
@@ -139,6 +146,7 @@ func (q *HeapPQ) PostCommit(tx *Tx) {
 	st.removed = st.removed[:0]
 	st.holds = false
 	q.held.Store(false)
+	tx.tr.Unlock(q.id)
 }
 
 // OnAbort rolls back any effects applied under the lock (in reverse) and
@@ -258,15 +266,18 @@ func (q *SkipPQ) RemoveMin(tx *Tx) (int64, bool) {
 			// Pin the shared minimum in the read set so a smaller insertion
 			// by another transaction invalidates us.
 			if !q.set.Contains(tx, shared.key) {
+				tx.tr.NoteKey(traceKey(shared.key))
 				abort.Retry(abort.Conflict)
 			}
 			if q.firstLive(st.lastRemoved) != shared {
+				tx.tr.NoteKey(traceKey(shared.key))
 				abort.Retry(abort.Conflict)
 			}
 		}
 		// Dequeue a locally added item: cancel its pending add (the set
 		// operations eliminate) and pop it from the local heap.
 		if !q.set.Remove(tx, localMin) {
+			tx.tr.NoteKey(traceKey(localMin))
 			abort.Retry(abort.Conflict)
 		}
 		st.local.RemoveMin()
@@ -276,9 +287,11 @@ func (q *SkipPQ) RemoveMin(tx *Tx) (int64, bool) {
 		return 0, false
 	}
 	if !q.set.Remove(tx, shared.key) {
+		tx.tr.NoteKey(traceKey(shared.key))
 		abort.Retry(abort.Conflict)
 	}
 	if q.firstLive(st.lastRemoved) != shared {
+		tx.tr.NoteKey(traceKey(shared.key))
 		abort.Retry(abort.Conflict)
 	}
 	st.lastRemoved = shared
@@ -294,6 +307,7 @@ func (q *SkipPQ) Min(tx *Tx) (int64, bool) {
 	if lok && (shared == nil || localMin < shared.key) {
 		if shared != nil {
 			if !q.set.Contains(tx, shared.key) {
+				tx.tr.NoteKey(traceKey(shared.key))
 				abort.Retry(abort.Conflict)
 			}
 		}
@@ -303,9 +317,11 @@ func (q *SkipPQ) Min(tx *Tx) (int64, bool) {
 		return 0, false
 	}
 	if !q.set.Contains(tx, shared.key) {
+		tx.tr.NoteKey(traceKey(shared.key))
 		abort.Retry(abort.Conflict)
 	}
 	if q.firstLive(st.lastRemoved) != shared {
+		tx.tr.NoteKey(traceKey(shared.key))
 		abort.Retry(abort.Conflict)
 	}
 	return shared.key, true

@@ -155,6 +155,7 @@ func (s *SkipSet) Contains(tx *Tx, key int64) bool { return s.op(tx, key, opCont
 func (s *SkipSet) op(tx *Tx, key int64, kind opKind) bool {
 	checkKey(key)
 	st := s.state(tx)
+	tx.tr.Op(traceKey(key))
 
 	// Step 1: local write-set check with elimination (as in ListSet).
 	if i := st.findWrite(key); i >= 0 {
@@ -314,6 +315,7 @@ func (s *SkipSet) ValidateWithLocks(tx *Tx) bool {
 			}
 			v := n.lock.Sample()
 			if spin.IsLocked(v) {
+				tx.tr.ValidateFail(traceKey(n.key))
 				return false
 			}
 			st.lockSnap = append(st.lockSnap, v)
@@ -331,6 +333,7 @@ func (s *SkipSet) ValidateWithLocks(tx *Tx) bool {
 				continue
 			}
 			if n.lock.Sample() != v {
+				tx.tr.ValidateFail(traceKey(n.key))
 				return false
 			}
 		}
@@ -346,10 +349,21 @@ func (s *SkipSet) ValidateWithoutLocks(tx *Tx) bool {
 	}
 	for i := range st.reads {
 		if !st.reads[i].check() {
+			tx.tr.ValidateFail(traceKey(st.reads[i].traceNode().key))
 			return false
 		}
 	}
 	return true
+}
+
+// traceNode names a read entry for conflict attribution: the key's own
+// node when the read saw it present, otherwise the bottom-level successor
+// bounding the searched range (curr is nil for absent reads).
+func (e *skipRead) traceNode() *snode {
+	if e.curr != nil {
+		return e.curr
+	}
+	return e.succs[0]
 }
 
 // PreCommit locks, in allocation order, the distinct predecessor towers of
@@ -381,8 +395,10 @@ func (s *SkipSet) PreCommit(tx *Tx) {
 	for _, n := range toLock {
 		if _, ok := n.lock.TryLock(); !ok {
 			tx.Counters().IncCAS()
+			tx.tr.LockBusy(traceKey(n.key))
 			abort.Retry(abort.LockBusy)
 		}
+		tx.tr.Lock(traceKey(n.key))
 		st.locked = append(st.locked, n)
 	}
 }
@@ -440,6 +456,7 @@ func (s *SkipSet) PostCommit(tx *Tx) {
 	}
 	for _, n := range st.locked {
 		n.lock.Unlock()
+		tx.tr.Unlock(traceKey(n.key))
 	}
 	st.locked = st.locked[:0]
 }

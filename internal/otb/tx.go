@@ -35,6 +35,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Failpoints on the OTB validation and commit paths; disarmed they are one
@@ -90,6 +91,7 @@ type Tx struct {
 	state    map[Datastructure]any
 	ctr      *spin.Counters
 	tel      *telemetry.Local // standalone (Atomic) recording handle; may be nil
+	tr       *trace.Local     // flight-recorder handle; may be nil
 
 	// validator, when non-nil, replaces the default post-validation
 	// strategy (ValidateWithLocks on every attached structure). The
@@ -108,6 +110,16 @@ func NewTx(ctr *spin.Counters) *Tx {
 // SetValidator replaces the post-validation strategy (the paper's
 // onOperationValidate). Passing nil restores the standalone default.
 func (tx *Tx) SetValidator(f func(*Tx)) { tx.validator = f }
+
+// SetTraceLocal attaches a flight-recorder handle so the semantic layer's
+// operations, lock acquisitions and validation failures are traced into the
+// caller's span. Integration contexts install their own handle here;
+// standalone descriptors get one from the pool. Nil is a valid no-op handle.
+func (tx *Tx) SetTraceLocal(l *trace.Local) { tx.tr = l }
+
+// Trace returns the transaction's flight-recorder handle (possibly nil; all
+// its methods are nil-safe).
+func (tx *Tx) Trace() *trace.Local { return tx.tr }
 
 // HasSemanticWrites reports whether any attached structure has pending
 // semantic writes.
@@ -224,6 +236,7 @@ func (tx *Tx) PostValidate() {
 	if !tx.ValidateAllWithLocks() {
 		abort.Retry(abort.Conflict)
 	}
+	tx.tr.Validated()
 }
 
 // Commit runs the standalone two-phase commit across all attached
@@ -241,6 +254,7 @@ func (tx *Tx) Commit() {
 			abort.Retry(abort.Conflict)
 		}
 	}
+	tx.tr.Validated()
 	for _, ds := range tx.attached {
 		ds.OnCommit(tx)
 	}
@@ -279,8 +293,13 @@ func SetManager(m *cm.Manager) { cmgr.Store(m) }
 var txPool = sync.Pool{New: func() any {
 	tx := NewTx(nil)
 	tx.tel = meter.Local()
+	tx.tr = traceSrc.Local()
 	return tx
 }}
+
+// traceSrc is the standalone-OTB flight-recorder source; integration
+// contexts record under their own names via SetTraceLocal.
+var traceSrc = trace.S("OTB")
 
 // Atomic runs fn as a standalone OTB transaction, retrying on abort until
 // it commits. Stats may be nil.
@@ -314,21 +333,30 @@ func AtomicCtrCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, f
 		txPool.Put(tx)
 	}()
 	start := tx.tel.Start()
+	tx.tr.TxStart()
+	defer tx.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, stats, cm.Or(cmgr.Load()),
-		func() { tx.Reset() },
+		func() {
+			tx.Reset()
+			tx.tr.AttemptStart()
+		},
 		func() {
 			fn(tx)
 			cs := tx.tel.Start()
+			tx.tr.CommitBegin()
 			tx.Commit()
+			tx.tr.CommitEnd()
 			tx.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			tx.Rollback()
 			tx.tel.Abort(r)
+			tx.tr.Abort(r)
 		},
 	)
 	if escalated {
 		tx.tel.Escalated()
+		tx.tr.Escalated()
 	}
 	if err != nil {
 		return err

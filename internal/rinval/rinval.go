@@ -32,6 +32,7 @@ import (
 	"repro/internal/stm"
 	"repro/internal/stm/invalstm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Failpoints on the RInval commit paths.
@@ -104,8 +105,9 @@ type STM struct {
 		commits atomic.Uint64
 		aborts  atomic.Uint64
 	}
-	stop atomic.Bool
-	wg   sync.WaitGroup
+	stop     atomic.Bool
+	wg       sync.WaitGroup
+	traceSrc *trace.Source
 }
 
 // New creates an RInval instance of the given version with the default
@@ -124,8 +126,9 @@ func NewWithClients(version Version, n int) *STM {
 	s.invalReq.Store(-1)
 	mtr := telemetry.M(s.Name())
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
+	s.traceSrc = trace.S(s.Name())
 	for i := 0; i < n; i++ {
-		s.clients <- &client{s: s, tx: &txDesc{slot: i}, tel: mtr.Local()}
+		s.clients <- &client{s: s, tx: &txDesc{slot: i}, tel: mtr.Local(), tr: s.traceSrc.Local()}
 	}
 	s.wg.Add(1)
 	go s.commitServer()
@@ -178,6 +181,7 @@ type client struct {
 	s   *STM
 	tx  *txDesc
 	tel *telemetry.Local
+	tr  *trace.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -202,12 +206,16 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 		d.Active.Store(false)
 		s.clients <- c
 	}()
+	c.tr.TxStart()
+	defer c.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		c.begin,
 		func() {
 			fn(c)
 			cs := c.tel.Start()
+			c.tr.CommitBegin()
 			c.commit()
+			c.tr.CommitEnd()
 			c.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
@@ -215,10 +223,12 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 				d.Starved.Add(1)
 			}
 			s.stats.aborts.Add(1)
+			c.tr.Abort(r)
 			c.tel.Abort(r)
 		},
 	)
 	if escalated {
+		c.tr.Escalated()
 		c.tel.Escalated()
 	}
 	if err != nil {
@@ -231,6 +241,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 }
 
 func (c *client) begin() {
+	c.tr.AttemptStart()
 	d := &c.s.descs[c.tx.slot]
 	d.ClearFilter()
 	d.Invalidated.Store(false)
@@ -254,6 +265,7 @@ func (c *client) Read(cell *mem.Cell) uint64 {
 		v := cell.Load()
 		if c.s.clock.Load() == ts {
 			if d.Invalidated.Load() {
+				c.tr.ValidateFail(cell.ID())
 				abort.Retry(abort.Invalidated)
 			}
 			return v
@@ -284,6 +296,7 @@ func (c *client) commit() {
 	d := &c.s.descs[c.tx.slot]
 	if c.tx.writes.Len() == 0 {
 		if d.Invalidated.Load() {
+			c.tr.ValidateFail(0)
 			abort.Retry(abort.Invalidated)
 		}
 		return
@@ -293,14 +306,17 @@ func (c *client) commit() {
 	defer c.s.prof.AddCommit(start)
 	req := &c.s.reqs[c.tx.slot]
 	req.tx = c.tx
+	qs := c.tr.Now()
 	req.state.Store(statePending)
 	var b spin.Backoff
 	for {
 		st := req.state.Load()
 		if st == stateReady {
+			c.tr.QueueWait(qs)
 			return
 		}
 		if st == stateAborted {
+			c.tr.QueueWait(qs)
 			abort.Retry(abort.Invalidated)
 		}
 		c.s.ctr.IncSpin()
@@ -311,6 +327,7 @@ func (c *client) commit() {
 // commitServer executes commit requests serially.
 func (s *STM) commitServer() {
 	defer s.wg.Done()
+	tr := s.traceSrc.Local()
 	var b spin.Backoff
 	for !s.stop.Load() {
 		progressed := false
@@ -335,7 +352,7 @@ func (s *STM) commitServer() {
 				req.state.Store(stateAborted)
 				continue
 			}
-			s.dispatch(req, t)
+			s.dispatch(req, t, tr)
 		}
 		if !progressed {
 			b.Wait()
@@ -350,7 +367,7 @@ func (s *STM) commitServer() {
 // opens, so nothing is held; the request is aborted — the client retries —
 // and the server keeps running. Anything else still crashes: a real bug in
 // a commit routine must stay loud.
-func (s *STM) dispatch(req *request, t *txDesc) {
+func (s *STM) dispatch(req *request, t *txDesc, tr *trace.Local) {
 	defer func() {
 		p := recover()
 		if p == nil {
@@ -361,6 +378,12 @@ func (s *STM) dispatch(req *request, t *txDesc) {
 		}
 		req.state.Store(stateAborted)
 	}()
+	// A dispatched request is one span on the server's track: execute time
+	// is the server-side complement of the client's queue wait.
+	tr.TxStart()
+	defer tr.TxEnd()
+	es := tr.Now()
+	defer tr.Execute(es)
 	fpServerDrop.Hit()
 	switch s.version {
 	case V1:

@@ -27,6 +27,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Failpoints on the RTC commit paths.
@@ -111,8 +112,9 @@ type STM struct {
 		aborts      atomic.Uint64
 		secondaries atomic.Uint64 // commits executed by secondary servers
 	}
-	stop atomic.Bool
-	wg   sync.WaitGroup
+	stop     atomic.Bool
+	wg       sync.WaitGroup
+	traceSrc *trace.Source
 }
 
 // New creates an RTC instance with one main server and opts.Secondaries
@@ -136,9 +138,11 @@ func New(opts Options) *STM {
 	s.mainReq.Store(-1)
 	mtr := telemetry.M("RTC")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
+	src := trace.S("RTC")
 	for i := 0; i < n; i++ {
-		s.clients <- &client{s: s, slot: i, tx: &txDesc{}, tel: mtr.Local()}
+		s.clients <- &client{s: s, slot: i, tx: &txDesc{}, tel: mtr.Local(), tr: src.Local()}
 	}
+	s.traceSrc = src
 	s.wg.Add(1)
 	go s.mainServer()
 	for k := 0; k < opts.Secondaries; k++ {
@@ -183,6 +187,7 @@ type client struct {
 	slot int
 	tx   *txDesc
 	tel  *telemetry.Local
+	tr   *trace.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -198,21 +203,27 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	defer func() { s.clients <- c }()
 	c.tx.attempts = 0
 	start := c.tel.Start()
+	c.tr.TxStart()
+	defer c.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		c.begin,
 		func() {
 			fn(c)
 			cs := c.tel.Start()
+			c.tr.CommitBegin()
 			c.commit()
+			c.tr.CommitEnd()
 			c.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			c.tx.attempts++
 			s.stats.aborts.Add(1)
+			c.tr.Abort(r)
 			c.tel.Abort(r)
 		},
 	)
 	if escalated {
+		c.tr.Escalated()
 		c.tel.Escalated()
 	}
 	if err != nil {
@@ -224,6 +235,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 }
 
 func (c *client) begin() {
+	c.tr.AttemptStart()
 	t := c.tx
 	t.reads = t.reads[:0]
 	t.writes.Reset()
@@ -269,6 +281,7 @@ func (c *client) validate() uint64 {
 		}
 		for i := range c.tx.reads {
 			if c.tx.reads[i].Cell.Load() != c.tx.reads[i].Val {
+				c.tr.ValidateFail(c.tx.reads[i].Cell.ID())
 				abort.Retry(abort.Conflict)
 			}
 		}
@@ -287,18 +300,22 @@ func (c *client) commit() {
 	fpCommitPre.Hit()
 	if !serverValidateWouldPass(c.tx) {
 		// Cheap pre-check to spare the server a doomed request.
+		c.tr.ValidateFail(0)
 		abort.Retry(abort.Conflict)
 	}
 	req := &c.s.reqs[c.slot]
 	req.tx = c.tx
+	qs := c.tr.Now()
 	req.state.Store(statePending)
 	var b spin.Backoff
 	for {
 		st := req.state.Load()
 		if st == stateReady {
+			c.tr.QueueWait(qs)
 			return
 		}
 		if st == stateAborted {
+			c.tr.QueueWait(qs)
 			abort.Retry(abort.Conflict)
 		}
 		c.s.ctr.IncSpin()
@@ -323,15 +340,16 @@ func serverValidateWouldPass(t *txDesc) bool {
 // sweeps the array in slot order.
 func (s *STM) mainServer() {
 	defer s.wg.Done()
+	tr := s.traceSrc.Local()
 	var b spin.Backoff
 	for !s.stop.Load() {
 		progressed := false
 		if s.fair {
-			progressed = s.serveMostStarved()
+			progressed = s.serveMostStarved(tr)
 		} else {
 			for i := range s.reqs {
 				if s.reqs[i].state.Load() == statePending {
-					s.serve(i)
+					s.serve(i, tr)
 					progressed = true
 				}
 			}
@@ -346,7 +364,7 @@ func (s *STM) mainServer() {
 
 // serveMostStarved picks the pending request with the most aborted
 // attempts (ties to the lowest slot) and serves it.
-func (s *STM) serveMostStarved() bool {
+func (s *STM) serveMostStarved(tr *trace.Local) bool {
 	best := -1
 	var bestAttempts uint32
 	for i := range s.reqs {
@@ -361,7 +379,7 @@ func (s *STM) serveMostStarved() bool {
 	if best == -1 {
 		return false
 	}
-	s.serve(best)
+	s.serve(best, tr)
 	return true
 }
 
@@ -370,7 +388,7 @@ func (s *STM) serveMostStarved() bool {
 // the clock is touched, so nothing is held; the request is aborted — the
 // client retries — and the server keeps running. Anything else still
 // crashes: a real bug in the commit protocol must stay loud.
-func (s *STM) serve(i int) {
+func (s *STM) serve(i int, tr *trace.Local) {
 	req := &s.reqs[i]
 	defer func() {
 		p := recover()
@@ -382,6 +400,12 @@ func (s *STM) serve(i int) {
 		}
 		req.state.Store(stateAborted)
 	}()
+	// A served request is one span on the server's track: execute time is
+	// the server-side complement of the client's queue wait.
+	tr.TxStart()
+	defer tr.TxEnd()
+	es := tr.Now()
+	defer tr.Execute(es)
 	fpServerDrop.Hit()
 	t := req.tx
 	if !serverValidateWouldPass(t) {
@@ -440,6 +464,7 @@ func (s *STM) commitDD(i int, req *request, t *txDesc) {
 // and executes them concurrently with the main server (Algorithm 11).
 func (s *STM) secondaryServer() {
 	defer s.wg.Done()
+	tr := s.traceSrc.Local()
 	var b spin.Backoff
 	for !s.stop.Load() {
 		if !s.ddActive.Load() {
@@ -461,7 +486,14 @@ func (s *STM) secondaryServer() {
 			if req.state.Load() != statePending {
 				continue
 			}
-			if s.trySecondaryCommit(ts, req) {
+			tr.TxStart()
+			es := tr.Now()
+			served := s.trySecondaryCommit(ts, req)
+			if served {
+				tr.Execute(es)
+			}
+			tr.TxEnd()
+			if served {
 				progressed = true
 				break // one commit per window per detector
 			}

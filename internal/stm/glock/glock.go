@@ -16,7 +16,12 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// lockTraceKey tags flight-recorder lock events for the single global
+// mutex, which has no per-cell identity.
+const lockTraceKey = 1<<60 | 2
 
 // fpCommitPre fires at the end of the body, with the global mutex held and
 // in-place writes applied; recovery must replay the undo log (the deferred
@@ -35,6 +40,8 @@ type STM struct {
 	// tel is shared by all transactions: the global mutex already
 	// serializes them, so one shard sees no contention.
 	tel *telemetry.Local
+	// tr is shared for the same reason.
+	tr *trace.Local
 }
 
 // New creates a global-lock instance.
@@ -43,6 +50,7 @@ func New() *STM {
 	mtr := telemetry.M("CGL")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	s.tel = mtr.Local()
+	s.tr = trace.S("CGL").Local()
 	return s
 }
 
@@ -94,8 +102,15 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := s.tel.Start()
+	s.tr.TxStart()
+	defer s.tr.TxEnd()
+	s.tr.Lock(lockTraceKey)
+	defer s.tr.Unlock(lockTraceKey)
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		func() { t.undo = t.undo[:0] },
+		func() {
+			t.undo = t.undo[:0]
+			s.tr.AttemptStart()
+		},
 		func() {
 			fn(t)
 			fpCommitPre.Hit()
@@ -105,10 +120,12 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 				t.undo[i].Cell.Store(t.undo[i].Val)
 			}
 			s.stats.aborts.Add(1)
+			s.tr.Abort(r)
 			s.tel.Abort(r)
 		},
 	)
 	if escalated {
+		s.tr.Escalated()
 		s.tel.Escalated()
 	}
 	if err != nil {

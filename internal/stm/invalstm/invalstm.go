@@ -19,7 +19,12 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// clockTraceKey tags flight-recorder lock events for the single global
+// commit lock, which has no per-cell identity.
+const clockTraceKey = 1<<60 | 1
 
 // fpCommitLocked fires with the global lock held, before victims are chosen
 // or anything is published; recovery must restore the pre-lock timestamp
@@ -98,7 +103,10 @@ func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("InvalSTM")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
-	s.pool.New = func() any { return &tx{s: s, slot: -1, tel: mtr.Local()} }
+	src := trace.S("InvalSTM")
+	s.pool.New = func() any {
+		return &tx{s: s, slot: -1, tel: mtr.Local(), tr: src.Local()}
+	}
 	return s
 }
 
@@ -133,6 +141,7 @@ type tx struct {
 	writeF     bloom.Filter
 	writes     stm.WriteSet
 	tel        *telemetry.Local
+	tr         *trace.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -153,12 +162,16 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
@@ -167,10 +180,12 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 				s.descs[t.slot].Starved.Add(1)
 			}
 			s.stats.aborts.Add(1)
+			t.tr.Abort(r)
 			t.tel.Abort(r)
 		},
 	)
 	if escalated {
+		t.tr.Escalated()
 		t.tel.Escalated()
 	}
 	if err != nil {
@@ -218,6 +233,7 @@ func (t *tx) releaseSlot() {
 }
 
 func (t *tx) begin() {
+	t.tr.AttemptStart()
 	d := &t.s.descs[t.slot]
 	d.ClearFilter()
 	d.Invalidated.Store(false)
@@ -243,6 +259,7 @@ func (t *tx) Read(c *mem.Cell) uint64 {
 		v := c.Load()
 		if t.s.clock.Load() == ts {
 			if d.Invalidated.Load() {
+				t.tr.ValidateFail(c.ID())
 				abort.Retry(abort.Invalidated)
 			}
 			return v
@@ -275,6 +292,7 @@ func (t *tx) commit() {
 	d := t.desc()
 	if t.writes.Len() == 0 {
 		if d.Invalidated.Load() {
+			t.tr.ValidateFail(0)
 			abort.Retry(abort.Invalidated)
 		}
 		return
@@ -282,11 +300,14 @@ func (t *tx) commit() {
 	start := t.s.prof.Now()
 	t.s.clock.Lock(&t.s.ctr)
 	t.holdsClock = true
+	t.tr.Lock(clockTraceKey)
 	fpCommitLocked.Hit()
 	if d.Invalidated.Load() {
 		t.holdsClock = false
 		t.s.clock.Unlock()
+		t.tr.Unlock(clockTraceKey)
 		t.s.prof.AddCommit(start)
+		t.tr.ValidateFail(0)
 		abort.Retry(abort.Invalidated)
 	}
 	// First pass (before publishing): find the victims, and let the
@@ -305,7 +326,9 @@ func (t *tx) commit() {
 		if !serial && ShouldDefer(od, i, mine, t.slot) {
 			t.holdsClock = false
 			t.s.clock.Unlock()
+			t.tr.Unlock(clockTraceKey)
 			t.s.prof.AddCommit(start)
+			t.tr.NoteKey(0)
 			abort.Retry(abort.Invalidated)
 		}
 		victims = append(victims, od)
@@ -316,6 +339,7 @@ func (t *tx) commit() {
 	}
 	t.s.clock.Unlock()
 	t.holdsClock = false
+	t.tr.Unlock(clockTraceKey)
 	t.s.prof.AddCommit(start)
 }
 

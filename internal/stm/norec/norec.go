@@ -26,6 +26,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Failpoints on the NOrec validation and commit paths.
@@ -57,7 +58,8 @@ func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("NOrec")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
-	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
+	src := trace.S("NOrec")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local(), tr: src.Local()} }
 	return s
 }
 
@@ -97,6 +99,7 @@ type tx struct {
 	reads      []stm.ReadEntry
 	writes     stm.WriteSet
 	tel        *telemetry.Local
+	tr         *trace.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -114,22 +117,28 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			t.rollback()
 			s.stats.aborts.Add(1)
 			t.tel.Abort(r)
+			t.tr.Abort(r)
 		},
 	)
 	if escalated {
 		t.tel.Escalated()
+		t.tr.Escalated()
 	}
 	if err != nil {
 		return err
@@ -152,6 +161,7 @@ func (t *tx) rollback() {
 }
 
 func (t *tx) begin() {
+	t.tr.AttemptStart()
 	t.reads = t.reads[:0]
 	t.writes.Reset()
 	t.snapshot = t.s.clock.WaitUnlocked(&t.s.ctr)
@@ -193,10 +203,12 @@ func (t *tx) validate() uint64 {
 		}
 		for i := range t.reads {
 			if t.reads[i].Cell.Load() != t.reads[i].Val {
+				t.tr.ValidateFail(t.reads[i].Cell.ID())
 				abort.Retry(abort.Conflict)
 			}
 		}
 		if ts == t.s.clock.Load() {
+			t.tr.Validated()
 			return ts
 		}
 	}

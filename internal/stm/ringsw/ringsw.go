@@ -22,6 +22,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // fpCommitLocked fires with the writer lock held, before the ring slot is
@@ -59,7 +60,8 @@ func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("RingSW")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
-	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
+	src := trace.S("RingSW")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local(), tr: src.Local()} }
 	return s
 }
 
@@ -95,6 +97,7 @@ type tx struct {
 	writeF     bloom.Filter
 	writes     stm.WriteSet
 	tel        *telemetry.Local
+	tr         *trace.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -113,22 +116,28 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			t.rollback()
 			s.stats.aborts.Add(1)
 			t.tel.Abort(r)
+			t.tr.Abort(r)
 		},
 	)
 	if escalated {
 		t.tel.Escalated()
+		t.tr.Escalated()
 	}
 	if err != nil {
 		return err
@@ -150,6 +159,7 @@ func (t *tx) rollback() {
 }
 
 func (t *tx) begin() {
+	t.tr.AttemptStart()
 	t.readF.Clear()
 	t.writeF.Clear()
 	t.writes.Reset()
@@ -198,6 +208,9 @@ func (t *tx) validateRing() {
 				abort.Retry(abort.Conflict) // slot reused under us
 			}
 			if t.intersectsSlot(sl) {
+				// Bloom intersection cannot name the cell; the ring slot's
+				// commit timestamp is the closest attribution available.
+				t.tr.ValidateFail(0)
 				abort.Retry(abort.Conflict)
 			}
 			if sl.ts.Load() != e {
@@ -206,6 +219,7 @@ func (t *tx) validateRing() {
 		}
 		if t.s.clock.Load() == ts {
 			t.snapshot = ts
+			t.tr.Validated()
 			return
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // fpCommitLocked fires with the write-set orecs locked, before anything is
@@ -67,7 +68,8 @@ func New() *STM {
 	s := &STM{orecs: make([]orec, orecCount)}
 	mtr := telemetry.M("TL2")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
-	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
+	src := trace.S("TL2")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local(), tr: src.Local()} }
 	return s
 }
 
@@ -105,6 +107,10 @@ func (s *STM) orecFor(c *mem.Cell) *orec {
 	return &s.orecs[orecIdx(c)]
 }
 
+// orecTraceKey names an orec stripe in flight-recorder attributions. The
+// high tag bit keeps stripe keys disjoint from cell ids in conflict tables.
+func orecTraceKey(idx int) uint64 { return uint64(idx) | 1<<62 }
+
 // tx is a TL2 transaction descriptor.
 type tx struct {
 	s      *STM
@@ -113,6 +119,7 @@ type tx struct {
 	writes stm.WriteSet
 	locked []lockedOrec
 	tel    *telemetry.Local
+	tr     *trace.Local
 }
 
 type lockedOrec struct {
@@ -135,22 +142,28 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			t.releaseLocked(true)
 			s.stats.aborts.Add(1)
 			t.tel.Abort(r)
+			t.tr.Abort(r)
 		},
 	)
 	if escalated {
 		t.tel.Escalated()
+		t.tr.Escalated()
 	}
 	if err != nil {
 		return err
@@ -162,6 +175,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 }
 
 func (t *tx) begin() {
+	t.tr.AttemptStart()
 	t.reset()
 	t.rv = t.s.clock.Load()
 }
@@ -182,6 +196,7 @@ func (t *tx) Read(c *mem.Cell) uint64 {
 	val := c.Load()
 	v2 := o.v.Load()
 	if v1 != v2 || orecLocked(v1) || orecVersion(v1) > t.rv {
+		t.tr.ValidateFail(c.ID())
 		abort.Retry(abort.Conflict)
 	}
 	t.reads = append(t.reads, o)
@@ -239,8 +254,10 @@ func (t *tx) lockWriteSet() {
 		v := l.o.v.Load()
 		if orecLocked(v) || orecVersion(v) > t.rv || !l.o.v.CompareAndSwap(v, v|1) {
 			t.s.ctr.IncCAS()
+			t.tr.LockBusy(orecTraceKey(l.idx))
 			abort.Retry(abort.LockBusy)
 		}
+		t.tr.Lock(orecTraceKey(l.idx))
 		t.locked = append(t.locked, lockedOrec{o: l.o, idx: l.idx, old: v})
 	}
 }
@@ -263,6 +280,7 @@ func (t *tx) validateReads() {
 			abort.Retry(abort.Conflict)
 		}
 	}
+	t.tr.Validated()
 }
 
 // ownedOld reports whether this transaction holds o, returning the pre-lock

@@ -17,6 +17,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // fpCommitLocked fires at writer commit, with the global lock held and all
@@ -41,7 +42,8 @@ func New() *STM {
 	s := &STM{}
 	mtr := telemetry.M("TML")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
-	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local()} }
+	src := trace.S("TML")
+	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local(), tr: src.Local()} }
 	return s
 }
 
@@ -78,6 +80,7 @@ type tx struct {
 	writer   bool
 	undo     []stm.WriteEntry
 	tel      *telemetry.Local
+	tr       *trace.Local
 }
 
 // Atomic implements stm.Algorithm.
@@ -95,22 +98,28 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	}()
 	total := s.prof.Now()
 	start := t.tel.Start()
+	t.tr.TxStart()
+	defer t.tr.TxEnd()
 	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
 		t.begin,
 		func() {
 			fn(t)
 			cs := t.tel.Start()
+			t.tr.CommitBegin()
 			t.commit()
+			t.tr.CommitEnd()
 			t.tel.CommitPhase(cs)
 		},
 		func(r abort.Reason) {
 			t.rollback()
 			s.stats.aborts.Add(1)
 			t.tel.Abort(r)
+			t.tr.Abort(r)
 		},
 	)
 	if escalated {
 		t.tel.Escalated()
+		t.tr.Escalated()
 	}
 	if err != nil {
 		return err
@@ -122,6 +131,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 }
 
 func (t *tx) begin() {
+	t.tr.AttemptStart()
 	t.writer = false
 	t.undo = t.undo[:0]
 	t.snapshot = t.s.clock.WaitUnlocked(&t.s.ctr)
@@ -132,6 +142,7 @@ func (t *tx) begin() {
 func (t *tx) Read(c *mem.Cell) uint64 {
 	v := c.Load()
 	if !t.writer && t.s.clock.Load() != t.snapshot {
+		t.tr.ValidateFail(c.ID())
 		abort.Retry(abort.Conflict)
 	}
 	return v
@@ -143,8 +154,10 @@ func (t *tx) Write(c *mem.Cell, v uint64) {
 	if !t.writer {
 		if !t.s.clock.TryLock(t.snapshot) {
 			t.s.ctr.IncCAS()
+			t.tr.LockBusy(c.ID())
 			abort.Retry(abort.LockBusy)
 		}
+		t.tr.Lock(c.ID())
 		t.writer = true
 	}
 	t.undo = append(t.undo, stm.WriteEntry{Cell: c, Val: c.Load()})

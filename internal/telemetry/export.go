@@ -25,7 +25,7 @@ func (r *Registry) Vars() map[string]any {
 		aborts := make(map[string]uint64, abort.NumReasons)
 		for rr := abort.Reason(0); rr < abort.NumReasons; rr++ {
 			if s.Aborts[rr] != 0 {
-				aborts[rr.String()] = s.Aborts[rr]
+				aborts[ReasonName(rr)] = s.Aborts[rr]
 			}
 		}
 		out[s.Name] = map[string]any{
@@ -78,17 +78,38 @@ func (r *Registry) Do(name string, f func()) {
 	pprof.Do(context.Background(), pprof.Labels("algorithm", name), func(context.Context) { f() })
 }
 
+// sectionsMu guards sections; sections holds extra table renderers appended
+// after the abort-reason table (see RegisterSection).
+var (
+	sectionsMu sync.Mutex
+	sections   []func(io.Writer)
+)
+
+// RegisterSection appends a renderer to every WriteTable output. It exists so
+// observability layers above telemetry (the trace package's conflict
+// attribution table) can extend the shared report without telemetry importing
+// them. Renderers that have nothing to say should write nothing.
+func RegisterSection(f func(io.Writer)) {
+	if f == nil {
+		return
+	}
+	sectionsMu.Lock()
+	sections = append(sections, f)
+	sectionsMu.Unlock()
+}
+
 // WriteTable renders the snapshots as an aligned abort-reason table, one row
 // per meter with recorded activity:
 //
 //	algorithm   cm   commits   aborts   rate   conflict   lock-busy   invalidated   explicit   timeout   fallbacks   escalated   p50   p99
 //
 // It is shared by cmd/stmbench, cmd/reproduce and the bench figure drivers.
+// Registered sections (RegisterSection) are appended after the table.
 func WriteTable(w io.Writer, snaps []MeterSnapshot) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "algorithm\tcm\tcommits\taborts\trate")
 	for r := abort.Reason(0); r < abort.NumReasons; r++ {
-		fmt.Fprintf(tw, "\t%s", r)
+		fmt.Fprintf(tw, "\t%s", ReasonName(r))
 	}
 	fmt.Fprint(tw, "\tfallbacks\tescalated\ttx-p50\ttx-p99\tcommit-p50\n")
 	for _, s := range snaps {
@@ -108,4 +129,10 @@ func WriteTable(w io.Writer, snaps []MeterSnapshot) {
 			s.CommitLatency.Quantile(0.50))
 	}
 	tw.Flush()
+	sectionsMu.Lock()
+	extra := sections
+	sectionsMu.Unlock()
+	for _, f := range extra {
+		f(w)
+	}
 }

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/abort"
+)
+
+// BenchmarkRegistrySnapshot guards the Snapshot read path: the meter list is
+// pre-sorted at registration, so a snapshot is a copy + shard sum with no
+// per-call sorting or name formatting.
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	for _, name := range []string{"NOrec", "TL2", "OTB-list", "OTB-skip", "TML", "RingSW"} {
+		l := r.Meter(name).Local()
+		l.Commit(0)
+		l.Abort(abort.Conflict)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.Snapshot()) != 6 {
+			b.Fatal("lost a meter")
+		}
+	}
+}
+
+// TestSnapshotAllocs pins the allocation count of Registry.Snapshot: one
+// for the meter-list copy, one for the snapshot slice, and one per meter for
+// the two histogram snapshots' bucket copies. A regression that reintroduces
+// per-call sorting closures or name formatting shows up here.
+func TestSnapshotAllocs(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	const meters = 4
+	for _, name := range []string{"a", "b", "c", "d"} {
+		r.Meter(name).Local().Commit(0)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		if len(r.Snapshot()) != meters {
+			t.Fatal("lost a meter")
+		}
+	})
+	// meter-list copy + snapshot slice + 2 histogram bucket copies per meter.
+	const max = 2 + 2*meters
+	if got > max {
+		t.Fatalf("Registry.Snapshot allocates %v times per call, want <= %d", got, max)
+	}
+}
+
+// TestSnapshotSorted verifies registration order does not leak into snapshot
+// order now that the sort happens at insertion.
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		r.Meter(name)
+	}
+	snaps := r.Snapshot()
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	if len(snaps) != len(want) {
+		t.Fatalf("got %d meters, want %d", len(snaps), len(want))
+	}
+	for i, s := range snaps {
+		if s.Name != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+// TestReasonName checks the precomputed table matches the String method.
+func TestReasonName(t *testing.T) {
+	for rr := abort.Reason(0); rr < abort.NumReasons; rr++ {
+		if ReasonName(rr) != rr.String() {
+			t.Fatalf("ReasonName(%d) = %q, want %q", rr, ReasonName(rr), rr.String())
+		}
+	}
+	if ReasonName(abort.NumReasons) != "unknown" || ReasonName(-1) != "unknown" {
+		t.Fatal("out-of-range reasons should name as unknown")
+	}
+}

@@ -291,12 +291,32 @@ func (m *Meter) Reset() {
 // cheap.
 const defaultShards = 32
 
+// reasonNames is the abort-reason name list, computed once at package init
+// so snapshot/export paths never re-derive it per call.
+var reasonNames = func() [abort.NumReasons]string {
+	var out [abort.NumReasons]string
+	for r := abort.Reason(0); r < abort.NumReasons; r++ {
+		out[r] = r.String()
+	}
+	return out
+}()
+
+// ReasonName returns the precomputed name of an abort reason (equivalent to
+// r.String(), without the per-call formatting work).
+func ReasonName(r abort.Reason) string {
+	if r < 0 || r >= abort.NumReasons {
+		return "unknown"
+	}
+	return reasonNames[r]
+}
+
 // Registry is a named collection of meters sharing one enabled flag.
 // The zero value is not usable; call NewRegistry.
 type Registry struct {
 	on     atomic.Bool
 	mu     sync.Mutex
 	meters map[string]*Meter
+	sorted []*Meter // meters ordered by name, maintained at insertion
 }
 
 // NewRegistry creates an empty, disabled registry.
@@ -317,6 +337,12 @@ func (r *Registry) Meter(name string) *Meter {
 	if !ok {
 		m = &Meter{name: name, on: &r.on, shards: make([]shard, defaultShards)}
 		r.meters[name] = m
+		// Keep the meter list sorted at insertion (meter creation is rare
+		// and one-time) so Snapshot never sorts on the read path.
+		i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].name >= name })
+		r.sorted = append(r.sorted, nil)
+		copy(r.sorted[i+1:], r.sorted[i:])
+		r.sorted[i] = m
 	}
 	return m
 }
@@ -331,23 +357,30 @@ func (r *Registry) SetEnabled(on bool) {
 // Enabled reports whether the registry is recording.
 func (r *Registry) Enabled() bool { return r != nil && r.on.Load() }
 
+// meterList returns the registry's meters ordered by name. The order is
+// maintained at insertion, so this is a copy, not a sort.
+func (r *Registry) meterList() []*Meter {
+	r.mu.Lock()
+	out := make([]*Meter, len(r.sorted))
+	copy(out, r.sorted)
+	r.mu.Unlock()
+	return out
+}
+
 // Snapshot returns a snapshot of every meter, sorted by name. Meters with
-// no recorded activity are included (callers filter if they care).
+// no recorded activity are included (callers filter if they care). The name
+// order comes from the registration-time sorted list; Snapshot itself does
+// no per-call sorting (guarded by BenchmarkRegistrySnapshot and
+// TestSnapshotAllocs).
 func (r *Registry) Snapshot() []MeterSnapshot {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	meters := make([]*Meter, 0, len(r.meters))
-	for _, m := range r.meters {
-		meters = append(meters, m)
-	}
-	r.mu.Unlock()
+	meters := r.meterList()
 	out := make([]MeterSnapshot, 0, len(meters))
 	for _, m := range meters {
 		out = append(out, m.Snapshot())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -356,13 +389,7 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	meters := make([]*Meter, 0, len(r.meters))
-	for _, m := range r.meters {
-		meters = append(meters, m)
-	}
-	r.mu.Unlock()
-	for _, m := range meters {
+	for _, m := range r.meterList() {
 		m.Reset()
 	}
 }

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"text/tabwriter"
+)
+
+// conflictSlots sizes each source's attribution table. 1024 distinct
+// contended keys per runtime is far beyond any workload here; overflow is
+// counted, not dropped silently.
+const conflictSlots = 1024
+
+// conflictSlot is one open-addressed table entry. Key 0 means empty —
+// attribution keys are defined to be nonzero (cell ids start at 1; OTB
+// keys exclude the sentinels; key 0 means "unattributed").
+type conflictSlot struct {
+	key    atomic.Uint64
+	aborts atomic.Uint64
+	waitNS atomic.Uint64
+}
+
+// conflictTable counts aborts per contended key with lock-free
+// open-addressed probing. Abort counts cover every transaction while the
+// recorder is enabled; wait-time sums come from sampled attempts only
+// (unsampled transactions carry no start timestamp).
+type conflictTable struct {
+	slots    [conflictSlots]conflictSlot
+	overflow atomic.Uint64
+}
+
+// note charges one abort (and waitNs of lost attempt time) to key.
+func (t *conflictTable) note(key uint64, waitNs uint64) {
+	h := splitmix64(key)
+	for i := uint64(0); i < 32; i++ {
+		s := &t.slots[(h+i)&(conflictSlots-1)]
+		k := s.key.Load()
+		if k == 0 {
+			if !s.key.CompareAndSwap(0, key) {
+				k = s.key.Load()
+				if k != key {
+					continue
+				}
+			}
+		} else if k != key {
+			continue
+		}
+		s.aborts.Add(1)
+		s.waitNS.Add(waitNs)
+		return
+	}
+	t.overflow.Add(1)
+}
+
+func (t *conflictTable) reset() {
+	for i := range t.slots {
+		t.slots[i].key.Store(0)
+		t.slots[i].aborts.Store(0)
+		t.slots[i].waitNS.Store(0)
+	}
+	t.overflow.Store(0)
+}
+
+// ConflictEntry is one row of the conflict attribution table.
+type ConflictEntry struct {
+	// Runtime is the owning source's name.
+	Runtime string
+	// Key is the contended key / node / cell id.
+	Key uint64
+	// Aborts counts attempts aborted with this key attributed.
+	Aborts uint64
+	// WaitNS sums the lifetimes of sampled attempts lost to this key.
+	WaitNS uint64
+}
+
+// entries collects the source's nonzero attribution rows.
+func (s *Source) entries(out []ConflictEntry) []ConflictEntry {
+	for i := range s.conflicts.slots {
+		sl := &s.conflicts.slots[i]
+		k := sl.key.Load()
+		if k == 0 {
+			continue
+		}
+		a := sl.aborts.Load()
+		if a == 0 {
+			continue
+		}
+		out = append(out, ConflictEntry{
+			Runtime: s.name, Key: k, Aborts: a, WaitNS: sl.waitNS.Load(),
+		})
+	}
+	return out
+}
+
+// Conflicts returns the recorder-wide top-k contended keys, most aborted
+// first (ties broken by runtime then key for determinism). k <= 0 returns
+// every entry.
+func (r *Recorder) Conflicts(k int) []ConflictEntry {
+	if r == nil {
+		return nil
+	}
+	var out []ConflictEntry
+	for _, s := range r.sourceList() {
+		out = s.entries(out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Aborts != out[j].Aborts {
+			return out[i].Aborts > out[j].Aborts
+		}
+		if out[i].Runtime != out[j].Runtime {
+			return out[i].Runtime < out[j].Runtime
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// WriteConflicts renders the top-k conflict attribution table as aligned
+// text:
+//
+//	hot keys    algorithm   key   aborts   lost-time
+func (r *Recorder) WriteConflicts(w io.Writer, k int) {
+	entries := r.Conflicts(k)
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "hot keys: none recorded")
+		return
+	}
+	writeConflictEntries(w, entries)
+}
+
+func writeConflictEntries(w io.Writer, entries []ConflictEntry) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "hot-key\talgorithm\taborts\tlost-time\n")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%v\n",
+			e.Key, e.Runtime, e.Aborts, nsDuration(e.WaitNS))
+	}
+	tw.Flush()
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,98 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/otb"
+	"repro/internal/trace"
+)
+
+// TestConflictTableNamesHotKey is the acceptance check for conflict
+// attribution end-to-end: a stress workload whose conflicts all land on one
+// hot key must surface that key at the top of the OTB runtime's conflict
+// table. The interleaving is driven deterministically (a committing
+// transaction nested inside another's first attempt) so the test does not
+// depend on scheduler-provided contention — this box may have one core.
+func TestConflictTableNamesHotKey(t *testing.T) {
+	trace.Enable(1)
+	defer func() {
+		trace.Disable()
+		trace.Default.Reset()
+	}()
+
+	const hot = int64(42)
+	set := otb.NewListSet()
+	// Cold keys around the hot one so traversal has work and reads touch
+	// more than the contended node — the hot key must still dominate.
+	for k := int64(1); k <= 64; k++ {
+		otb.Atomic(nil, func(tx *otb.Tx) { set.Add(tx, k) })
+	}
+
+	for i := 0; i < 20; i++ {
+		firstAttempt := true
+		otb.Atomic(nil, func(tx *otb.Tx) {
+			set.Contains(tx, int64(1+i%64)) // cold read
+			set.Contains(tx, hot)           // pins the hot node in the read set
+			if firstAttempt {
+				firstAttempt = false
+				// A full transaction commits over the pinned node before this
+				// attempt validates, forcing a conflict abort attributed to it.
+				otb.Atomic(nil, func(tx2 *otb.Tx) {
+					if !set.Remove(tx2, hot) {
+						set.Add(tx2, hot)
+					}
+				})
+			}
+			set.Contains(tx, int64(1+(i+7)%64))
+		})
+	}
+
+	entries := trace.Default.Conflicts(5)
+	if len(entries) == 0 {
+		t.Fatal("no conflicts recorded")
+	}
+	top := entries[0]
+	if top.Runtime != "OTB" || top.Key != uint64(hot) {
+		t.Fatalf("top contended key = %s/%d (aborts %d), want OTB/%d\nall: %+v",
+			top.Runtime, top.Key, top.Aborts, hot, entries)
+	}
+	if top.WaitNS == 0 {
+		t.Fatal("hot key accumulated no lost time despite sampled aborts")
+	}
+}
+
+// TestSkipSetAbsentReadValidateFail regresses a nil dereference: a skip-list
+// read that saw its key absent records no curr node, and attributing the
+// validation failure must fall back to the bottom-level successor instead
+// of dereferencing it.
+func TestSkipSetAbsentReadValidateFail(t *testing.T) {
+	trace.Enable(1)
+	defer func() {
+		trace.Disable()
+		trace.Default.Reset()
+	}()
+
+	set := otb.NewSkipSet()
+	otb.Atomic(nil, func(tx *otb.Tx) { set.Add(tx, 10) })
+	otb.Atomic(nil, func(tx *otb.Tx) { set.Add(tx, 30) })
+
+	const absent = int64(20)
+	firstAttempt := true
+	otb.Atomic(nil, func(tx *otb.Tx) {
+		set.Contains(tx, absent) // absent read: entry anchored on succ 30
+		if firstAttempt {
+			firstAttempt = false
+			// Committing Add(20) between the read and its validation makes
+			// the absent-read entry fail its adjacency recheck.
+			otb.Atomic(nil, func(tx2 *otb.Tx) { set.Add(tx2, absent) })
+		}
+		set.Contains(tx, 10)
+	})
+
+	for _, e := range trace.Default.Conflicts(10) {
+		if e.Runtime == "OTB" && e.Aborts > 0 {
+			return
+		}
+	}
+	t.Fatal("forced skip-list absent-read conflict was not attributed")
+}

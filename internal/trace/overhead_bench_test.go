@@ -1,0 +1,114 @@
+package trace_test
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/bench"
+	"repro/internal/otb"
+	"repro/internal/trace"
+)
+
+// benchOTBListSet runs the OTB list-set microbenchmark (the paper's primary
+// workload) with the Default recorder in the given state. Comparing the
+// disarmed and armed variants bounds the flight-recorder overhead; the
+// ISSUE's acceptance bar is < 2 ns/op for the disarmed (default) state,
+// where every wired call site reduces to one atomic load and a branch.
+func benchOTBListSet(b *testing.B, enabled bool, every uint64) {
+	trace.Default.SetEnabled(enabled)
+	trace.Default.SetSampleEvery(every)
+	defer func() {
+		trace.Default.SetEnabled(false)
+		trace.Default.Reset()
+	}()
+
+	wl := bench.SetWorkload{InitialSize: 512, KeyRange: 512 * 8, WritePct: 20, OpsPerTx: 1}
+	d := bench.NewOTBDriver(otb.NewListSet())
+	defer d.Stop()
+	wl.Populate(d)
+
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(worker.Add(1))
+		gen := wl.NewSetWorker(id)
+		rng := rand.New(rand.NewPCG(uint64(id), 99))
+		for pb.Next() {
+			d.RunTx(gen(rng))
+		}
+	})
+}
+
+func BenchmarkOTBListSetRecorderDisabled(b *testing.B) { benchOTBListSet(b, false, 64) }
+
+// BenchmarkOTBListSetRecorderSampled is the armed state at the default
+// 1-in-64 sampling rate: most transactions still only pay the sampling
+// check, sampled ones write ring slots.
+func BenchmarkOTBListSetRecorderSampled(b *testing.B) { benchOTBListSet(b, true, 64) }
+
+// BenchmarkOTBListSetRecorderEvery records every transaction — the
+// worst-case armed overhead.
+func BenchmarkOTBListSetRecorderEvery(b *testing.B) { benchOTBListSet(b, true, 1) }
+
+// BenchmarkDisabledRecord measures the raw cost of one fully wired event
+// sequence against a disabled recorder — the per-transaction tax every
+// runtime pays when the flight recorder is off. Each iteration covers the
+// events of one contended read-modify-write transaction.
+func BenchmarkDisabledRecord(b *testing.B) {
+	r := trace.NewRecorderSized(1, 64)
+	l := r.Source("bench").Local()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.TxStart()
+		l.AttemptStart()
+		l.Op(7)
+		l.CommitBegin()
+		l.Lock(7)
+		l.Validated()
+		l.CommitEnd()
+		l.Unlock(7)
+		l.TxEnd()
+	}
+}
+
+// BenchmarkSampledRecord is the same sequence with the recorder armed and
+// the transaction sampled, bounding the slot-write fast path.
+func BenchmarkSampledRecord(b *testing.B) {
+	r := trace.NewRecorderSized(1, 1<<10)
+	r.SetEnabled(true)
+	r.SetSampleEvery(1)
+	l := r.Source("bench").Local()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.TxStart()
+		l.AttemptStart()
+		l.Op(7)
+		l.CommitBegin()
+		l.Lock(7)
+		l.Validated()
+		l.CommitEnd()
+		l.Unlock(7)
+		l.TxEnd()
+	}
+}
+
+// BenchmarkUnsampledAttribution is the armed-but-unsampled path: conflict
+// attribution still counts aborts for every transaction, so this bounds
+// the cost the 1-in-N transactions that lose the sampling draw still pay
+// on the abort path.
+func BenchmarkUnsampledAttribution(b *testing.B) {
+	r := trace.NewRecorderSized(1, 64)
+	r.SetEnabled(true)
+	r.SetSampleEvery(1 << 30)
+	l := r.Source("bench").Local()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.TxStart()
+		l.AttemptStart()
+		l.LockBusy(7)
+		l.Abort(abort.LockBusy)
+		l.TxEnd()
+	}
+}

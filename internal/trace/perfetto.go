@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// perfettoEvent is one Chrome trace-event record. The subset used here
+// (B/E duration slices, X complete slices, i instants, M metadata) loads in
+// ui.perfetto.dev and chrome://tracing.
+type perfettoEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoTrace is the top-level JSON object.
+type perfettoTrace struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// lane is the reconstruction state of one (runtime, track) timeline: the
+// stack of open B slices.
+type lane struct {
+	pid, tid int
+	open     []string
+	lastTS   float64
+}
+
+// us converts recorder nanoseconds to trace microseconds.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ExportPerfetto converts a snapshot into Chrome trace-event JSON: one
+// process per runtime, one thread track per recording descriptor, one
+// slice per attempt / commit phase, instants for reads, locks, validation
+// outcomes and aborts, and X slices for CM pauses and server queue/execute
+// phases.
+func ExportPerfetto(events []Event) ([]byte, error) {
+	// Deterministic pid assignment: sorted unique runtime names.
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e.Runtime] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	pids := make(map[string]int, len(sorted))
+	out := perfettoTrace{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	for i, n := range sorted {
+		pids[n] = i + 1
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: "process_name", Ph: "M", PID: i + 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+
+	lanes := map[[2]int]*lane{}
+	laneOf := func(e Event) *lane {
+		k := [2]int{pids[e.Runtime], int(e.Track)}
+		l, ok := lanes[k]
+		if !ok {
+			l = &lane{pid: k[0], tid: k[1]}
+			lanes[k] = l
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: "thread_name", Ph: "M", PID: l.pid, TID: l.tid,
+				Args: map[string]any{"name": fmt.Sprintf("track %d", l.tid)},
+			})
+		}
+		return l
+	}
+
+	push := func(l *lane, ts float64, name string) {
+		out.TraceEvents = append(out.TraceEvents,
+			perfettoEvent{Name: name, Ph: "B", TS: ts, PID: l.pid, TID: l.tid})
+		l.open = append(l.open, name)
+	}
+	popOne := func(l *lane, ts float64) {
+		out.TraceEvents = append(out.TraceEvents,
+			perfettoEvent{Ph: "E", TS: ts, PID: l.pid, TID: l.tid})
+		l.open = l.open[:len(l.open)-1]
+	}
+	// popTo closes open slices until (and including) the innermost one
+	// whose name matches pred; without a match it is a no-op.
+	popTo := func(l *lane, ts float64, pred func(string) bool) {
+		depth := -1
+		for i := len(l.open) - 1; i >= 0; i-- {
+			if pred(l.open[i]) {
+				depth = i
+				break
+			}
+		}
+		if depth < 0 {
+			return
+		}
+		for len(l.open) > depth {
+			popOne(l, ts)
+		}
+	}
+	isAttempt := func(s string) bool { return s == "attempt" || s == "hw-attempt" }
+
+	instant := func(l *lane, ts float64, name string, args map[string]any) {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: name, Ph: "i", TS: ts, PID: l.pid, TID: l.tid, S: "t", Args: args,
+		})
+	}
+	slice := func(l *lane, end float64, durNS uint64, name string) {
+		d := us(int64(durNS))
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: name, Ph: "X", TS: end - d, Dur: d, PID: l.pid, TID: l.tid,
+		})
+	}
+
+	for _, e := range events {
+		l := laneOf(e)
+		ts := us(e.TS)
+		if ts > l.lastTS {
+			l.lastTS = ts
+		}
+		switch e.Kind {
+		case EvTxStart:
+			// A new transaction implicitly closes anything a truncated
+			// (wrapped-out) history left open on this lane.
+			for len(l.open) > 0 {
+				popOne(l, ts)
+			}
+			push(l, ts, "tx")
+		case EvAttemptStart:
+			popTo(l, ts, isAttempt)
+			push(l, ts, "attempt")
+		case EvHWAttempt:
+			popTo(l, ts, isAttempt)
+			push(l, ts, "hw-attempt")
+		case EvCommitBegin:
+			push(l, ts, "commit")
+		case EvCommitEnd:
+			popTo(l, ts, func(s string) bool { return s == "commit" })
+		case EvAbort:
+			popTo(l, ts, func(s string) bool { return s == "commit" })
+			popTo(l, ts, isAttempt)
+			args := map[string]any{"reason": e.Reason.String()}
+			if e.Key != 0 {
+				args["key"] = e.Key
+			}
+			if e.Arg != 0 {
+				args["lost_ns"] = e.Arg
+			}
+			instant(l, ts, "abort:"+e.Reason.String(), args)
+		case EvTxEnd:
+			for len(l.open) > 0 {
+				popOne(l, ts)
+			}
+		case EvPause:
+			slice(l, ts, e.Arg, "cm-pause")
+		case EvQueueWait:
+			slice(l, ts, e.Arg, "queue-wait")
+		case EvExecute:
+			slice(l, ts, e.Arg, "execute")
+		case EvRead, EvLock, EvLockBusy, EvUnlock, EvValidate, EvValidateFail,
+			EvFallback, EvEscalate:
+			var args map[string]any
+			if e.Key != 0 {
+				args = map[string]any{"key": e.Key}
+			}
+			instant(l, ts, e.Kind.String(), args)
+		}
+	}
+
+	// Close anything the ring truncated mid-flight, deterministically
+	// ordered by (pid, tid).
+	keys := make([][2]int, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		l := lanes[k]
+		for len(l.open) > 0 {
+			popOne(l, l.lastTS)
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// WritePerfetto exports the recorder's current snapshot as trace-event
+// JSON.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	b, err := ExportPerfetto(r.Snapshot())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/abort"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenHistory drives two descriptors of one runtime through a scripted
+// contended interleaving — tx A loses key 7 to tx B, pauses, retries and
+// commits — on a deterministic clock, all from one goroutine so the event
+// order is exact.
+func goldenHistory() *Recorder {
+	r := NewRecorderSized(1, 256)
+	r.SetClock(fakeClock(100))
+	r.SetEnabled(true)
+	src := r.Source("OTB-list")
+	a, b := src.Local(), src.Local()
+
+	a.TxStart()
+	a.AttemptStart()
+	a.Op(7)
+	b.TxStart()
+	b.AttemptStart()
+	b.Op(7)
+	b.CommitBegin()
+	b.Lock(7)
+	a.LockBusy(7) // A hits B's commit-time lock
+	a.Abort(abort.LockBusy)
+	b.Validated()
+	b.CommitEnd()
+	b.Unlock(7)
+	b.TxEnd()
+	a.AttemptStart() // emits A's CM pause
+	a.Op(7)
+	a.CommitBegin()
+	a.Lock(7)
+	a.Validated()
+	a.CommitEnd()
+	a.Unlock(7)
+	a.TxEnd()
+	return r
+}
+
+// TestPerfettoGolden pins the exporter's exact output for the scripted
+// contended history. Regenerate with: go test ./internal/trace/ -run Golden -update
+func TestPerfettoGolden(t *testing.T) {
+	r := goldenHistory()
+	got, err := ExportPerfetto(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("perfetto export drifted from golden file (run with -update to regenerate)\ngot:\n%s", got)
+	}
+}
+
+// TestPerfettoWellFormed checks structural validity independent of the
+// golden bytes: the export is valid trace-event JSON, every duration slice
+// opened is closed, and both descriptor tracks appear.
+func TestPerfettoWellFormed(t *testing.T) {
+	r := goldenHistory()
+	raw, err := ExportPerfetto(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	depth := map[[2]int]int{}
+	tracks := map[int]bool{}
+	var sawAbort, sawPause, sawProcess bool
+	for _, e := range doc.TraceEvents {
+		lane := [2]int{e.PID, e.TID}
+		switch e.Ph {
+		case "B":
+			depth[lane]++
+		case "E":
+			depth[lane]--
+			if depth[lane] < 0 {
+				t.Fatalf("unbalanced E on lane %v", lane)
+			}
+		case "M":
+			if e.Name == "process_name" && e.Args["name"] == "OTB-list" {
+				sawProcess = true
+			}
+			continue
+		case "i":
+			if e.Name == "abort:lock-busy" {
+				sawAbort = true
+				if e.Args["key"] != float64(7) {
+					t.Fatalf("abort instant lost its key: %v", e.Args)
+				}
+			}
+		case "X":
+			if e.Name == "cm-pause" {
+				sawPause = true
+				if e.Dur <= 0 {
+					t.Fatal("cm-pause slice without duration")
+				}
+			}
+		}
+		tracks[e.TID] = true
+	}
+	for lane, d := range depth {
+		if d != 0 {
+			t.Fatalf("lane %v left %d slices open", lane, d)
+		}
+	}
+	if !sawAbort || !sawPause || !sawProcess {
+		t.Fatalf("missing events: abort=%v pause=%v process=%v", sawAbort, sawPause, sawProcess)
+	}
+	if len(tracks) < 2 {
+		t.Fatalf("expected two descriptor tracks, got %v", tracks)
+	}
+}
+
+// TestPerfettoTruncatedHistory: a wrapped ring loses the oldest events; the
+// exporter must still close every slice it opens.
+func TestPerfettoTruncatedHistory(t *testing.T) {
+	r := NewRecorderSized(1, 8)
+	r.SetClock(fakeClock(10))
+	r.SetEnabled(true)
+	l := r.Source("NOrec").Local()
+	for i := 0; i < 20; i++ {
+		l.TxStart()
+		l.AttemptStart()
+		l.CommitBegin()
+		l.CommitEnd()
+		l.TxEnd()
+	}
+	// Leave a transaction open mid-commit so the tail is truncated too.
+	l.TxStart()
+	l.AttemptStart()
+	l.CommitBegin()
+	raw, err := ExportPerfetto(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	depth := map[[2]int]int{}
+	for _, e := range doc.TraceEvents {
+		lane := [2]int{e.PID, e.TID}
+		switch e.Ph {
+		case "B":
+			depth[lane]++
+		case "E":
+			depth[lane]--
+			if depth[lane] < 0 {
+				t.Fatalf("unbalanced E on lane %v", lane)
+			}
+		}
+	}
+	for lane, d := range depth {
+		if d != 0 {
+			t.Fatalf("lane %v left %d slices open", lane, d)
+		}
+	}
+	l.TxEnd()
+}

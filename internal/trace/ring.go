@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"repro/internal/abort"
+)
+
+// slot is one fixed-size event record. Every field is an atomic word: the
+// writer publishes with the seq word (seqlock-style), and keeping the data
+// words atomic too makes concurrent reads race-free under the Go memory
+// model without any lock.
+//
+// seq protocol: 0 = never written; odd = write in progress (or torn by a
+// crash between stores); even nonzero = valid, holding the global
+// publication sequence shifted left by one.
+type slot struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64
+	span atomic.Uint64
+	meta atomic.Uint64 // kind | reason<<8 | attempt<<16 | src<<32 | track<<48
+	key  atomic.Uint64
+	arg  atomic.Uint64
+	_    [8]byte // pad to one 64-byte line
+}
+
+// ring is one per-P event ring: a power-of-two slot array with a monotone
+// write cursor. Locals are bound to rings round-robin, so while a
+// transaction runs its ring is effectively goroutine-local; after a wrap
+// collision the seq protocol keeps readers consistent.
+type ring struct {
+	pos   atomic.Uint64
+	slots []slot
+	mask  uint64
+}
+
+// write claims the next slot and publishes one event. It never allocates
+// and never blocks.
+func (rg *ring) write(r *Recorder, ts int64, span, meta, key, arg uint64) {
+	i := rg.pos.Add(1) - 1
+	s := &rg.slots[i&rg.mask]
+	sq := r.evSeq.Add(1)
+	s.seq.Store(1) // writing: readers skip until the final store below
+	s.ts.Store(ts)
+	s.span.Store(span)
+	s.meta.Store(meta)
+	s.key.Store(key)
+	s.arg.Store(arg)
+	s.seq.Store(sq << 1)
+}
+
+// collect appends every currently valid event in the ring to out. A slot
+// whose seq word changes (or is odd/zero) during the read is skipped: it
+// was mid-write or torn.
+func (rg *ring) collect(r *Recorder, out []Event) []Event {
+	for i := range rg.slots {
+		s := &rg.slots[i]
+		v1 := s.seq.Load()
+		if v1 == 0 || v1&1 == 1 {
+			continue
+		}
+		ts := s.ts.Load()
+		span := s.span.Load()
+		meta := s.meta.Load()
+		key := s.key.Load()
+		arg := s.arg.Load()
+		if s.seq.Load() != v1 {
+			continue
+		}
+		out = append(out, Event{
+			Seq:     v1 >> 1,
+			TS:      ts,
+			Span:    span,
+			Track:   uint16(meta >> 48),
+			Runtime: r.sourceName(uint16(meta >> 32)),
+			Kind:    Kind(meta & 0xff),
+			Reason:  abort.Reason((meta >> 8) & 0xff),
+			Attempt: uint16(meta >> 16),
+			Key:     key,
+			Arg:     arg,
+		})
+	}
+	return out
+}
+
+// reset invalidates every slot and rewinds the cursor.
+func (rg *ring) reset() {
+	for i := range rg.slots {
+		rg.slots[i].seq.Store(0)
+	}
+	rg.pos.Store(0)
+}
