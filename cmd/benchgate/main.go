@@ -1,0 +1,306 @@
+// Command benchgate is the CI performance gate: it runs a fixed matrix of
+// stmbench configurations, records a trajectory file of stmbench-result/v1
+// records plus an environment fingerprint, and compares a fresh run against
+// a committed baseline, failing on throughput regressions beyond a
+// threshold.
+//
+// Usage:
+//
+//	benchgate -run -out BENCH_2026-08-08.json            # record a trajectory
+//	benchgate -compare BENCH_2026-08-08.json             # gate vs BENCH_baseline.json
+//	benchgate -compare current.json -baseline old.json -threshold 15
+//
+// The gate is hard (non-zero exit) only when the baseline's environment
+// fingerprint (CPU count, GOMAXPROCS, Go version, OS/arch) matches the
+// current machine; on a different machine the comparison is advisory, since
+// absolute throughput is not transferable across hosts. -strict upgrades
+// advisory mismatches to hard failures for pinned runners whose fingerprint
+// drift should itself be an error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// trajectorySchema versions the benchgate output file.
+const trajectorySchema = "benchgate-trajectory/v1"
+
+// envFingerprint identifies the machine a trajectory was recorded on.
+// Throughput comparisons across different fingerprints are advisory only.
+type envFingerprint struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	MaxProcs  int    `json:"gomaxprocs"`
+}
+
+func currentEnv() envFingerprint {
+	return envFingerprint{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// trajectory is one recorded benchmark run of the full matrix.
+type trajectory struct {
+	Schema  string         `json:"schema"`
+	Created string         `json:"created"`
+	Env     envFingerprint `json:"env"`
+	Results []bench.Result `json:"results"`
+}
+
+// matrixConfig is one point of the fixed benchmark matrix.
+type matrixConfig struct {
+	Structure string
+	Alg       string // stm-* structures only
+	Threads   int
+	WritePct  int
+}
+
+// matrix is the fixed configuration set the gate tracks. It covers the OTB
+// hot paths (list, skip), the boosted and lazy baselines, and the three
+// memory STMs with pooled descriptors (NOrec, TL2, sharded TL2), at low and
+// high thread counts and write ratios. Changing this list invalidates the
+// committed baseline — reseed BENCH_baseline.json in the same commit.
+var matrix = []matrixConfig{
+	{Structure: "otb-list", Threads: 1, WritePct: 20},
+	{Structure: "otb-list", Threads: 4, WritePct: 20},
+	{Structure: "otb-list", Threads: 4, WritePct: 80},
+	{Structure: "otb-skip", Threads: 4, WritePct: 20},
+	{Structure: "boosted-list", Threads: 4, WritePct: 20},
+	{Structure: "lazy-list", Threads: 4, WritePct: 20},
+	{Structure: "stm-list", Alg: "NOrec", Threads: 1, WritePct: 20},
+	{Structure: "stm-list", Alg: "NOrec", Threads: 4, WritePct: 20},
+	{Structure: "stm-list", Alg: "TL2", Threads: 4, WritePct: 20},
+	{Structure: "stm-list", Alg: "TL2S", Threads: 4, WritePct: 20},
+}
+
+// key identifies a matrix point across runs: algorithm comes from the
+// result (driver name), so it distinguishes stm-list/NOrec from
+// stm-list/TL2.
+func key(r bench.Result) string {
+	return fmt.Sprintf("%s|%s|t%d|w%d|o%d",
+		r.Structure, r.Algorithm, r.Threads, r.WritePct, r.OpsPerTx)
+}
+
+// regression is one gated comparison that moved beyond the threshold.
+type regression struct {
+	Key      string
+	Baseline float64
+	Current  float64
+	DeltaPct float64
+}
+
+// compare returns the matrix points whose throughput dropped more than
+// thresholdPct from baseline to current. Points present in only one file
+// are reported via the second return (informational, never gating: the
+// matrix legitimately grows over time).
+func compare(baseline, current []bench.Result, thresholdPct float64) (regs []regression, unmatched []string) {
+	base := make(map[string]bench.Result, len(baseline))
+	for _, r := range baseline {
+		base[key(r)] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		k := key(cur)
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			unmatched = append(unmatched, k+" (no baseline)")
+			continue
+		}
+		if b.TxPerSec <= 0 {
+			continue
+		}
+		deltaPct := (cur.TxPerSec - b.TxPerSec) / b.TxPerSec * 100
+		if deltaPct < -thresholdPct {
+			regs = append(regs, regression{
+				Key: k, Baseline: b.TxPerSec, Current: cur.TxPerSec, DeltaPct: deltaPct,
+			})
+		}
+	}
+	for k := range base {
+		if !seen[k] {
+			unmatched = append(unmatched, k+" (not in current run)")
+		}
+	}
+	return regs, unmatched
+}
+
+// runMatrix executes the fixed matrix through the stmbench binary, parsing
+// each -json result file.
+func runMatrix(stmbench string, duration, warmup time.Duration) ([]bench.Result, error) {
+	tmp, err := os.MkdirTemp("", "benchgate")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	var results []bench.Result
+	for i, m := range matrix {
+		out := filepath.Join(tmp, fmt.Sprintf("r%d.json", i))
+		args := []string{
+			"-structure", m.Structure,
+			"-threads", fmt.Sprint(m.Threads),
+			"-writes", fmt.Sprint(m.WritePct),
+			"-duration", duration.String(),
+			"-warmup", warmup.String(),
+			"-no-telemetry",
+			"-json", out,
+		}
+		if m.Alg != "" {
+			args = append(args, "-alg", m.Alg)
+		}
+		cmd := exec.Command(stmbench, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		fmt.Fprintf(os.Stderr, "benchgate: [%d/%d] %s %s t=%d w=%d\n",
+			i+1, len(matrix), m.Structure, m.Alg, m.Threads, m.WritePct)
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("stmbench %s/%s: %w", m.Structure, m.Alg, err)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			return nil, err
+		}
+		var r bench.Result
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", out, err)
+		}
+		if r.Schema != bench.ResultSchema {
+			return nil, fmt.Errorf("%s: unexpected schema %q", out, r.Schema)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func readTrajectory(path string) (trajectory, error) {
+	var t trajectory
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return t, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if t.Schema != trajectorySchema {
+		return t, fmt.Errorf("%s: unexpected schema %q (want %s)", path, t.Schema, trajectorySchema)
+	}
+	return t, nil
+}
+
+func main() {
+	var (
+		doRun     = flag.Bool("run", false, "run the fixed matrix and write a trajectory file")
+		out       = flag.String("out", "", "trajectory output path for -run (default BENCH_<date>.json)")
+		stmbench  = flag.String("stmbench", "", "stmbench binary to exec (default: 'go run ./cmd/stmbench')")
+		duration  = flag.Duration("duration", time.Second, "per-point measurement window for -run")
+		warmup    = flag.Duration("warmup", 200*time.Millisecond, "per-point warmup for -run")
+		doCompare = flag.String("compare", "", "trajectory file to gate against the baseline")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline trajectory for -compare")
+		threshold = flag.Float64("threshold", 10, "throughput regression threshold, percent")
+		strict    = flag.Bool("strict", false, "fail on environment-fingerprint mismatch instead of downgrading to advisory")
+	)
+	flag.Parse()
+
+	switch {
+	case *doRun:
+		bin := *stmbench
+		var cleanup string
+		if bin == "" {
+			// Build once rather than paying `go run` compilation per point.
+			tmp, err := os.CreateTemp("", "stmbench")
+			if err != nil {
+				fatal(err)
+			}
+			tmp.Close()
+			cleanup = tmp.Name()
+			build := exec.Command("go", "build", "-o", cleanup, "./cmd/stmbench")
+			build.Stdout, build.Stderr = os.Stderr, os.Stderr
+			if err := build.Run(); err != nil {
+				fatal(fmt.Errorf("build stmbench: %w", err))
+			}
+			bin = cleanup
+		}
+		results, err := runMatrix(bin, *duration, *warmup)
+		if cleanup != "" {
+			os.Remove(cleanup)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+		}
+		t := trajectory{
+			Schema:  trajectorySchema,
+			Created: time.Now().UTC().Format(time.RFC3339),
+			Env:     currentEnv(),
+			Results: results,
+		}
+		raw, err := json.MarshalIndent(t, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d results to %s\n", len(results), path)
+
+	case *doCompare != "":
+		cur, err := readTrajectory(*doCompare)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := readTrajectory(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regs, unmatched := compare(base.Results, cur.Results, *threshold)
+		for _, u := range unmatched {
+			fmt.Printf("benchgate: note: %s\n", u)
+		}
+		envMatch := base.Env == cur.Env
+		if !envMatch {
+			fmt.Printf("benchgate: environment fingerprint mismatch:\n  baseline: %+v\n  current:  %+v\n",
+				base.Env, cur.Env)
+		}
+		for _, r := range regs {
+			fmt.Printf("benchgate: REGRESSION %s: %.0f -> %.0f tx/sec (%.1f%%)\n",
+				r.Key, r.Baseline, r.Current, r.DeltaPct)
+		}
+		switch {
+		case len(regs) == 0:
+			fmt.Printf("benchgate: OK — %d points within %.0f%% of baseline\n",
+				len(cur.Results), *threshold)
+		case envMatch || *strict:
+			fatal(fmt.Errorf("%d regression(s) beyond %.0f%%", len(regs), *threshold))
+		default:
+			fmt.Printf("benchgate: ADVISORY — %d regression(s), not gating (fingerprint mismatch; rerun on the baseline machine or reseed BENCH_baseline.json)\n",
+				len(regs))
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: need -run or -compare <file> (see -h)")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

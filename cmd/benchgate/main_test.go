@@ -1,0 +1,114 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func res(structure, alg string, threads, writes int, tput float64) bench.Result {
+	return bench.Result{
+		Schema:    bench.ResultSchema,
+		Structure: structure,
+		Algorithm: alg,
+		Threads:   threads,
+		WritePct:  writes,
+		OpsPerTx:  1,
+		TxPerSec:  tput,
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base := []bench.Result{
+		res("otb-list", "otb-list", 4, 20, 100000),
+		res("stm-list", "TL2", 4, 20, 80000),
+	}
+	cur := []bench.Result{
+		res("otb-list", "otb-list", 4, 20, 95000), // -5%
+		res("stm-list", "TL2", 4, 20, 88000),      // +10%
+	}
+	regs, unmatched := compare(base, cur, 10)
+	if len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %+v", regs)
+	}
+	if len(unmatched) != 0 {
+		t.Fatalf("expected no unmatched points, got %v", unmatched)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := []bench.Result{res("otb-list", "otb-list", 4, 20, 100000)}
+	cur := []bench.Result{res("otb-list", "otb-list", 4, 20, 85000)} // -15%
+	regs, _ := compare(base, cur, 10)
+	if len(regs) != 1 {
+		t.Fatalf("expected 1 regression, got %d", len(regs))
+	}
+	r := regs[0]
+	if r.DeltaPct > -10 {
+		t.Errorf("delta = %.1f%%, expected below -10%%", r.DeltaPct)
+	}
+	if r.Baseline != 100000 || r.Current != 85000 {
+		t.Errorf("regression carries wrong values: %+v", r)
+	}
+}
+
+// Different algorithms on the same structure are distinct matrix points; a
+// regression in one must not be masked by the other.
+func TestCompareKeysByAlgorithm(t *testing.T) {
+	base := []bench.Result{
+		res("stm-list", "NOrec", 4, 20, 100000),
+		res("stm-list", "TL2", 4, 20, 100000),
+	}
+	cur := []bench.Result{
+		res("stm-list", "NOrec", 4, 20, 50000), // -50%
+		res("stm-list", "TL2", 4, 20, 100000),
+	}
+	regs, _ := compare(base, cur, 10)
+	if len(regs) != 1 || regs[0].Key != key(base[0]) {
+		t.Fatalf("expected exactly the NOrec point to regress, got %+v", regs)
+	}
+}
+
+// Points missing on either side are reported but never gate: the matrix may
+// grow (new point has no baseline) or shrink (baseline point retired).
+func TestCompareUnmatchedIsAdvisory(t *testing.T) {
+	base := []bench.Result{
+		res("otb-list", "otb-list", 4, 20, 100000),
+		res("otb-skip", "otb-skip", 4, 20, 100000), // retired
+	}
+	cur := []bench.Result{
+		res("otb-list", "otb-list", 4, 20, 99000),
+		res("boosted-list", "boosted-list", 4, 20, 70000), // new
+	}
+	regs, unmatched := compare(base, cur, 10)
+	if len(regs) != 0 {
+		t.Fatalf("unmatched points must not gate, got %+v", regs)
+	}
+	if len(unmatched) != 2 {
+		t.Fatalf("expected 2 unmatched notes, got %v", unmatched)
+	}
+}
+
+// A zero-throughput baseline point (corrupt or failed run) must not divide
+// by zero or gate.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := []bench.Result{res("otb-list", "otb-list", 4, 20, 0)}
+	cur := []bench.Result{res("otb-list", "otb-list", 4, 20, 50000)}
+	regs, _ := compare(base, cur, 10)
+	if len(regs) != 0 {
+		t.Fatalf("zero baseline must be skipped, got %+v", regs)
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	base := []bench.Result{res("otb-list", "otb-list", 4, 20, 100000)}
+	// Exactly -10% is within a 10% threshold (strictly-beyond gates).
+	cur := []bench.Result{res("otb-list", "otb-list", 4, 20, 90000)}
+	if regs, _ := compare(base, cur, 10); len(regs) != 0 {
+		t.Fatalf("-10%% at threshold 10 should pass, got %+v", regs)
+	}
+	cur[0].TxPerSec = 89999
+	if regs, _ := compare(base, cur, 10); len(regs) != 1 {
+		t.Fatal("-10.001% at threshold 10 should gate")
+	}
+}

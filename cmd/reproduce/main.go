@@ -36,6 +36,7 @@ func main() {
 		cmPolicy     = flag.String("cm", "", "contention-management policy: "+strings.Join(cm.Names(), ", "))
 		cmBudget     = flag.Int("cm-budget", 0, "retry budget before serial-mode escalation (<0 disables)")
 		failspec     = flag.String("failpoints", "", "fault-injection specs, 'name=action[@triggers];...' (see internal/chaos/failpoint)")
+		benchOut     = flag.String("bench-out", "", "also write every figure point as stmbench-result/v1 JSON records to this path")
 	)
 	flag.Parse()
 
@@ -95,6 +96,7 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
+	var results []bench.Result
 	for _, id := range ids {
 		e, ok := bench.Find(strings.TrimSpace(id))
 		if !ok {
@@ -102,7 +104,24 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		e.Run(cfg, os.Stdout)
+		if *benchOut != "" && e.Gen != nil {
+			// Generate once, print the figure, and keep the points for the
+			// machine-readable record file.
+			telemetry.Default.Reset()
+			f := e.Gen(cfg)
+			f.Print(os.Stdout)
+			bench.WriteTelemetry(os.Stdout, e.ID)
+			results = append(results, bench.FigureResults(e.ID, cfg, f)...)
+		} else {
+			e.Run(cfg, os.Stdout)
+		}
 		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *benchOut != "" {
+		if err := bench.WriteResults(*benchOut, results); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d stmbench-result/v1 records to %s\n", len(results), *benchOut)
 	}
 }

@@ -44,21 +44,14 @@ import (
 	"repro/internal/trace"
 )
 
-// jsonResult is the machine-readable run summary emitted by -json. The
-// schema is documented in EXPERIMENTS.md ("Machine-readable results").
+// jsonResult is the machine-readable run summary emitted by -json: the
+// shared stmbench-result/v1 record (see internal/bench.Result; the schema is
+// documented in EXPERIMENTS.md, "Machine-readable results") plus telemetry
+// meters and conflict attributions.
 type jsonResult struct {
-	Schema      string       `json:"schema"`
-	Structure   string       `json:"structure"`
-	Algorithm   string       `json:"algorithm"`
-	Threads     int          `json:"threads"`
-	InitialSize int          `json:"initial_size"`
-	WritePct    int          `json:"write_pct"`
-	OpsPerTx    int          `json:"ops_per_tx"`
-	DurationNS  int64        `json:"duration_ns"`
-	TxPerSec    float64      `json:"tx_per_sec"`
-	OpsPerSec   float64      `json:"ops_per_sec"`
-	Meters      []jsonMeter  `json:"meters,omitempty"`
-	Conflicts   []jsonHotKey `json:"hot_keys,omitempty"`
+	bench.Result
+	Meters    []jsonMeter  `json:"meters,omitempty"`
+	Conflicts []jsonHotKey `json:"hot_keys,omitempty"`
 }
 
 // jsonMeter is one telemetry meter in the JSON summary.
@@ -128,6 +121,7 @@ func writeJSON(path string, res jsonResult, snap []telemetry.MeterSnapshot) erro
 var stmAlgorithms = map[string]func() stm.Algorithm{
 	"NOrec":    func() stm.Algorithm { return norec.New() },
 	"TL2":      func() stm.Algorithm { return tl2.New() },
+	"TL2S":     func() stm.Algorithm { return tl2.NewSharded() },
 	"TML":      func() stm.Algorithm { return tml.New() },
 	"RingSW":   func() stm.Algorithm { return ringsw.New() },
 	"InvalSTM": func() stm.Algorithm { return invalstm.New() },
@@ -305,14 +299,18 @@ func main() {
 
 	workload := fmt.Sprintf("%s/w%d/t%d", *structure, *writes, *threads)
 	var tput float64
+	var memStats bench.MemStats
 	telemetry.Default.Do(d.Name(), func() {
 		trace.Do(d.Name(), workload, func() {
-			tput = bench.Throughput(cfg, *threads, runOne)
+			tput, memStats = bench.ThroughputMem(cfg, *threads, runOne)
 		})
 	})
 	fmt.Printf("%-16s %-10s threads=%-3d size=%-7d writes=%d%% ops/tx=%d\n",
 		*structure, d.Name(), *threads, *size, *writes, *opsPerTx)
 	fmt.Printf("throughput: %.0f tx/sec (%.0f ops/sec)\n", tput, tput*float64(*opsPerTx))
+	fmt.Printf("memory: %.2f allocs/tx, %.1f B/tx, %d GC cycles, %s total pause\n",
+		memStats.AllocsPerTx, memStats.AllocBytesPerTx, memStats.NumGC,
+		time.Duration(memStats.GCPauseTotalNS))
 	if telemetry.Default.Enabled() {
 		fmt.Println()
 		snap := telemetry.Default.Snapshot()
@@ -338,8 +336,8 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		res := jsonResult{
-			Schema:      "stmbench-result/v1",
+		res := jsonResult{Result: bench.Result{
+			Schema:      bench.ResultSchema,
 			Structure:   *structure,
 			Algorithm:   d.Name(),
 			Threads:     *threads,
@@ -349,7 +347,12 @@ func main() {
 			DurationNS:  int64(*duration),
 			TxPerSec:    tput,
 			OpsPerSec:   tput * float64(*opsPerTx),
-		}
+
+			AllocsPerTx:     memStats.AllocsPerTx,
+			AllocBytesPerTx: memStats.AllocBytesPerTx,
+			GCPauseTotalNS:  memStats.GCPauseTotalNS,
+			NumGC:           memStats.NumGC,
+		}}
 		if err := writeJSON(*jsonOut, res, telemetry.Default.Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "stmbench: json:", err)
 			os.Exit(1)

@@ -86,9 +86,23 @@ func (r Reason) String() string {
 	}
 }
 
+// signals holds one pre-boxed Signal per reason so Retry does not allocate
+// on the abort path (interface conversion of a struct value otherwise heap-
+// allocates per panic).
+var signals [NumReasons]any
+
+func init() {
+	for r := Conflict; r < NumReasons; r++ {
+		signals[r] = Signal{Reason: r}
+	}
+}
+
 // Retry aborts the current transaction with the given reason. It never
 // returns; the enclosing Run recovers it.
 func Retry(r Reason) {
+	if r >= 0 && r < NumReasons {
+		panic(signals[r])
+	}
 	panic(Signal{Reason: r})
 }
 
@@ -178,6 +192,46 @@ func RunPolicy(stats *Stats, m Manager, begin func(), attempt func(), rollback f
 // rollback path with the Panicked reason — releasing locks, logs, and the
 // serial gate — and are then re-raised to the caller.
 func RunPolicyCtx(ctx context.Context, stats *Stats, m Manager, begin func(), attempt func(), rollback func(Reason)) (escalated bool, err error) {
+	t := funcRunner{begin: begin, attempt: attempt, rollback: rollback}
+	return RunPolicyTxCtx(ctx, stats, m, &t)
+}
+
+// funcRunner adapts the closure-based RunPolicy API to TxRunner.
+type funcRunner struct {
+	begin    func()
+	attempt  func()
+	rollback func(Reason)
+}
+
+func (f *funcRunner) Begin()            { f.begin() }
+func (f *funcRunner) Attempt()          { f.attempt() }
+func (f *funcRunner) Rollback(r Reason) { f.rollback(r) }
+
+// TxRunner is implemented by transaction descriptors that drive the retry
+// loop through methods instead of closures. Pooled descriptors implementing
+// TxRunner let RunPolicyTxCtx execute a whole transaction without a single
+// heap allocation — the closure-based RunPolicyCtx API costs one adapter
+// allocation per call plus whatever the captured closures escape.
+//
+// The loop calls Begin before each attempt, Attempt to run the body and
+// commit, and Rollback exactly once per failed attempt (including
+// cancellation and foreign panics), with the same semantics as the
+// begin/attempt/rollback closures of RunPolicyCtx.
+type TxRunner interface {
+	Begin()
+	Attempt()
+	Rollback(Reason)
+}
+
+// RunPolicyTx is RunPolicyTxCtx with no context.
+func RunPolicyTx(stats *Stats, m Manager, t TxRunner) (escalated bool) {
+	escalated, _ = RunPolicyTxCtx(nil, stats, m, t)
+	return escalated
+}
+
+// RunPolicyTxCtx is RunPolicyCtx driving a TxRunner descriptor. It is the
+// allocation-free core the closure API wraps.
+func RunPolicyTxCtx(ctx context.Context, stats *Stats, m Manager, t TxRunner) (escalated bool, err error) {
 	var b spin.Backoff
 	n := 0
 	defer func() {
@@ -191,29 +245,22 @@ func RunPolicyCtx(ctx context.Context, stats *Stats, m Manager, begin func(), at
 			panic(p)
 		}
 	}()
-	cancel := func(e error) (bool, error) {
-		rollback(Canceled)
-		if escalated {
-			m.Release()
-		}
-		return escalated, e
-	}
 	for {
 		if ctx != nil {
 			if e := ctx.Err(); e != nil {
-				return cancel(e)
+				return cancelTx(t, m, escalated, e)
 			}
 		}
 		if m != nil && !escalated {
 			if pc, ok := m.(CtxPauser); ok && ctx != nil {
 				if e := pc.PauseCtx(ctx); e != nil {
-					return cancel(e)
+					return cancelTx(t, m, escalated, e)
 				}
 			} else {
 				m.Pause()
 			}
 		}
-		done, r := runOnce(begin, attempt, rollback)
+		done, r := runOnce(t)
 		if done {
 			if stats != nil {
 				stats.Commits++
@@ -233,7 +280,7 @@ func RunPolicyCtx(ctx context.Context, stats *Stats, m Manager, begin func(), at
 		// policy wait itself — policy waits are bounded at microseconds).
 		if ctx != nil {
 			if e := ctx.Err(); e != nil {
-				return cancel(e)
+				return cancelTx(t, m, escalated, e)
 			}
 		}
 		switch {
@@ -252,26 +299,36 @@ func RunPolicyCtx(ctx context.Context, stats *Stats, m Manager, begin func(), at
 	}
 }
 
+// cancelTx classifies a cancelled transaction's outcome and reopens the
+// serial gate if this transaction held it.
+func cancelTx(t TxRunner, m Manager, escalated bool, e error) (bool, error) {
+	t.Rollback(Canceled)
+	if escalated {
+		m.Release()
+	}
+	return escalated, e
+}
+
 // runOnce runs one attempt, converting an abort Signal into a false return
 // carrying the signal's reason. Any other panic runs the same rollback with
 // the Panicked reason — the attempt may have been holding locks when it blew
 // up, and the rollback path is the one place that knows how to release them
 // — and is then re-raised.
-func runOnce(begin func(), attempt func(), rollback func(Reason)) (committed bool, reason Reason) {
+func runOnce(t TxRunner) (committed bool, reason Reason) {
 	defer func() {
 		p := recover()
 		if p == nil {
 			return
 		}
 		if sig, ok := p.(Signal); ok {
-			rollback(sig.Reason)
+			t.Rollback(sig.Reason)
 			committed, reason = false, sig.Reason
 			return
 		}
-		rollback(Panicked)
+		t.Rollback(Panicked)
 		panic(p)
 	}()
-	begin()
-	attempt()
+	t.Begin()
+	t.Attempt()
 	return true, 0
 }

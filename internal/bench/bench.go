@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,10 +37,32 @@ func Full() Config {
 	}
 }
 
+// MemStats summarizes the allocation and garbage-collection behaviour of one
+// measurement window, from runtime.ReadMemStats deltas. The per-transaction
+// ratios use the transactions counted in the same window, so a pooled
+// zero-allocation runtime reports ~0 regardless of throughput.
+type MemStats struct {
+	Txs             uint64  // transactions counted in the window
+	AllocsPerTx     float64 // heap objects allocated per transaction
+	AllocBytesPerTx float64 // heap bytes allocated per transaction
+	GCPauseTotalNS  uint64  // total stop-the-world pause in the window
+	NumGC           uint32  // GC cycles completed in the window
+}
+
 // Throughput runs threads goroutines, each looping work(threadID, rng), for
 // cfg.Warmup + cfg.Measure and returns committed operations per second
 // during the measurement window. work is called once per transaction.
 func Throughput(cfg Config, threads int, work func(id int, rng *rand.Rand)) float64 {
+	tput, _ := ThroughputMem(cfg, threads, work)
+	return tput
+}
+
+// ThroughputMem is Throughput plus allocation and GC accounting over the
+// measurement window. The memstats snapshots bracket the window (the second
+// is taken after the workers stop, so the delta slightly overcounts the
+// drain between measure-end and quiescence — bias toward reporting, never
+// hiding, allocation).
+func ThroughputMem(cfg Config, threads int, work func(id int, rng *rand.Rand)) (float64, MemStats) {
 	var (
 		stop      atomic.Bool
 		measuring atomic.Bool
@@ -60,13 +83,27 @@ func Throughput(cfg Config, threads int, work func(id int, rng *rand.Rand)) floa
 		}(t)
 	}
 	time.Sleep(cfg.Warmup)
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	measuring.Store(true)
 	start := time.Now()
 	time.Sleep(cfg.Measure)
 	elapsed := time.Since(start)
 	stop.Store(true)
 	wg.Wait()
-	return float64(count.Load()) / elapsed.Seconds()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	txs := count.Load()
+	mem := MemStats{
+		Txs:            txs,
+		GCPauseTotalNS: m1.PauseTotalNs - m0.PauseTotalNs,
+		NumGC:          m1.NumGC - m0.NumGC,
+	}
+	if txs > 0 {
+		mem.AllocsPerTx = float64(m1.Mallocs-m0.Mallocs) / float64(txs)
+		mem.AllocBytesPerTx = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(txs)
+	}
+	return float64(txs) / elapsed.Seconds(), mem
 }
 
 // TimedRun executes totalTxs transactions spread over threads goroutines

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/boosting"
 	"repro/internal/integrate"
@@ -94,19 +95,40 @@ func NewBoostedDriver(set *boosting.Set) SetDriver { return &boostedDriver{set: 
 func (d *boostedDriver) Name() string      { return "PessimisticBoosted" }
 func (d *boostedDriver) Stop()             {}
 func (d *boostedDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
-func (d *boostedDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
-	return boosting.AtomicCtx(ctx, nil, nil, func(tx *boosting.Tx) {
-		for _, op := range ops {
+
+// boostedRun is a pooled transaction body: the closure is created once per
+// pooled object and captures the run, so the per-transaction path does not
+// allocate a fresh closure over the op batch.
+type boostedRun struct {
+	d   *boostedDriver
+	ops []SetOp
+	fn  func(*boosting.Tx)
+}
+
+var boostedRunPool = sync.Pool{New: func() any {
+	r := &boostedRun{}
+	r.fn = func(tx *boosting.Tx) {
+		for _, op := range r.ops {
 			switch op.Kind {
 			case OpAdd:
-				d.set.Add(tx, op.Key)
+				r.d.set.Add(tx, op.Key)
 			case OpRemove:
-				d.set.Remove(tx, op.Key)
+				r.d.set.Remove(tx, op.Key)
 			default:
-				d.set.Contains(tx, op.Key)
+				r.d.set.Contains(tx, op.Key)
 			}
 		}
-	})
+	}
+	return r
+}}
+
+func (d *boostedDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	r := boostedRunPool.Get().(*boostedRun)
+	r.d, r.ops = d, ops
+	err := boosting.AtomicCtx(ctx, nil, nil, r.fn)
+	r.d, r.ops = nil, nil
+	boostedRunPool.Put(r)
+	return err
 }
 
 // --- OTB ---
@@ -126,19 +148,38 @@ func NewOTBDriver(set otbSet) SetDriver { return &otbDriver{set: set} }
 func (d *otbDriver) Name() string      { return "OptimisticBoosted" }
 func (d *otbDriver) Stop()             {}
 func (d *otbDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
-func (d *otbDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
-	return otb.AtomicCtx(ctx, nil, func(tx *otb.Tx) {
-		for _, op := range ops {
+
+// otbRun is a pooled transaction body (see boostedRun).
+type otbRun struct {
+	d   *otbDriver
+	ops []SetOp
+	fn  func(*otb.Tx)
+}
+
+var otbRunPool = sync.Pool{New: func() any {
+	r := &otbRun{}
+	r.fn = func(tx *otb.Tx) {
+		for _, op := range r.ops {
 			switch op.Kind {
 			case OpAdd:
-				d.set.Add(tx, op.Key)
+				r.d.set.Add(tx, op.Key)
 			case OpRemove:
-				d.set.Remove(tx, op.Key)
+				r.d.set.Remove(tx, op.Key)
 			default:
-				d.set.Contains(tx, op.Key)
+				r.d.set.Contains(tx, op.Key)
 			}
 		}
-	})
+	}
+	return r
+}}
+
+func (d *otbDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	r := otbRunPool.Get().(*otbRun)
+	r.d, r.ops = d, ops
+	err := otb.AtomicCtx(ctx, nil, r.fn)
+	r.d, r.ops = nil, nil
+	otbRunPool.Put(r)
+	return err
 }
 
 // --- Pure STM structures ---
@@ -181,28 +222,47 @@ func NewSTMDriver(name string, alg stm.Algorithm, set stmSet) SetDriver {
 func (d *stmDriver) Name() string      { return d.name }
 func (d *stmDriver) Stop()             { d.alg.Stop() }
 func (d *stmDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
-func (d *stmDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
-	body := func(tx stm.Tx) {
-		for _, op := range ops {
+
+// stmRun is a pooled transaction body (see boostedRun).
+type stmRun struct {
+	d   *stmDriver
+	ops []SetOp
+	fn  func(stm.Tx)
+}
+
+var stmRunPool = sync.Pool{New: func() any {
+	r := &stmRun{}
+	r.fn = func(tx stm.Tx) {
+		for _, op := range r.ops {
 			switch op.Kind {
 			case OpAdd:
-				d.set.Add(tx, op.Key)
+				r.d.set.Add(tx, op.Key)
 			case OpRemove:
-				d.set.Remove(tx, op.Key)
+				r.d.set.Remove(tx, op.Key)
 			default:
-				d.set.Contains(tx, op.Key)
+				r.d.set.Contains(tx, op.Key)
 			}
 		}
 	}
+	return r
+}}
+
+func (d *stmDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	r := stmRunPool.Get().(*stmRun)
+	r.d, r.ops = d, ops
+	defer func() {
+		r.d, r.ops = nil, nil
+		stmRunPool.Put(r)
+	}()
 	if ac, ok := d.alg.(stm.AlgorithmCtx); ok {
-		return ac.AtomicCtx(ctx, body)
+		return ac.AtomicCtx(ctx, r.fn)
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 	}
-	d.alg.Atomic(body)
+	d.alg.Atomic(r.fn)
 	return nil
 }
 
@@ -222,19 +282,38 @@ func NewIntegratedDriver(alg integrate.Algorithm, set otbSet) SetDriver {
 func (d *integDriver) Name() string      { return d.alg.Name() }
 func (d *integDriver) Stop()             { d.alg.Stop() }
 func (d *integDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
-func (d *integDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
-	return d.alg.AtomicCtx(ctx, func(ic *integrate.Ctx) {
-		for _, op := range ops {
+
+// integRun is a pooled transaction body (see boostedRun).
+type integRun struct {
+	d   *integDriver
+	ops []SetOp
+	fn  func(*integrate.Ctx)
+}
+
+var integRunPool = sync.Pool{New: func() any {
+	r := &integRun{}
+	r.fn = func(ic *integrate.Ctx) {
+		for _, op := range r.ops {
 			switch op.Kind {
 			case OpAdd:
-				d.set.Add(ic.Sem(), op.Key)
+				r.d.set.Add(ic.Sem(), op.Key)
 			case OpRemove:
-				d.set.Remove(ic.Sem(), op.Key)
+				r.d.set.Remove(ic.Sem(), op.Key)
 			default:
-				d.set.Contains(ic.Sem(), op.Key)
+				r.d.set.Contains(ic.Sem(), op.Key)
 			}
 		}
-	})
+	}
+	return r
+}}
+
+func (d *integDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	r := integRunPool.Get().(*integRun)
+	r.d, r.ops = d, ops
+	err := d.alg.AtomicCtx(ctx, r.fn)
+	r.d, r.ops = nil, nil
+	integRunPool.Put(r)
+	return err
 }
 
 // SetWorkload generates the paper's set micro-benchmark mixes: WritePct

@@ -7,11 +7,15 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Experiment is one reproducible artifact of the paper's evaluation.
+// Experiment is one reproducible artifact of the paper's evaluation. Gen,
+// when non-nil, generates the underlying Figure (cmd/reproduce -bench-out
+// uses it to also emit machine-readable records); experiments that print
+// free-form tables only provide Run.
 type Experiment struct {
 	ID   string
 	Desc string
 	Run  func(cfg Config, w io.Writer)
+	Gen  func(cfg Config) Figure
 }
 
 // figExp adapts a Figure generator to an Experiment. When telemetry is
@@ -19,7 +23,7 @@ type Experiment struct {
 // and appends its own abort-reason breakdown, so the table is windowed to
 // the experiment rather than the process lifetime.
 func figExp(id, desc string, gen func(Config) Figure) Experiment {
-	return Experiment{ID: id, Desc: desc, Run: func(cfg Config, w io.Writer) {
+	return Experiment{ID: id, Desc: desc, Gen: gen, Run: func(cfg Config, w io.Writer) {
 		telemetry.Default.Reset()
 		f := gen(cfg)
 		f.Print(w)

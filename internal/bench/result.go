@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// ResultSchema is the machine-readable result schema shared by cmd/stmbench
+// -json, cmd/reproduce -bench-out, and cmd/benchgate (documented in
+// EXPERIMENTS.md, "Machine-readable results").
+const ResultSchema = "stmbench-result/v1"
+
+// Result is one stmbench-result/v1 record: one (structure, algorithm,
+// threads, workload) measurement. cmd/stmbench extends it with telemetry
+// meters; the perf gate compares TxPerSec and AllocsPerTx across runs.
+type Result struct {
+	Schema      string  `json:"schema"`
+	Structure   string  `json:"structure"`
+	Algorithm   string  `json:"algorithm"`
+	Threads     int     `json:"threads"`
+	InitialSize int     `json:"initial_size"`
+	WritePct    int     `json:"write_pct"`
+	OpsPerTx    int     `json:"ops_per_tx"`
+	DurationNS  int64   `json:"duration_ns"`
+	TxPerSec    float64 `json:"tx_per_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+
+	AllocsPerTx     float64 `json:"allocs_per_tx"`
+	AllocBytesPerTx float64 `json:"alloc_bytes_per_tx"`
+	GCPauseTotalNS  uint64  `json:"gc_pause_total_ns"`
+	NumGC           uint32  `json:"num_gc"`
+}
+
+// FigureResults flattens a reproduced figure into stmbench-result/v1
+// records: one per series point, with Structure naming the figure panel and
+// Algorithm the series. For figures whose Y axis is not a throughput (e.g.
+// execution time or ratios), TxPerSec carries the figure's Y value verbatim
+// — the record identifies the point; its unit is the figure's YLabel.
+func FigureResults(id string, cfg Config, f Figure) []Result {
+	var out []Result
+	for _, sp := range f.SubPlots {
+		for _, s := range sp.Series {
+			for _, p := range s.Points {
+				out = append(out, Result{
+					Schema:     ResultSchema,
+					Structure:  id + "/" + sp.Name,
+					Algorithm:  s.Name,
+					Threads:    p.X,
+					DurationNS: int64(cfg.Measure),
+					TxPerSec:   p.Y,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WriteResults writes records as an indented JSON array.
+func WriteResults(path string, results []Result) error {
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

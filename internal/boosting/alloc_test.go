@@ -1,0 +1,92 @@
+package boosting_test
+
+import (
+	"testing"
+
+	"repro/internal/race"
+
+	"repro/internal/boosting"
+	"repro/internal/conc"
+)
+
+// These tests pin the allocation-free boosted commit path (ISSUE 6): a
+// steady-state boosted-set write transaction — abstract lock acquisition,
+// eager application to the underlying concurrent set, typed undo logging,
+// commit, descriptor recycling — must not allocate. The underlying lazy
+// list recycles its nodes through epoch-based reclamation, so the
+// alternating add/remove below is allocation-free end to end.
+
+const warmupRounds = 200
+
+func runAllocTx(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("race-mode sync.Pool drops Puts at random; pooled paths cannot be allocation-free")
+	}
+	for i := 0; i < warmupRounds; i++ {
+		fn()
+	}
+	if allocs := testing.AllocsPerRun(1000, fn); allocs > 0 {
+		t.Errorf("%s: %.2f allocs/op on the commit path, want 0", name, allocs)
+	}
+}
+
+// TestBoostedSetWriteTxAllocFree alternates add and remove of one key so
+// every transaction registers a typed undo entry and (on removes) retires a
+// lazy-list node through the epoch pipeline.
+func TestBoostedSetWriteTxAllocFree(t *testing.T) {
+	set := boosting.NewSet(conc.NewLazyList(), 64)
+	for k := int64(1); k <= 64; k++ {
+		boosting.Atomic(nil, nil, func(tx *boosting.Tx) { set.Add(tx, k) })
+	}
+	adding := false // first toggle removes an existing key
+	key := int64(32)
+	fn := func(tx *boosting.Tx) {
+		if adding {
+			set.Add(tx, key)
+		} else {
+			set.Remove(tx, key)
+		}
+	}
+	runAllocTx(t, "boosted set write tx", func() {
+		boosting.Atomic(nil, nil, fn)
+		adding = !adding
+	})
+}
+
+// TestBoostedSetReadTxAllocFree pins the read-only fast path (contains under
+// a shared abstract lock).
+func TestBoostedSetReadTxAllocFree(t *testing.T) {
+	set := boosting.NewSet(conc.NewLazyList(), 64)
+	for k := int64(1); k <= 64; k++ {
+		boosting.Atomic(nil, nil, func(tx *boosting.Tx) { set.Add(tx, k) })
+	}
+	fn := func(tx *boosting.Tx) { set.Contains(tx, 32) }
+	runAllocTx(t, "boosted set read tx", func() {
+		boosting.Atomic(nil, nil, fn)
+	})
+}
+
+// BenchmarkBoostedSetWriteTx reports ns/op and allocs/op for the boosted-set
+// commit fast path (write transaction, single worker).
+func BenchmarkBoostedSetWriteTx(b *testing.B) {
+	set := boosting.NewSet(conc.NewLazyList(), 64)
+	for k := int64(1); k <= 64; k++ {
+		boosting.Atomic(nil, nil, func(tx *boosting.Tx) { set.Add(tx, k) })
+	}
+	adding := false
+	key := int64(32)
+	fn := func(tx *boosting.Tx) {
+		if adding {
+			set.Add(tx, key)
+		} else {
+			set.Remove(tx, key)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boosting.Atomic(nil, nil, fn)
+		adding = !adding
+	}
+}

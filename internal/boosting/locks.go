@@ -107,11 +107,45 @@ type heldLock struct {
 	key  uint64 // flight-recorder attribution key noted at acquisition
 }
 
+// inverser is implemented by boosted structures that can apply the inverse
+// of a recorded operation from a compact (key, code) pair. Typed undo
+// entries keep the per-operation hot path free of closure allocations; the
+// codes are the inv* constants below.
+type inverser interface {
+	applyInverse(key int64, code int8)
+}
+
+// Undo codes, one per invertible boosted operation.
+const (
+	invSetAdd      int8 = iota // inverse of Set.Add: remove the key
+	invSetRemove               // inverse of Set.Remove: re-add the key
+	invPQAdd                   // inverse of PQ.Add: mark the key logically deleted
+	invPQRemoveMin             // inverse of PQ.RemoveMin: re-insert the key
+)
+
+// undoEntry is one recorded inverse: either a typed (target, key, code)
+// triple or, for arbitrary callers of OnAbort, a plain closure.
+type undoEntry struct {
+	target inverser // nil when fn is set
+	fn     func()
+	key    int64
+	code   int8
+}
+
+// run applies the inverse.
+func (u *undoEntry) run() {
+	if u.fn != nil {
+		u.fn()
+		return
+	}
+	u.target.applyInverse(u.key, u.code)
+}
+
 // Tx is a pessimistic-boosting transaction: the set of abstract locks held
 // and the semantic undo log of inverse operations.
 type Tx struct {
 	held []heldLock
-	undo []func()
+	undo []undoEntry
 	ctr  *spin.Counters
 	mgr  *cm.Manager // resolved contention manager for this execution
 	tel  *telemetry.Local
@@ -152,8 +186,35 @@ func SetManager(m *cm.Manager) { cmgr.Store(m) }
 var traceSrc = trace.S("PessimisticBoosted")
 
 var txPool = sync.Pool{New: func() any {
-	return &Tx{tel: meter.Local(), tr: traceSrc.Local()}
+	return &boostRunner{tx: &Tx{tel: meter.Local(), tr: traceSrc.Local()}}
 }}
+
+// boostRunner drives one boosted transaction through the retry loop via
+// abort.TxRunner methods, keeping the hot path free of closure allocations.
+type boostRunner struct {
+	tx *Tx
+	fn func(*Tx)
+}
+
+func (r *boostRunner) Begin() {
+	r.tx.held = r.tx.held[:0]
+	clearUndo(r.tx.undo)
+	r.tx.undo = r.tx.undo[:0]
+	r.tx.tr.AttemptStart()
+}
+
+func (r *boostRunner) Attempt() {
+	r.fn(r.tx)
+	r.tx.tr.CommitBegin()
+	r.tx.commit()
+	r.tx.tr.CommitEnd()
+}
+
+func (r *boostRunner) Rollback(reason abort.Reason) {
+	r.tx.rollback()
+	r.tx.tr.Abort(reason)
+	r.tx.tel.Abort(reason)
+}
 
 // Atomic runs fn as a boosted transaction, retrying on abort. Stats and
 // counters may be nil.
@@ -168,35 +229,21 @@ func Atomic(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 // failpoint) panics — the rollback path has already restored the structure
 // by then.
 func AtomicCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) error {
-	tx := txPool.Get().(*Tx)
+	r := txPool.Get().(*boostRunner)
+	tx := r.tx
 	tx.ctr = ctr
 	tx.mgr = cm.Or(cmgr.Load())
+	r.fn = fn
 	defer func() {
 		tx.ctr = nil
 		tx.mgr = nil
-		txPool.Put(tx)
+		r.fn = nil
+		txPool.Put(r)
 	}()
 	start := tx.tel.Start()
 	tx.tr.TxStart()
 	defer tx.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, stats, tx.mgr,
-		func() {
-			tx.held = tx.held[:0]
-			tx.undo = tx.undo[:0]
-			tx.tr.AttemptStart()
-		},
-		func() {
-			fn(tx)
-			tx.tr.CommitBegin()
-			tx.commit()
-			tx.tr.CommitEnd()
-		},
-		func(r abort.Reason) {
-			tx.rollback()
-			tx.tr.Abort(r)
-			tx.tel.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, stats, tx.mgr, r)
 	if escalated {
 		tx.tr.Escalated()
 		tx.tel.Escalated()
@@ -209,9 +256,17 @@ func AtomicCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, fn f
 }
 
 // OnAbort registers an inverse operation to replay if the transaction
-// aborts. Inverses run in reverse registration order.
+// aborts. Inverses run in reverse registration order. The boosted
+// structures in this package record their inverses through the
+// allocation-free onUndo instead; OnAbort remains for callers with
+// arbitrary rollback actions.
 func (tx *Tx) OnAbort(inverse func()) {
-	tx.undo = append(tx.undo, inverse)
+	tx.undo = append(tx.undo, undoEntry{fn: inverse})
+}
+
+// onUndo registers a typed inverse without allocating.
+func (tx *Tx) onUndo(target inverser, key int64, code int8) {
+	tx.undo = append(tx.undo, undoEntry{target: target, key: key, code: code})
 }
 
 // AcquireRead takes (or confirms) a shared hold on l, aborting on timeout.
@@ -300,16 +355,26 @@ func (tx *Tx) holds(l *RWLock) bool {
 func (tx *Tx) commit() {
 	fpCommitPre.Hit()
 	tx.releaseAll()
+	clearUndo(tx.undo)
 	tx.undo = tx.undo[:0]
 }
 
 // rollback replays the undo log in reverse and releases all locks.
 func (tx *Tx) rollback() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i]()
+		tx.undo[i].run()
 	}
+	clearUndo(tx.undo)
 	tx.undo = tx.undo[:0]
 	tx.releaseAll()
+}
+
+// clearUndo drops references held by a drained undo log so recycled
+// descriptors do not pin dead structures or closures.
+func clearUndo(u []undoEntry) {
+	for i := range u {
+		u[i] = undoEntry{}
+	}
 }
 
 // releaseHook, when non-nil, observes every lock release in order. It is a

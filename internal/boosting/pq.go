@@ -64,7 +64,7 @@ func (q *PQ) Add(tx *Tx, key int64) {
 	tx.noteLockKey(pqLockTraceKey)
 	tx.AcquireRead(&q.lock)
 	q.pq.Add(key)
-	tx.OnAbort(func() { q.markDeleted(key) })
+	tx.onUndo(q, key, invPQAdd)
 }
 
 // Min returns the smallest live key within tx; ok is false when empty.
@@ -96,8 +96,17 @@ func (q *PQ) RemoveMin(tx *Tx) (int64, bool) {
 		if q.consumeDeleted(key) {
 			continue // skip a rolled-back Add
 		}
-		tx.OnAbort(func() { q.pq.Add(key) })
+		tx.onUndo(q, key, invPQRemoveMin)
 		return key, true
+	}
+}
+
+// applyInverse implements inverser for the boosted priority queue.
+func (q *PQ) applyInverse(key int64, code int8) {
+	if code == invPQAdd {
+		q.markDeleted(key)
+	} else {
+		q.pq.Add(key)
 	}
 }
 

@@ -31,7 +31,7 @@ func (s *Set) Add(tx *Tx, key int64) bool {
 	if !s.set.Add(key) {
 		return false
 	}
-	tx.OnAbort(func() { s.set.Remove(key) })
+	tx.onUndo(s, key, invSetAdd)
 	return true
 }
 
@@ -42,8 +42,17 @@ func (s *Set) Remove(tx *Tx, key int64) bool {
 	if !s.set.Remove(key) {
 		return false
 	}
-	tx.OnAbort(func() { s.set.Add(key) })
+	tx.onUndo(s, key, invSetRemove)
 	return true
+}
+
+// applyInverse implements inverser for the boosted set.
+func (s *Set) applyInverse(key int64, code int8) {
+	if code == invSetAdd {
+		s.set.Remove(key)
+	} else {
+		s.set.Add(key)
+	}
 }
 
 // Contains reports within tx whether key is present. Unlike the lazy set's

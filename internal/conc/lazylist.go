@@ -4,11 +4,15 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/mem/epoch"
 )
 
 // listNode is one element of a LazyList. Deletion is split into a logical
 // phase (setting marked) and a physical phase (unlinking), so wait-free
-// readers can skip over logically deleted nodes.
+// readers can skip over logically deleted nodes. Unlinked nodes are retired
+// through epoch-based reclamation and recycled via listNodePool, so the
+// steady-state add/remove path does not allocate.
 type listNode struct {
 	key    int64
 	next   atomic.Pointer[listNode]
@@ -16,10 +20,28 @@ type listNode struct {
 	mu     sync.Mutex
 }
 
+var listNodePool = sync.Pool{New: func() any { return new(listNode) }}
+
+// newListNode draws a node from the pool and resets the fields a previous
+// life may have dirtied. A recycled node is unreachable by the time it is
+// reused (two epoch advances have passed), so no traversal can observe the
+// resets.
+func newListNode(key int64) *listNode {
+	n := listNodePool.Get().(*listNode)
+	n.key = key
+	n.marked.Store(false)
+	return n
+}
+
+// freeListNode returns a retired node to the pool (epoch.Retire callback).
+func freeListNode(v any) { listNodePool.Put(v.(*listNode)) }
+
 // LazyList is the lazy linked-list set of Heller et al. [OPODIS 2005]:
 // unmonitored traversal, per-node locking with post-lock validation, and a
 // wait-free Contains. Keys range over int64 exclusive of the sentinels
-// (math.MinInt64, math.MaxInt64).
+// (math.MinInt64, math.MaxInt64). Every operation pins an epoch guard so
+// that unlinked nodes can be recycled instead of left to the garbage
+// collector.
 type LazyList struct {
 	head *listNode
 }
@@ -52,6 +74,8 @@ func validate(pred, curr *listNode) bool {
 
 // Add inserts key, returning false if it was already present.
 func (l *LazyList) Add(key int64) bool {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	for {
 		pred, curr := l.locate(key)
 		pred.mu.Lock()
@@ -62,7 +86,7 @@ func (l *LazyList) Add(key int64) bool {
 				pred.mu.Unlock()
 				return false
 			}
-			n := &listNode{key: key}
+			n := newListNode(key)
 			n.next.Store(curr)
 			pred.next.Store(n)
 			curr.mu.Unlock()
@@ -74,8 +98,12 @@ func (l *LazyList) Add(key int64) bool {
 	}
 }
 
-// Remove deletes key, returning false if it was absent.
+// Remove deletes key, returning false if it was absent. The unlinked node is
+// retired under the epoch guard and recycled once no concurrent traversal
+// can still reach it.
 func (l *LazyList) Remove(key int64) bool {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	for {
 		pred, curr := l.locate(key)
 		pred.mu.Lock()
@@ -90,6 +118,7 @@ func (l *LazyList) Remove(key int64) bool {
 			pred.next.Store(curr.next.Load())
 			curr.mu.Unlock()
 			pred.mu.Unlock()
+			g.Retire(curr, freeListNode)
 			return true
 		}
 		curr.mu.Unlock()
@@ -97,19 +126,24 @@ func (l *LazyList) Remove(key int64) bool {
 	}
 }
 
-// Contains reports whether key is present. It is wait-free: no locks, one
-// traversal, and a final marked check.
+// Contains reports whether key is present. It takes no locks: one traversal
+// under an epoch pin and a final marked check.
 func (l *LazyList) Contains(key int64) bool {
+	g := epoch.Default.Enter()
 	curr := l.head
 	for curr.key < key {
 		curr = curr.next.Load()
 	}
-	return curr.key == key && !curr.marked.Load()
+	ok := curr.key == key && !curr.marked.Load()
+	g.Exit()
+	return ok
 }
 
 // Len counts the unmarked elements (excluding sentinels). It is not
 // linearizable and is intended for tests and reporting.
 func (l *LazyList) Len() int {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	n := 0
 	for curr := l.head.next.Load(); curr.key != math.MaxInt64; curr = curr.next.Load() {
 		if !curr.marked.Load() {
@@ -121,6 +155,8 @@ func (l *LazyList) Len() int {
 
 // Keys returns the unmarked keys in ascending order (tests only).
 func (l *LazyList) Keys() []int64 {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	var out []int64
 	for curr := l.head.next.Load(); curr.key != math.MaxInt64; curr = curr.next.Load() {
 		if !curr.marked.Load() {

@@ -143,13 +143,16 @@ func (s *OTBNOrec) Commits() uint64 { return s.stats.commits.Load() }
 // Aborts reports the number of aborted attempts.
 func (s *OTBNOrec) Aborts() uint64 { return s.stats.aborts.Load() }
 
-// norecCtx is one OTB-NOrec transaction descriptor.
+// norecCtx is one OTB-NOrec transaction descriptor. It implements
+// abort.TxRunner so the retry loop drives it without per-transaction
+// closures.
 type norecCtx struct {
 	s          *OTBNOrec
 	snapshot   uint64
 	holdsClock bool
 	reads      []stm.ReadEntry
 	writes     stm.WriteSet
+	fn         func(*Ctx)
 	ctx        Ctx
 	tel        *telemetry.Local
 	tr         *trace.Local
@@ -180,7 +183,9 @@ func (s *OTBNOrec) Atomic(fn func(*Ctx)) { s.AtomicCtx(nil, fn) }
 // rollback path has already released the semantic state and global lock.
 func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	t := s.pool.Get().(*norecCtx)
+	t.fn = fn
 	defer func() {
+		t.fn = nil
 		t.ctx.sem.Reset()
 		t.reads = t.reads[:0]
 		t.writes.Reset()
@@ -189,28 +194,7 @@ func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	start := t.tel.Start()
 	t.tr.TxStart()
 	defer t.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		t.begin,
-		func() {
-			fn(&t.ctx)
-			cs := t.tel.Start()
-			t.tr.CommitBegin()
-			t.commit()
-			t.tr.CommitEnd()
-			t.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			t.ctx.sem.Rollback()
-			if t.holdsClock {
-				t.s.clock.Unlock()
-				t.holdsClock = false
-				t.tr.Unlock(norecClockTraceKey)
-			}
-			s.stats.aborts.Add(1)
-			t.tr.Abort(r)
-			t.tel.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		t.tr.Escalated()
 		t.tel.Escalated()
@@ -223,12 +207,41 @@ func (s *OTBNOrec) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	return nil
 }
 
-func (t *norecCtx) begin() {
+// Begin implements abort.TxRunner: start one attempt. The semantic
+// transaction pins an epoch guard so the OTB nodes it traverses cannot be
+// recycled mid-attempt.
+func (t *norecCtx) Begin() {
 	t.tr.AttemptStart()
 	t.reads = t.reads[:0]
 	t.writes.Reset()
 	t.ctx.sem.Reset()
+	t.ctx.sem.Pin()
 	t.snapshot = t.s.clock.WaitUnlocked(&t.s.ctr)
+}
+
+// Attempt implements abort.TxRunner: run the body and commit.
+func (t *norecCtx) Attempt() {
+	t.fn(&t.ctx)
+	cs := t.tel.Start()
+	t.tr.CommitBegin()
+	t.commit()
+	t.tr.CommitEnd()
+	t.ctx.sem.Unpin()
+	t.tel.CommitPhase(cs)
+}
+
+// Rollback implements abort.TxRunner: undo a failed attempt.
+func (t *norecCtx) Rollback(r abort.Reason) {
+	t.ctx.sem.Rollback()
+	t.ctx.sem.Unpin()
+	if t.holdsClock {
+		t.s.clock.Unlock()
+		t.holdsClock = false
+		t.tr.Unlock(norecClockTraceKey)
+	}
+	t.s.stats.aborts.Add(1)
+	t.tr.Abort(r)
+	t.tel.Abort(r)
 }
 
 // Read implements stm.Tx with NOrec's post-read loop over the combined
@@ -367,13 +380,17 @@ func orecIdx(c *mem.Cell) int {
 	return int(h >> (64 - orecBits))
 }
 
-// tl2Ctx is one OTB-TL2 transaction descriptor.
+// tl2Ctx is one OTB-TL2 transaction descriptor. It implements
+// abort.TxRunner so the retry loop drives it without per-transaction
+// closures.
 type tl2Ctx struct {
 	s      *OTBTL2
 	rv     uint64
 	reads  []*orec
 	writes stm.WriteSet
 	locked []tl2Locked
+	seen   []tl2Locked // lockWriteSet scratch: distinct orecs, sorted by idx
+	fn     func(*Ctx)
 	ctx    Ctx
 	tel    *telemetry.Local
 	tr     *trace.Local
@@ -408,7 +425,9 @@ func (s *OTBTL2) Atomic(fn func(*Ctx)) { s.AtomicCtx(nil, fn) }
 // rollback path has already unwound both the orec and semantic lock layers.
 func (s *OTBTL2) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	t := s.pool.Get().(*tl2Ctx)
+	t.fn = fn
 	defer func() {
+		t.fn = nil
 		t.ctx.sem.Reset()
 		t.reset()
 		s.pool.Put(t)
@@ -416,24 +435,7 @@ func (s *OTBTL2) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	start := t.tel.Start()
 	t.tr.TxStart()
 	defer t.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		t.begin,
-		func() {
-			fn(&t.ctx)
-			cs := t.tel.Start()
-			t.tr.CommitBegin()
-			t.commit()
-			t.tr.CommitEnd()
-			t.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			t.releaseLocked()
-			t.ctx.sem.Rollback()
-			s.stats.aborts.Add(1)
-			t.tr.Abort(r)
-			t.tel.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		t.tr.Escalated()
 		t.tel.Escalated()
@@ -446,17 +448,43 @@ func (s *OTBTL2) AtomicCtx(ctx context.Context, fn func(*Ctx)) error {
 	return nil
 }
 
-func (t *tl2Ctx) begin() {
+// Begin implements abort.TxRunner: start one attempt. The semantic
+// transaction pins an epoch guard so the OTB nodes it traverses cannot be
+// recycled mid-attempt.
+func (t *tl2Ctx) Begin() {
 	t.tr.AttemptStart()
 	t.reset()
 	t.ctx.sem.Reset()
+	t.ctx.sem.Pin()
 	t.rv = t.s.clock.Load()
+}
+
+// Attempt implements abort.TxRunner: run the body and commit.
+func (t *tl2Ctx) Attempt() {
+	t.fn(&t.ctx)
+	cs := t.tel.Start()
+	t.tr.CommitBegin()
+	t.commit()
+	t.tr.CommitEnd()
+	t.ctx.sem.Unpin()
+	t.tel.CommitPhase(cs)
+}
+
+// Rollback implements abort.TxRunner: undo a failed attempt.
+func (t *tl2Ctx) Rollback(r abort.Reason) {
+	t.releaseLocked()
+	t.ctx.sem.Rollback()
+	t.ctx.sem.Unpin()
+	t.s.stats.aborts.Add(1)
+	t.tr.Abort(r)
+	t.tel.Abort(r)
 }
 
 func (t *tl2Ctx) reset() {
 	t.reads = t.reads[:0]
 	t.writes.Reset()
 	t.locked = t.locked[:0]
+	t.seen = t.seen[:0]
 }
 
 // Read implements stm.Tx with TL2 sampling plus semantic co-validation (the
@@ -515,26 +543,26 @@ func (t *tl2Ctx) commit() {
 }
 
 func (t *tl2Ctx) lockWriteSet() {
-	var seen []tl2Locked
+	t.seen = t.seen[:0]
 	for _, e := range t.writes.Entries() {
 		idx := orecIdx(e.Cell)
 		dup := false
-		for _, l := range seen {
+		for _, l := range t.seen {
 			if l.idx == idx {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			seen = append(seen, tl2Locked{o: &t.s.orecs[idx], idx: idx})
+			t.seen = append(t.seen, tl2Locked{o: &t.s.orecs[idx], idx: idx})
 		}
 	}
-	for i := 1; i < len(seen); i++ {
-		for j := i; j > 0 && seen[j].idx < seen[j-1].idx; j-- {
-			seen[j], seen[j-1] = seen[j-1], seen[j]
+	for i := 1; i < len(t.seen); i++ {
+		for j := i; j > 0 && t.seen[j].idx < t.seen[j-1].idx; j-- {
+			t.seen[j], t.seen[j-1] = t.seen[j-1], t.seen[j]
 		}
 	}
-	for _, l := range seen {
+	for _, l := range t.seen {
 		v := l.o.v.Load()
 		if orecLocked(v) || orecVersion(v) > t.rv || !l.o.v.CompareAndSwap(v, v|1) {
 			t.s.ctr.IncCAS()

@@ -2,10 +2,11 @@ package otb
 
 import (
 	"math"
-	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/mem/epoch"
 	"repro/internal/spin"
 )
 
@@ -24,9 +25,27 @@ type lnode struct {
 	lock   spin.VersionedLock
 }
 
+// lnodePool recycles list nodes. Nodes flow back in through epoch
+// reclamation only (freeLNode is the Retire callback), so a pooled node is
+// never reused while any pinned transaction could still reach it. Recycled
+// nodes keep their allocation id (the lock-ordering identity stays unique)
+// and their lock version (monotone, so readers holding a stale sample of the
+// node's previous life fail validation instead of silently passing).
+var lnodePool = sync.Pool{New: func() any {
+	return &lnode{id: nodeSeq.Add(1)}
+}}
+
 func newLNode(key int64) *lnode {
-	return &lnode{id: nodeSeq.Add(1), key: key}
+	n := lnodePool.Get().(*lnode)
+	n.key = key
+	n.marked.Store(false)
+	n.next.Store(nil)
+	return n
 }
+
+// freeLNode is the epoch.Retire callback returning a reclaimed node to the
+// pool. Top-level so Retire call sites do not allocate a closure.
+func freeLNode(v any) { lnodePool.Put(v) }
 
 // checkKey rejects the sentinel keys, which would otherwise alias the
 // head/tail nodes and corrupt the structure.
@@ -107,6 +126,7 @@ type listState struct {
 	writes   []listWrite
 	locked   []*lnode // nodes semantically locked by this transaction
 	lockSnap []uint64 // scratch: sampled lock versions during validation
+	toLock   []*lnode // scratch: deduplicated lock targets during PreCommit
 }
 
 // reset recycles the state for a new transaction.
@@ -115,6 +135,17 @@ func (st *listState) reset() {
 	st.writes = st.writes[:0]
 	st.locked = st.locked[:0]
 	st.lockSnap = st.lockSnap[:0]
+	st.toLock = st.toLock[:0]
+}
+
+// addToLock appends n to the PreCommit lock-target scratch unless present.
+func (st *listState) addToLock(n *lnode) {
+	for _, m := range st.toLock {
+		if m == n {
+			return
+		}
+	}
+	st.toLock = append(st.toLock, n)
 }
 
 func (s *ListSet) state(tx *Tx) *listState {
@@ -318,23 +349,15 @@ func (s *ListSet) PreCommit(tx *Tx) {
 	if st == nil || len(st.writes) == 0 {
 		return
 	}
-	var toLock []*lnode
-	add := func(n *lnode) {
-		for _, m := range toLock {
-			if m == n {
-				return
-			}
-		}
-		toLock = append(toLock, n)
-	}
+	st.toLock = st.toLock[:0]
 	for i := range st.writes {
-		add(st.writes[i].pred)
+		st.addToLock(st.writes[i].pred)
 		if !st.writes[i].isAdd {
-			add(st.writes[i].curr)
+			st.addToLock(st.writes[i].curr)
 		}
 	}
-	sort.Slice(toLock, func(i, j int) bool { return toLock[i].id < toLock[j].id })
-	for _, n := range toLock {
+	sortNodesByID(st.toLock)
+	for _, n := range st.toLock {
 		if _, ok := n.lock.TryLock(); !ok {
 			tx.Counters().IncCAS()
 			tx.tr.LockBusy(traceKey(n.key))
@@ -354,7 +377,7 @@ func (s *ListSet) OnCommit(tx *Tx) {
 	if st == nil || len(st.writes) == 0 {
 		return
 	}
-	sort.Slice(st.writes, func(i, j int) bool { return st.writes[i].key > st.writes[j].key })
+	sortListWritesByKeyDesc(st.writes)
 	for i := range st.writes {
 		w := &st.writes[i]
 		pred := w.pred
@@ -371,10 +394,42 @@ func (s *ListSet) OnCommit(tx *Tx) {
 			st.locked = append(st.locked, n)
 		} else {
 			// curr must be the victim: it is locked by us, so no other
-			// transaction can have unlinked it.
+			// transaction can have unlinked it. Once unlinked it is retired:
+			// the epoch scheme recycles it into the node pool after every
+			// transaction that could still be traversing it has unpinned.
 			curr.marked.Store(true)
 			pred.next.Store(curr.next.Load())
+			tx.retire(curr, freeLNode)
 		}
+	}
+}
+
+// sortNodesByID insertion-sorts nodes ascending by allocation id (the
+// global lock order). Write sets are small; insertion sort avoids the
+// reflection allocations of sort.Slice on the commit path.
+func sortNodesByID(nodes []*lnode) {
+	for i := 1; i < len(nodes); i++ {
+		n := nodes[i]
+		j := i - 1
+		for j >= 0 && nodes[j].id > n.id {
+			nodes[j+1] = nodes[j]
+			j--
+		}
+		nodes[j+1] = n
+	}
+}
+
+// sortListWritesByKeyDesc insertion-sorts write entries descending by key
+// (the publication order of Algorithm 3), allocation-free.
+func sortListWritesByKeyDesc(ws []listWrite) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && ws[j].key < w.key {
+			ws[j+1] = ws[j]
+			j--
+		}
+		ws[j+1] = w
 	}
 }
 
@@ -413,7 +468,11 @@ func (s *ListSet) Dirty(tx *Tx) bool {
 }
 
 // Len counts the unmarked elements (not linearizable; tests and reporting).
+// The traversal pins an epoch guard so concurrent removals cannot recycle
+// nodes out from under it.
 func (s *ListSet) Len() int {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	n := 0
 	for curr := s.head.next.Load(); curr.key != math.MaxInt64; curr = curr.next.Load() {
 		if !curr.marked.Load() {
@@ -423,8 +482,11 @@ func (s *ListSet) Len() int {
 	return n
 }
 
-// Keys returns the unmarked keys in ascending order (tests only).
+// Keys returns the unmarked keys in ascending order (tests only). Pinned
+// like Len.
 func (s *ListSet) Keys() []int64 {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	var out []int64
 	for curr := s.head.next.Load(); curr.key != math.MaxInt64; curr = curr.next.Load() {
 		if !curr.marked.Load() {

@@ -3,7 +3,6 @@ package otb
 import (
 	"math"
 	"math/rand/v2"
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/abort"
@@ -27,6 +26,34 @@ type mnode struct {
 
 func newMNode(key int64, topLevel int) *mnode {
 	return &mnode{id: nodeSeq.Add(1), key: key, topLevel: topLevel}
+}
+
+// sortMNodesByID insertion-sorts nodes ascending by allocation id (the
+// global lock order), allocation-free on the commit path.
+func sortMNodesByID(nodes []*mnode) {
+	for i := 1; i < len(nodes); i++ {
+		n := nodes[i]
+		j := i - 1
+		for j >= 0 && nodes[j].id > n.id {
+			nodes[j+1] = nodes[j]
+			j--
+		}
+		nodes[j+1] = n
+	}
+}
+
+// sortMapWritesByKeyDesc insertion-sorts write entries descending by key
+// (publication order), allocation-free.
+func sortMapWritesByKeyDesc(ws []mapWrite) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && ws[j].key < w.key {
+			ws[j+1] = ws[j]
+			j--
+		}
+		ws[j+1] = w
+	}
 }
 
 // Map is an optimistically boosted ordered map — one of the data structures
@@ -100,6 +127,7 @@ type mapState struct {
 	writes   []mapWrite
 	locked   []*mnode
 	lockSnap []uint64
+	toLock   []*mnode // scratch: deduplicated lock targets during PreCommit
 }
 
 // reset recycles the state for a new transaction.
@@ -108,6 +136,17 @@ func (st *mapState) reset() {
 	st.writes = st.writes[:0]
 	st.locked = st.locked[:0]
 	st.lockSnap = st.lockSnap[:0]
+	st.toLock = st.toLock[:0]
+}
+
+// addToLock appends n to the PreCommit lock-target scratch unless present.
+func (st *mapState) addToLock(n *mnode) {
+	for _, o := range st.toLock {
+		if o == n {
+			return
+		}
+	}
+	st.toLock = append(st.toLock, n)
 }
 
 func (m *Map) state(tx *Tx) *mapState {
@@ -403,33 +442,25 @@ func (m *Map) PreCommit(tx *Tx) {
 	if st == nil || len(st.writes) == 0 {
 		return
 	}
-	var toLock []*mnode
-	add := func(n *mnode) {
-		for _, o := range toLock {
-			if o == n {
-				return
-			}
-		}
-		toLock = append(toLock, n)
-	}
+	st.toLock = st.toLock[:0]
 	for i := range st.writes {
 		w := &st.writes[i]
 		switch w.kind {
 		case mapInsert:
 			for l := 0; l <= w.topLevel; l++ {
-				add(w.preds[l])
+				st.addToLock(w.preds[l])
 			}
 		case mapUpdate:
-			add(w.victim)
+			st.addToLock(w.victim)
 		default:
 			for l := 0; l <= w.topLevel; l++ {
-				add(w.preds[l])
+				st.addToLock(w.preds[l])
 			}
-			add(w.victim)
+			st.addToLock(w.victim)
 		}
 	}
-	sort.Slice(toLock, func(i, j int) bool { return toLock[i].id < toLock[j].id })
-	for _, n := range toLock {
+	sortMNodesByID(st.toLock)
+	for _, n := range st.toLock {
 		if _, ok := n.lock.TryLock(); !ok {
 			tx.Counters().IncCAS()
 			tx.tr.LockBusy(traceKey(n.key))
@@ -448,7 +479,7 @@ func (m *Map) OnCommit(tx *Tx) {
 	if st == nil || len(st.writes) == 0 {
 		return
 	}
-	sort.Slice(st.writes, func(i, j int) bool { return st.writes[i].key > st.writes[j].key })
+	sortMapWritesByKeyDesc(st.writes)
 	for i := range st.writes {
 		w := &st.writes[i]
 		switch w.kind {

@@ -3,10 +3,11 @@ package otb
 import (
 	"math"
 	"math/rand/v2"
-	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/abort"
+	"repro/internal/mem/epoch"
 	"repro/internal/spin"
 )
 
@@ -25,8 +26,60 @@ type snode struct {
 	lock        spin.VersionedLock
 }
 
+// snodePool recycles skip-list nodes through epoch reclamation, like
+// lnodePool: recycled towers keep their allocation id and lock version, and
+// a node reaches the pool only after every transaction that could have been
+// traversing it has unpinned.
+var snodePool = sync.Pool{New: func() any {
+	return &snode{id: nodeSeq.Add(1)}
+}}
+
 func newSNode(key int64, topLevel int) *snode {
-	return &snode{id: nodeSeq.Add(1), key: key, topLevel: topLevel}
+	n := snodePool.Get().(*snode)
+	n.key = key
+	n.topLevel = topLevel
+	n.marked.Store(false)
+	n.fullyLinked.Store(false)
+	return n
+}
+
+// freeSNode is the epoch.Retire callback returning a reclaimed tower to the
+// pool. The tower's next pointers are cleared so a pooled node does not
+// retain arbitrary subgraphs of a dead structure.
+func freeSNode(v any) {
+	n := v.(*snode)
+	for l := 0; l <= n.topLevel; l++ {
+		n.next[l].Store(nil)
+	}
+	snodePool.Put(n)
+}
+
+// sortSNodesByID insertion-sorts nodes ascending by allocation id (the
+// global lock order), allocation-free on the commit path.
+func sortSNodesByID(nodes []*snode) {
+	for i := 1; i < len(nodes); i++ {
+		n := nodes[i]
+		j := i - 1
+		for j >= 0 && nodes[j].id > n.id {
+			nodes[j+1] = nodes[j]
+			j--
+		}
+		nodes[j+1] = n
+	}
+}
+
+// sortSkipWritesByKeyDesc insertion-sorts write entries descending by key
+// (publication order), allocation-free.
+func sortSkipWritesByKeyDesc(ws []skipWrite) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && ws[j].key < w.key {
+			ws[j+1] = ws[j]
+			j--
+		}
+		ws[j+1] = w
+	}
 }
 
 // SkipSet is the optimistically boosted skip-list set (Section 3.2.1): the
@@ -93,6 +146,7 @@ type skipState struct {
 	writes   []skipWrite
 	locked   []*snode
 	lockSnap []uint64
+	toLock   []*snode // scratch: deduplicated lock targets during PreCommit
 }
 
 // reset recycles the state for a new transaction.
@@ -101,6 +155,17 @@ func (st *skipState) reset() {
 	st.writes = st.writes[:0]
 	st.locked = st.locked[:0]
 	st.lockSnap = st.lockSnap[:0]
+	st.toLock = st.toLock[:0]
+}
+
+// addToLock appends n to the PreCommit lock-target scratch unless present.
+func (st *skipState) addToLock(n *snode) {
+	for _, m := range st.toLock {
+		if m == n {
+			return
+		}
+	}
+	st.toLock = append(st.toLock, n)
 }
 
 func (s *SkipSet) state(tx *Tx) *skipState {
@@ -373,26 +438,18 @@ func (s *SkipSet) PreCommit(tx *Tx) {
 	if st == nil || len(st.writes) == 0 {
 		return
 	}
-	var toLock []*snode
-	add := func(n *snode) {
-		for _, m := range toLock {
-			if m == n {
-				return
-			}
-		}
-		toLock = append(toLock, n)
-	}
+	st.toLock = st.toLock[:0]
 	for i := range st.writes {
 		w := &st.writes[i]
 		for l := 0; l <= w.topLevel; l++ {
-			add(w.preds[l])
+			st.addToLock(w.preds[l])
 		}
 		if !w.isAdd {
-			add(w.victim)
+			st.addToLock(w.victim)
 		}
 	}
-	sort.Slice(toLock, func(i, j int) bool { return toLock[i].id < toLock[j].id })
-	for _, n := range toLock {
+	sortSNodesByID(st.toLock)
+	for _, n := range st.toLock {
 		if _, ok := n.lock.TryLock(); !ok {
 			tx.Counters().IncCAS()
 			tx.tr.LockBusy(traceKey(n.key))
@@ -411,7 +468,7 @@ func (s *SkipSet) OnCommit(tx *Tx) {
 	if st == nil || len(st.writes) == 0 {
 		return
 	}
-	sort.Slice(st.writes, func(i, j int) bool { return st.writes[i].key > st.writes[j].key })
+	sortSkipWritesByKeyDesc(st.writes)
 	for i := range st.writes {
 		w := &st.writes[i]
 		if w.isAdd {
@@ -432,6 +489,8 @@ func (s *SkipSet) OnCommit(tx *Tx) {
 				pred, _ := retraverse(w.preds[l], w.key, l)
 				pred.next[l].Store(w.victim.next[l].Load())
 			}
+			// Fully unlinked; recycle once concurrent traversals unpin.
+			tx.retire(w.victim, freeSNode)
 		}
 	}
 }
@@ -492,7 +551,11 @@ func (s *SkipSet) Min() (int64, bool) {
 }
 
 // Len counts the present elements (not linearizable; tests and reporting).
+// The traversal pins an epoch guard so concurrent removals cannot recycle
+// nodes out from under it.
 func (s *SkipSet) Len() int {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	n := 0
 	for curr := s.head.next[0].Load(); curr.key != math.MaxInt64; curr = curr.next[0].Load() {
 		if curr.fullyLinked.Load() && !curr.marked.Load() {
@@ -502,8 +565,11 @@ func (s *SkipSet) Len() int {
 	return n
 }
 
-// Keys returns the present keys in ascending order (tests only).
+// Keys returns the present keys in ascending order (tests only). Pinned
+// like Len.
 func (s *SkipSet) Keys() []int64 {
+	g := epoch.Default.Enter()
+	defer g.Exit()
 	var out []int64
 	for curr := s.head.next[0].Load(); curr.key != math.MaxInt64; curr = curr.next[0].Load() {
 		if curr.fullyLinked.Load() && !curr.marked.Load() {

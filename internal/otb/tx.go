@@ -33,6 +33,7 @@ import (
 	"repro/internal/abort"
 	"repro/internal/chaos/failpoint"
 	"repro/internal/cm"
+	"repro/internal/mem/epoch"
 	"repro/internal/spin"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -90,6 +91,7 @@ type Tx struct {
 	attached []Datastructure
 	state    map[Datastructure]any
 	ctr      *spin.Counters
+	eg       *epoch.Guard     // epoch pin covering the current attempt; may be nil
 	tel      *telemetry.Local // standalone (Atomic) recording handle; may be nil
 	tr       *trace.Local     // flight-recorder handle; may be nil
 
@@ -189,6 +191,37 @@ func (tx *Tx) OnAbortAll() {
 // Counters returns the contention counters (possibly nil).
 func (tx *Tx) Counters() *spin.Counters { return tx.ctr }
 
+// Pin enters an epoch-reclamation critical region covering the current
+// attempt: nodes this transaction can reach (its traversals, read and write
+// sets) are guaranteed not to be recycled until Unpin. Atomic pins around
+// every attempt automatically; integration contexts, which drive attempts
+// themselves, call Pin in their begin hook and Unpin when the attempt ends
+// (commit or rollback). Pin is idempotent within one attempt.
+func (tx *Tx) Pin() {
+	if tx.eg == nil {
+		tx.eg = epoch.Default.Enter()
+	}
+}
+
+// Unpin exits the epoch critical region, flushing any retirements made
+// during the attempt. Safe to call when not pinned.
+func (tx *Tx) Unpin() {
+	if tx.eg != nil {
+		tx.eg.Exit()
+		tx.eg = nil
+	}
+}
+
+// retire schedules an unlinked node for recycling once every concurrent
+// reader is done with it. Without a pin (a caller driving Tx manually
+// outside Atomic and the integration contexts) the node is simply dropped
+// for the garbage collector — always safe, never reused.
+func (tx *Tx) retire(v any, free func(any)) {
+	if tx.eg != nil {
+		tx.eg.Retire(v, free)
+	}
+}
+
 // txState is implemented by per-structure transaction states that can be
 // recycled across transactions.
 type txState interface{ reset() }
@@ -287,6 +320,36 @@ func init() {
 // under (nil restores the shared default). Safe during live traffic.
 func SetManager(m *cm.Manager) { cmgr.Store(m) }
 
+// standaloneRunner drives one standalone transaction through the retry loop
+// via abort.TxRunner methods, so the hot path allocates no closures.
+type standaloneRunner struct {
+	tx *Tx
+	fn func(*Tx)
+}
+
+func (r *standaloneRunner) Begin() {
+	r.tx.Reset()
+	r.tx.tr.AttemptStart()
+	r.tx.Pin()
+}
+
+func (r *standaloneRunner) Attempt() {
+	r.fn(r.tx)
+	cs := r.tx.tel.Start()
+	r.tx.tr.CommitBegin()
+	r.tx.Commit()
+	r.tx.tr.CommitEnd()
+	r.tx.tel.CommitPhase(cs)
+	r.tx.Unpin()
+}
+
+func (r *standaloneRunner) Rollback(reason abort.Reason) {
+	r.tx.Rollback()
+	r.tx.Unpin()
+	r.tx.tel.Abort(reason)
+	r.tx.tr.Abort(reason)
+}
+
 // txPool recycles standalone transaction descriptors (and their state maps)
 // across Atomic calls. Each descriptor carries a shard-bound telemetry
 // handle; the pool keeps descriptors per-P, so recording stays uncontended.
@@ -294,7 +357,7 @@ var txPool = sync.Pool{New: func() any {
 	tx := NewTx(nil)
 	tx.tel = meter.Local()
 	tx.tr = traceSrc.Local()
-	return tx
+	return &standaloneRunner{tx: tx}
 }}
 
 // traceSrc is the standalone-OTB flight-recorder source; integration
@@ -325,35 +388,20 @@ func AtomicCtr(stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) {
 // failpoint) panics — by then the rollback path has already released every
 // semantic lock and discarded the logs, so the descriptor is clean.
 func AtomicCtrCtx(ctx context.Context, stats *abort.Stats, ctr *spin.Counters, fn func(*Tx)) error {
-	tx := txPool.Get().(*Tx)
+	r := txPool.Get().(*standaloneRunner)
+	tx := r.tx
 	tx.ctr = ctr
+	r.fn = fn
 	defer func() {
 		tx.Reset()
 		tx.ctr = nil
-		txPool.Put(tx)
+		r.fn = nil
+		txPool.Put(r)
 	}()
 	start := tx.tel.Start()
 	tx.tr.TxStart()
 	defer tx.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, stats, cm.Or(cmgr.Load()),
-		func() {
-			tx.Reset()
-			tx.tr.AttemptStart()
-		},
-		func() {
-			fn(tx)
-			cs := tx.tel.Start()
-			tx.tr.CommitBegin()
-			tx.Commit()
-			tx.tr.CommitEnd()
-			tx.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			tx.Rollback()
-			tx.tel.Abort(r)
-			tx.tr.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, stats, cm.Or(cmgr.Load()), r)
 	if escalated {
 		tx.tel.Escalated()
 		tx.tr.Escalated()

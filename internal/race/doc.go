@@ -1,0 +1,5 @@
+// Package race reports whether the binary was built with the race
+// detector. The AllocFree tests skip under it: race-mode sync.Pool
+// deliberately drops Puts at random to widen interleaving coverage, so
+// pooled descriptors re-allocate and AllocsPerRun can never reach zero.
+package race

@@ -1,0 +1,100 @@
+package spin
+
+import "sync/atomic"
+
+// ClockShards is the number of shards in a ShardedClock. It must be a power
+// of two; timestamps issued by shard i are congruent to i modulo ClockShards,
+// which makes every timestamp globally unique without a shared fetch-add.
+const ClockShards = 8
+
+// ShardedClock is a version clock split across cache-line-padded shards so
+// concurrent committers do not serialize on one cache line (the TL2 global
+// clock bottleneck). Each shard only issues timestamps congruent to its own
+// index modulo ClockShards, so timestamps are globally unique, and every
+// Tick returns a value strictly greater than any value any goroutine could
+// have observed via Load before the Tick began.
+//
+// The price of sharding is that two concurrent Ticks on different shards are
+// not ordered by the clock: TL2's "wv == rv+1 ⇒ skip read validation" fast
+// path is unsound on a sharded clock and callers must always validate their
+// read sets (see the correctness note in DESIGN.md).
+type ShardedClock struct {
+	shards [ClockShards]struct {
+		v atomic.Uint64
+		_ [CacheLineSize - 8]byte
+	}
+}
+
+// Load returns the clock's current value: the maximum over all shards. It is
+// monotone across totally ordered calls, and any timestamp published (stored
+// to shared memory) before a Load began is ≤ the returned value.
+func (c *ShardedClock) Load() uint64 {
+	var m uint64
+	for i := range c.shards {
+		if v := c.shards[i].v.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Tick advances the clock on the shard selected by hint and returns the new
+// timestamp. The result is globally unique and strictly greater than every
+// clock value observable before the call. Callers pass a stable per-thread
+// (per-descriptor) hint so repeat committers stay on their own cache line.
+func (c *ShardedClock) Tick(hint uint32) uint64 {
+	i := uint64(hint) & (ClockShards - 1)
+	s := &c.shards[i].v
+	for {
+		old := s.Load()
+		m := c.Load()
+		if old > m {
+			m = old
+		}
+		next := (m/ClockShards+1)*ClockShards + i
+		if s.CompareAndSwap(old, next) {
+			return next
+		}
+	}
+}
+
+// statShards is the slot count of a ShardedU64; a power of two.
+const statShards = 8
+
+// ShardedU64 is an event counter split across cache-line-padded slots so
+// that hot paths on different goroutines do not contend on one line (the
+// commit/abort statistics counters are bumped once per transaction). Load
+// sums the slots; it is accurate once writers are quiescent and never
+// undercounts completed Adds.
+type ShardedU64 struct {
+	slots [statShards]struct {
+		v atomic.Uint64
+		_ [CacheLineSize - 8]byte
+	}
+}
+
+// Add adds n on the slot selected by hint.
+func (s *ShardedU64) Add(hint uint32, n uint64) {
+	s.slots[hint&(statShards-1)].v.Add(n)
+}
+
+// Inc adds one on the slot selected by hint.
+func (s *ShardedU64) Inc(hint uint32) {
+	s.slots[hint&(statShards-1)].v.Add(1)
+}
+
+// Load returns the sum over all slots.
+func (s *ShardedU64) Load() uint64 {
+	var sum uint64
+	for i := range s.slots {
+		sum += s.slots[i].v.Load()
+	}
+	return sum
+}
+
+// shardSeq backs NextShardHint.
+var shardSeq atomic.Uint32
+
+// NextShardHint returns a fresh shard hint. Transaction descriptors take one
+// at creation so pooled descriptors spread across clock and counter shards.
+func NextShardHint() uint32 { return shardSeq.Add(1) }

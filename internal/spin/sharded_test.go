@@ -1,0 +1,142 @@
+package spin
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestShardedClockUniqueMonotone drives concurrent Ticks on many goroutines
+// and checks the two properties TL2 relies on: every issued timestamp is
+// globally unique, and each goroutine's own sequence of timestamps is
+// strictly increasing.
+func TestShardedClockUniqueMonotone(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var c ShardedClock
+	out := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := make([]uint64, 0, perG)
+			for i := 0; i < perG; i++ {
+				vals = append(vals, c.Tick(uint32(g)))
+			}
+			out[g] = vals
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, goroutines*perG)
+	for g, vals := range out {
+		var prev uint64
+		for i, v := range vals {
+			if v == 0 {
+				t.Fatalf("goroutine %d tick %d: zero timestamp", g, i)
+			}
+			if i > 0 && v <= prev {
+				t.Fatalf("goroutine %d tick %d: %d not greater than previous %d", g, i, v, prev)
+			}
+			prev = v
+			if seen[v] {
+				t.Fatalf("duplicate timestamp %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if got := c.Load(); got == 0 {
+		t.Fatalf("Load() = 0 after %d ticks", goroutines*perG)
+	}
+}
+
+// TestShardedClockTickExceedsObserved checks Tick's ordering contract: a
+// value observed via Load before a Tick is strictly less than the Tick's
+// result, even when the observation happened on another goroutine's shard.
+func TestShardedClockTickExceedsObserved(t *testing.T) {
+	var c ShardedClock
+	for hint := uint32(0); hint < 2*ClockShards; hint++ {
+		before := c.Load()
+		wv := c.Tick(hint)
+		if wv <= before {
+			t.Fatalf("Tick(%d) = %d, not greater than prior Load %d", hint, wv, before)
+		}
+		if wv%ClockShards != uint64(hint)%ClockShards {
+			t.Fatalf("Tick(%d) = %d: residue %d, want %d", hint, wv, wv%ClockShards, uint64(hint)%ClockShards)
+		}
+	}
+}
+
+// TestShardedClockLoadMonotone checks Load never goes backwards while
+// concurrent tickers run.
+func TestShardedClockLoadMonotone(t *testing.T) {
+	var c ShardedClock
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Tick(uint32(g))
+				}
+			}
+		}(g)
+	}
+	var prev uint64
+	for i := 0; i < 5000; i++ {
+		v := c.Load()
+		if v < prev {
+			t.Errorf("Load went backwards: %d after %d", v, prev)
+			break
+		}
+		prev = v
+		if i%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShardedU64 checks concurrent sums land.
+func TestShardedU64(t *testing.T) {
+	var s ShardedU64
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(h uint32) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Inc(h)
+			}
+		}(uint32(g))
+	}
+	wg.Wait()
+	if got := s.Load(); got != goroutines*perG {
+		t.Fatalf("Load() = %d, want %d", got, goroutines*perG)
+	}
+	s.Add(3, 5)
+	if got := s.Load(); got != goroutines*perG+5 {
+		t.Fatalf("Load() after Add = %d, want %d", got, goroutines*perG+5)
+	}
+}
+
+// TestNextShardHint just checks hints vary.
+func TestNextShardHint(t *testing.T) {
+	a, b := NextShardHint(), NextShardHint()
+	if a == b {
+		t.Fatalf("consecutive hints equal: %d", a)
+	}
+}

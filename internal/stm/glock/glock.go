@@ -77,9 +77,39 @@ func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
 func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
 
 // tx executes reads and writes in place under the global lock, keeping an
-// undo log so explicit user retries can roll back.
+// undo log so explicit user retries can roll back. It implements
+// abort.TxRunner so the retry loop drives it without per-transaction
+// closures; descriptors are pooled (the global mutex serializes
+// transactions, but each caller still needs its own undo log between Get
+// and Put).
 type tx struct {
+	s    *STM
 	undo []stm.WriteEntry
+	fn   func(stm.Tx)
+}
+
+var txPool = sync.Pool{New: func() any { return &tx{} }}
+
+// Begin implements abort.TxRunner: start one attempt.
+func (t *tx) Begin() {
+	t.undo = t.undo[:0]
+	t.s.tr.AttemptStart()
+}
+
+// Attempt implements abort.TxRunner: run the body (writes apply in place).
+func (t *tx) Attempt() {
+	t.fn(t)
+	fpCommitPre.Hit()
+}
+
+// Rollback implements abort.TxRunner: replay the undo log.
+func (t *tx) Rollback(r abort.Reason) {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i].Cell.Store(t.undo[i].Val)
+	}
+	t.s.stats.aborts.Add(1)
+	t.s.tr.Abort(r)
+	t.s.tel.Abort(r)
 }
 
 // Read implements stm.Tx.
@@ -98,7 +128,15 @@ func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
 // mutex is released by defer on every exit, including foreign panics; the
 // rollback path replays the undo log first.
 func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
-	t := &tx{}
+	t := txPool.Get().(*tx)
+	t.s = s
+	t.fn = fn
+	defer func() {
+		t.s = nil
+		t.fn = nil
+		t.undo = t.undo[:0]
+		txPool.Put(t)
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := s.tel.Start()
@@ -106,24 +144,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	defer s.tr.TxEnd()
 	s.tr.Lock(lockTraceKey)
 	defer s.tr.Unlock(lockTraceKey)
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		func() {
-			t.undo = t.undo[:0]
-			s.tr.AttemptStart()
-		},
-		func() {
-			fn(t)
-			fpCommitPre.Hit()
-		},
-		func(r abort.Reason) {
-			for i := len(t.undo) - 1; i >= 0; i-- {
-				t.undo[i].Cell.Store(t.undo[i].Val)
-			}
-			s.stats.aborts.Add(1)
-			s.tr.Abort(r)
-			s.tel.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		s.tr.Escalated()
 		s.tel.Escalated()

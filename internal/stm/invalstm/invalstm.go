@@ -140,6 +140,7 @@ type tx struct {
 	holdsClock bool // global lock held (commit in progress)
 	writeF     bloom.Filter
 	writes     stm.WriteSet
+	fn         func(stm.Tx)
 	tel        *telemetry.Local
 	tr         *trace.Local
 }
@@ -153,8 +154,10 @@ func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
 // the life of the process.
 func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	t.fn = fn
 	t.acquireSlot()
 	defer func() {
+		t.fn = nil
 		t.releaseSlot()
 		t.writeF.Clear()
 		t.writes.Reset()
@@ -164,26 +167,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	start := t.tel.Start()
 	t.tr.TxStart()
 	defer t.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		t.begin,
-		func() {
-			fn(t)
-			cs := t.tel.Start()
-			t.tr.CommitBegin()
-			t.commit()
-			t.tr.CommitEnd()
-			t.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			t.rollback()
-			if r == abort.Invalidated {
-				s.descs[t.slot].Starved.Add(1)
-			}
-			s.stats.aborts.Add(1)
-			t.tr.Abort(r)
-			t.tel.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		t.tr.Escalated()
 		t.tel.Escalated()
@@ -232,7 +216,29 @@ func (t *tx) releaseSlot() {
 	t.slot = -1
 }
 
-func (t *tx) begin() {
+// Attempt implements abort.TxRunner: run the body and commit.
+func (t *tx) Attempt() {
+	t.fn(t)
+	cs := t.tel.Start()
+	t.tr.CommitBegin()
+	t.commit()
+	t.tr.CommitEnd()
+	t.tel.CommitPhase(cs)
+}
+
+// Rollback implements abort.TxRunner: undo a failed attempt.
+func (t *tx) Rollback(r abort.Reason) {
+	t.rollback()
+	if r == abort.Invalidated {
+		t.s.descs[t.slot].Starved.Add(1)
+	}
+	t.s.stats.aborts.Add(1)
+	t.tr.Abort(r)
+	t.tel.Abort(r)
+}
+
+// Begin implements abort.TxRunner: start one attempt.
+func (t *tx) Begin() {
 	t.tr.AttemptStart()
 	d := &t.s.descs[t.slot]
 	d.ClearFilter()

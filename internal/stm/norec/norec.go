@@ -17,7 +17,6 @@ package norec
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/abort"
 	"repro/internal/chaos/failpoint"
@@ -42,13 +41,18 @@ var (
 // STM is a NOrec instance. Transactions from different STM instances are
 // not synchronized with each other.
 type STM struct {
+	// clock is NOrec's single serialization point: every writer commit CASes
+	// it, so unlike TL2's version clock it cannot be sharded (see DESIGN.md).
+	// Padding keeps it alone on its cache line so the adjacent counters do
+	// not steal it from committers.
 	clock spin.SeqLock
+	_     [spin.CacheLineSize - 8]byte
 	ctr   spin.Counters
 	prof  *stm.Profile
 	cmgr  *cm.Manager
 	stats struct {
-		commits atomic.Uint64
-		aborts  atomic.Uint64
+		commits spin.ShardedU64
+		aborts  spin.ShardedU64
 	}
 	pool sync.Pool
 }
@@ -59,7 +63,9 @@ func New() *STM {
 	mtr := telemetry.M("NOrec")
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
 	src := trace.S("NOrec")
-	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local(), tr: src.Local()} }
+	s.pool.New = func() any {
+		return &tx{s: s, hint: spin.NextShardHint(), tel: mtr.Local(), tr: src.Local()}
+	}
 	return s
 }
 
@@ -91,13 +97,17 @@ func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
 // (the OTB integration context).
 func (s *STM) Clock() *spin.SeqLock { return &s.clock }
 
-// tx is a NOrec transaction descriptor, reused across attempts.
+// tx is a NOrec transaction descriptor, reused across attempts. It
+// implements abort.TxRunner so the retry loop drives it without
+// per-transaction closures.
 type tx struct {
 	s          *STM
 	snapshot   uint64
-	holdsClock bool // global lock held (commit in progress)
+	hint       uint32 // stat shard affinity for this descriptor
+	holdsClock bool   // global lock held (commit in progress)
 	reads      []stm.ReadEntry
 	writes     stm.WriteSet
+	fn         func(stm.Tx)
 	tel        *telemetry.Local
 	tr         *trace.Local
 }
@@ -110,7 +120,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
 // panics — the rollback path has already released the global lock by then.
 func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	t.fn = fn
 	defer func() {
+		t.fn = nil
 		t.reads = t.reads[:0]
 		t.writes.Reset()
 		s.pool.Put(t)
@@ -119,23 +131,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	start := t.tel.Start()
 	t.tr.TxStart()
 	defer t.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		t.begin,
-		func() {
-			fn(t)
-			cs := t.tel.Start()
-			t.tr.CommitBegin()
-			t.commit()
-			t.tr.CommitEnd()
-			t.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			t.rollback()
-			s.stats.aborts.Add(1)
-			t.tel.Abort(r)
-			t.tr.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		t.tel.Escalated()
 		t.tr.Escalated()
@@ -143,10 +139,28 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	if err != nil {
 		return err
 	}
-	s.stats.commits.Add(1)
+	s.stats.commits.Inc(t.hint)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	return nil
+}
+
+// Attempt implements abort.TxRunner: run the body and commit.
+func (t *tx) Attempt() {
+	t.fn(t)
+	cs := t.tel.Start()
+	t.tr.CommitBegin()
+	t.commit()
+	t.tr.CommitEnd()
+	t.tel.CommitPhase(cs)
+}
+
+// Rollback implements abort.TxRunner: undo a failed attempt.
+func (t *tx) Rollback(r abort.Reason) {
+	t.rollback()
+	t.s.stats.aborts.Inc(t.hint)
+	t.tel.Abort(r)
+	t.tr.Abort(r)
 }
 
 // rollback releases the global lock if this attempt died holding it (an
@@ -160,7 +174,8 @@ func (t *tx) rollback() {
 	}
 }
 
-func (t *tx) begin() {
+// Begin implements abort.TxRunner: start one attempt.
+func (t *tx) Begin() {
 	t.tr.AttemptStart()
 	t.reads = t.reads[:0]
 	t.writes.Reset()

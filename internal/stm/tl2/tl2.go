@@ -10,11 +10,17 @@
 //   - Commit (writers): lock the write-set orecs in a global order,
 //     increment the clock to obtain wv, validate the read-set orecs, publish
 //     the redo log, then release the orecs stamped with wv.
+//
+// Two clock flavors are provided. New uses the classic single fetch-add
+// clock, which admits the "wv == rv+1 ⇒ skip read validation" fast path.
+// NewSharded (algorithm name "TL2S") spreads the clock across
+// cache-line-padded shards so committers do not serialize on one line; a
+// sharded clock cannot order two concurrent ticks, so the skip is unsound
+// and TL2S always validates its read set (see DESIGN.md).
 package tl2
 
 import (
 	"context"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -51,25 +57,38 @@ func orecVersion(v uint64) uint64 { return v >> 1 }
 
 // STM is a TL2 instance.
 type STM struct {
-	clock atomic.Uint64
-	orecs []orec
-	ctr   spin.Counters
-	prof  *stm.Profile
-	cmgr  *cm.Manager
-	stats struct {
-		commits atomic.Uint64
-		aborts  atomic.Uint64
+	name    string
+	clock   atomic.Uint64
+	_       [spin.CacheLineSize - 8]byte // keep clock off the orecs' lines
+	sharded *spin.ShardedClock           // nil: use the global clock
+	orecs   []orec
+	ctr     spin.Counters
+	prof    *stm.Profile
+	cmgr    *cm.Manager
+	stats   struct {
+		commits spin.ShardedU64
+		aborts  spin.ShardedU64
 	}
 	pool sync.Pool
 }
 
-// New creates a TL2 instance with its own clock and orec table.
-func New() *STM {
-	s := &STM{orecs: make([]orec, orecCount)}
-	mtr := telemetry.M("TL2")
+// New creates a TL2 instance with its own global clock and orec table.
+func New() *STM { return newSTM("TL2", nil) }
+
+// NewSharded creates a TL2 instance whose version clock is sharded across
+// cache lines (algorithm name "TL2S"). Sharded transactions always validate
+// their read sets at commit: the wv == rv+1 skip requires the clock to
+// totally order commits, which a sharded clock does not.
+func NewSharded() *STM { return newSTM("TL2S", new(spin.ShardedClock)) }
+
+func newSTM(name string, sc *spin.ShardedClock) *STM {
+	s := &STM{name: name, sharded: sc, orecs: make([]orec, orecCount)}
+	mtr := telemetry.M(name)
 	mtr.SetPolicySource(func() string { return cm.Or(s.cmgr).Policy().Name() })
-	src := trace.S("TL2")
-	s.pool.New = func() any { return &tx{s: s, tel: mtr.Local(), tr: src.Local()} }
+	src := trace.S(name)
+	s.pool.New = func() any {
+		return &tx{s: s, hint: spin.NextShardHint(), tel: mtr.Local(), tr: src.Local()}
+	}
 	return s
 }
 
@@ -82,7 +101,7 @@ func (s *STM) SetProfile(p *stm.Profile) { s.prof = p }
 func (s *STM) SetManager(m *cm.Manager) { s.cmgr = m }
 
 // Name implements stm.Algorithm.
-func (s *STM) Name() string { return "TL2" }
+func (s *STM) Name() string { return s.name }
 
 // Counters implements stm.Algorithm.
 func (s *STM) Counters() *spin.Counters { return &s.ctr }
@@ -95,6 +114,23 @@ func (s *STM) Commits() uint64 { return s.stats.commits.Load() }
 
 // Aborts reports the number of aborted attempts.
 func (s *STM) Aborts() uint64 { return s.stats.aborts.Load() }
+
+// clockLoad samples the version clock (either flavor).
+func (s *STM) clockLoad() uint64 {
+	if s.sharded != nil {
+		return s.sharded.Load()
+	}
+	return s.clock.Load()
+}
+
+// clockTick obtains a fresh write version. hint pins a sharded committer to
+// its own cache line; the global clock ignores it.
+func (s *STM) clockTick(hint uint32) uint64 {
+	if s.sharded != nil {
+		return s.sharded.Tick(hint)
+	}
+	return s.clock.Add(1)
+}
 
 // orecIdx maps a cell to its ownership-record index by hashing the cell id.
 func orecIdx(c *mem.Cell) int {
@@ -111,13 +147,19 @@ func (s *STM) orecFor(c *mem.Cell) *orec {
 // high tag bit keeps stripe keys disjoint from cell ids in conflict tables.
 func orecTraceKey(idx int) uint64 { return uint64(idx) | 1<<62 }
 
-// tx is a TL2 transaction descriptor.
+// tx is a TL2 transaction descriptor. It implements abort.TxRunner so the
+// retry loop drives it without per-transaction closures, and carries scratch
+// slices (reads, locked, seen) that amortize to zero steady-state
+// allocation.
 type tx struct {
 	s      *STM
 	rv     uint64
+	hint   uint32 // clock/stat shard affinity for this descriptor
 	reads  []*orec
 	writes stm.WriteSet
 	locked []lockedOrec
+	seen   []lockedOrec // lockWriteSet scratch: distinct orecs, sorted by idx
+	fn     func(stm.Tx)
 	tel    *telemetry.Local
 	tr     *trace.Local
 }
@@ -136,7 +178,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
 // panics — the rollback path has already restored the locked orecs by then.
 func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	t.fn = fn
 	defer func() {
+		t.fn = nil
 		t.reset()
 		s.pool.Put(t)
 	}()
@@ -144,23 +188,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	start := t.tel.Start()
 	t.tr.TxStart()
 	defer t.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		t.begin,
-		func() {
-			fn(t)
-			cs := t.tel.Start()
-			t.tr.CommitBegin()
-			t.commit()
-			t.tr.CommitEnd()
-			t.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			t.releaseLocked(true)
-			s.stats.aborts.Add(1)
-			t.tel.Abort(r)
-			t.tr.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		t.tel.Escalated()
 		t.tr.Escalated()
@@ -168,22 +196,42 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	if err != nil {
 		return err
 	}
-	s.stats.commits.Add(1)
+	s.stats.commits.Inc(t.hint)
 	t.tel.Commit(start)
 	s.prof.AddTotal(total, true)
 	return nil
 }
 
-func (t *tx) begin() {
+// Begin implements abort.TxRunner: start one attempt.
+func (t *tx) Begin() {
 	t.tr.AttemptStart()
 	t.reset()
-	t.rv = t.s.clock.Load()
+	t.rv = t.s.clockLoad()
+}
+
+// Attempt implements abort.TxRunner: run the body and commit.
+func (t *tx) Attempt() {
+	t.fn(t)
+	cs := t.tel.Start()
+	t.tr.CommitBegin()
+	t.commit()
+	t.tr.CommitEnd()
+	t.tel.CommitPhase(cs)
+}
+
+// Rollback implements abort.TxRunner: undo a failed attempt.
+func (t *tx) Rollback(r abort.Reason) {
+	t.releaseLocked(true)
+	t.s.stats.aborts.Inc(t.hint)
+	t.tel.Abort(r)
+	t.tr.Abort(r)
 }
 
 func (t *tx) reset() {
 	t.reads = t.reads[:0]
 	t.writes.Reset()
 	t.locked = t.locked[:0]
+	t.seen = t.seen[:0]
 }
 
 // Read implements stm.Tx with TL2's pre/post orec sampling.
@@ -216,9 +264,12 @@ func (t *tx) commit() {
 	start := t.s.prof.Now()
 	t.lockWriteSet()
 	fpCommitLocked.Hit()
-	wv := t.s.clock.Add(1)
+	wv := t.s.clockTick(t.hint)
 	t.s.prof.AddCommit(start)
-	if wv != t.rv+1 {
+	// The classic skip — no other transaction committed between rv and wv,
+	// so the read set cannot have changed — needs the clock to totally order
+	// commits. The sharded clock does not, so TL2S always validates.
+	if t.s.sharded != nil || wv != t.rv+1 {
 		t.validateReads()
 	}
 	start = t.s.prof.Now()
@@ -232,25 +283,31 @@ func (t *tx) commit() {
 
 // lockWriteSet acquires the distinct orecs covering the write set in
 // ascending table order (deadlock avoidance); any busy orec aborts the
-// transaction, releasing what was acquired.
+// transaction, releasing what was acquired. The dedup-and-sort runs on the
+// descriptor's scratch slice with an insertion sort: write sets are small
+// and sort.Slice's reflection allocates.
 func (t *tx) lockWriteSet() {
-	var seen []lockedOrec
+	t.seen = t.seen[:0]
 	for _, e := range t.writes.Entries() {
 		idx := orecIdx(e.Cell)
 		dup := false
-		for _, l := range seen {
+		for _, l := range t.seen {
 			if l.idx == idx {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			seen = append(seen, lockedOrec{o: &t.s.orecs[idx], idx: idx})
+			t.seen = append(t.seen, lockedOrec{o: &t.s.orecs[idx], idx: idx})
 		}
 	}
-	sort.Slice(seen, func(i, j int) bool { return seen[i].idx < seen[j].idx })
+	for i := 1; i < len(t.seen); i++ {
+		for j := i; j > 0 && t.seen[j].idx < t.seen[j-1].idx; j-- {
+			t.seen[j], t.seen[j-1] = t.seen[j-1], t.seen[j]
+		}
+	}
 	t.locked = t.locked[:0]
-	for _, l := range seen {
+	for _, l := range t.seen {
 		v := l.o.v.Load()
 		if orecLocked(v) || orecVersion(v) > t.rv || !l.o.v.CompareAndSwap(v, v|1) {
 			t.s.ctr.IncCAS()

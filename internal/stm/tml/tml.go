@@ -79,6 +79,7 @@ type tx struct {
 	snapshot uint64
 	writer   bool
 	undo     []stm.WriteEntry
+	fn       func(stm.Tx)
 	tel      *telemetry.Local
 	tr       *trace.Local
 }
@@ -92,7 +93,9 @@ func (s *STM) Atomic(fn func(stm.Tx)) { s.AtomicCtx(nil, fn) }
 // released the global lock by then.
 func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	t := s.pool.Get().(*tx)
+	t.fn = fn
 	defer func() {
+		t.fn = nil
 		t.undo = t.undo[:0]
 		s.pool.Put(t)
 	}()
@@ -100,23 +103,7 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	start := t.tel.Start()
 	t.tr.TxStart()
 	defer t.tr.TxEnd()
-	escalated, err := abort.RunPolicyCtx(ctx, nil, cm.Or(s.cmgr),
-		t.begin,
-		func() {
-			fn(t)
-			cs := t.tel.Start()
-			t.tr.CommitBegin()
-			t.commit()
-			t.tr.CommitEnd()
-			t.tel.CommitPhase(cs)
-		},
-		func(r abort.Reason) {
-			t.rollback()
-			s.stats.aborts.Add(1)
-			t.tel.Abort(r)
-			t.tr.Abort(r)
-		},
-	)
+	escalated, err := abort.RunPolicyTxCtx(ctx, nil, cm.Or(s.cmgr), t)
 	if escalated {
 		t.tel.Escalated()
 		t.tr.Escalated()
@@ -130,7 +117,26 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(stm.Tx)) error {
 	return nil
 }
 
-func (t *tx) begin() {
+// Attempt implements abort.TxRunner: run the body and commit.
+func (t *tx) Attempt() {
+	t.fn(t)
+	cs := t.tel.Start()
+	t.tr.CommitBegin()
+	t.commit()
+	t.tr.CommitEnd()
+	t.tel.CommitPhase(cs)
+}
+
+// Rollback implements abort.TxRunner: undo a failed attempt.
+func (t *tx) Rollback(r abort.Reason) {
+	t.rollback()
+	t.s.stats.aborts.Add(1)
+	t.tel.Abort(r)
+	t.tr.Abort(r)
+}
+
+// Begin implements abort.TxRunner: start one attempt.
+func (t *tx) Begin() {
 	t.tr.AttemptStart()
 	t.writer = false
 	t.undo = t.undo[:0]
