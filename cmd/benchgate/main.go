@@ -26,6 +26,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
@@ -105,10 +106,13 @@ type regression struct {
 }
 
 // compare returns the matrix points whose throughput dropped more than
-// thresholdPct from baseline to current. Points present in only one file
-// are reported via the second return (informational, never gating: the
-// matrix legitimately grows over time).
-func compare(baseline, current []bench.Result, thresholdPct float64) (regs []regression, unmatched []string) {
+// thresholdPct from baseline to current, plus the points present on only
+// one side: additions (in current but not baseline — the matrix grew) and
+// removals (in baseline but not current — a scenario was retired, or a run
+// silently lost coverage). One-sided points are advisory, never gating, but
+// removals deserve a close look: a gate that stops running a scenario stops
+// protecting it.
+func compare(baseline, current []bench.Result, thresholdPct float64) (regs []regression, added, removed []string) {
 	base := make(map[string]bench.Result, len(baseline))
 	for _, r := range baseline {
 		base[key(r)] = r
@@ -119,7 +123,7 @@ func compare(baseline, current []bench.Result, thresholdPct float64) (regs []reg
 		seen[k] = true
 		b, ok := base[k]
 		if !ok {
-			unmatched = append(unmatched, k+" (no baseline)")
+			added = append(added, k)
 			continue
 		}
 		if b.TxPerSec <= 0 {
@@ -134,10 +138,12 @@ func compare(baseline, current []bench.Result, thresholdPct float64) (regs []reg
 	}
 	for k := range base {
 		if !seen[k] {
-			unmatched = append(unmatched, k+" (not in current run)")
+			removed = append(removed, k)
 		}
 	}
-	return regs, unmatched
+	sort.Strings(added)
+	sort.Strings(removed)
+	return regs, added, removed
 }
 
 // runMatrix executes the fixed matrix through the stmbench binary, parsing
@@ -270,9 +276,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		regs, unmatched := compare(base.Results, cur.Results, *threshold)
-		for _, u := range unmatched {
-			fmt.Printf("benchgate: note: %s\n", u)
+		regs, added, removed := compare(base.Results, cur.Results, *threshold)
+		for _, a := range added {
+			fmt.Printf("benchgate: addition (advisory): %s — new scenario, no baseline to compare against; it gates once the baseline is reseeded\n", a)
+		}
+		for _, r := range removed {
+			fmt.Printf("benchgate: removal (advisory): %s — in the baseline but absent from this run; retired scenario or lost coverage?\n", r)
+		}
+		if len(added) > 0 || len(removed) > 0 {
+			fmt.Printf("benchgate: matrix drift: +%d/-%d scenario(s) vs baseline (advisory, not gating)\n",
+				len(added), len(removed))
 		}
 		envMatch := base.Env == cur.Env
 		if !envMatch {

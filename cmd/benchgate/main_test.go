@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/bench"
@@ -27,19 +28,19 @@ func TestCompareWithinThreshold(t *testing.T) {
 		res("otb-list", "otb-list", 4, 20, 95000), // -5%
 		res("stm-list", "TL2", 4, 20, 88000),      // +10%
 	}
-	regs, unmatched := compare(base, cur, 10)
+	regs, added, removed := compare(base, cur, 10)
 	if len(regs) != 0 {
 		t.Fatalf("expected no regressions, got %+v", regs)
 	}
-	if len(unmatched) != 0 {
-		t.Fatalf("expected no unmatched points, got %v", unmatched)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("expected no matrix drift, got +%v -%v", added, removed)
 	}
 }
 
 func TestCompareFlagsRegression(t *testing.T) {
 	base := []bench.Result{res("otb-list", "otb-list", 4, 20, 100000)}
 	cur := []bench.Result{res("otb-list", "otb-list", 4, 20, 85000)} // -15%
-	regs, _ := compare(base, cur, 10)
+	regs, _, _ := compare(base, cur, 10)
 	if len(regs) != 1 {
 		t.Fatalf("expected 1 regression, got %d", len(regs))
 	}
@@ -63,14 +64,16 @@ func TestCompareKeysByAlgorithm(t *testing.T) {
 		res("stm-list", "NOrec", 4, 20, 50000), // -50%
 		res("stm-list", "TL2", 4, 20, 100000),
 	}
-	regs, _ := compare(base, cur, 10)
+	regs, _, _ := compare(base, cur, 10)
 	if len(regs) != 1 || regs[0].Key != key(base[0]) {
 		t.Fatalf("expected exactly the NOrec point to regress, got %+v", regs)
 	}
 }
 
-// Points missing on either side are reported but never gate: the matrix may
-// grow (new point has no baseline) or shrink (baseline point retired).
+// Points missing on either side are reported as additions and removals but
+// never gate: the matrix may grow (new point has no baseline) or shrink
+// (baseline point retired) — and the two directions must not be conflated,
+// since a removal can mean silently lost coverage.
 func TestCompareUnmatchedIsAdvisory(t *testing.T) {
 	base := []bench.Result{
 		res("otb-list", "otb-list", 4, 20, 100000),
@@ -80,12 +83,32 @@ func TestCompareUnmatchedIsAdvisory(t *testing.T) {
 		res("otb-list", "otb-list", 4, 20, 99000),
 		res("boosted-list", "boosted-list", 4, 20, 70000), // new
 	}
-	regs, unmatched := compare(base, cur, 10)
+	regs, added, removed := compare(base, cur, 10)
 	if len(regs) != 0 {
 		t.Fatalf("unmatched points must not gate, got %+v", regs)
 	}
-	if len(unmatched) != 2 {
-		t.Fatalf("expected 2 unmatched notes, got %v", unmatched)
+	if len(added) != 1 || added[0] != key(cur[1]) {
+		t.Fatalf("expected the boosted-list point as an addition, got %v", added)
+	}
+	if len(removed) != 1 || removed[0] != key(base[1]) {
+		t.Fatalf("expected the otb-skip point as a removal, got %v", removed)
+	}
+}
+
+// Additions and removals come back sorted so reports are stable across runs
+// regardless of map iteration order.
+func TestCompareDriftIsSorted(t *testing.T) {
+	var base, cur []bench.Result
+	for _, s := range []string{"zz", "aa", "mm"} {
+		base = append(base, res(s+"-old", s, 4, 20, 1000))
+		cur = append(cur, res(s+"-new", s, 4, 20, 1000))
+	}
+	_, added, removed := compare(base, cur, 10)
+	if !sort.StringsAreSorted(added) || !sort.StringsAreSorted(removed) {
+		t.Fatalf("drift not sorted: +%v -%v", added, removed)
+	}
+	if len(added) != 3 || len(removed) != 3 {
+		t.Fatalf("expected 3/3 drift, got +%v -%v", added, removed)
 	}
 }
 
@@ -94,7 +117,7 @@ func TestCompareUnmatchedIsAdvisory(t *testing.T) {
 func TestCompareZeroBaseline(t *testing.T) {
 	base := []bench.Result{res("otb-list", "otb-list", 4, 20, 0)}
 	cur := []bench.Result{res("otb-list", "otb-list", 4, 20, 50000)}
-	regs, _ := compare(base, cur, 10)
+	regs, _, _ := compare(base, cur, 10)
 	if len(regs) != 0 {
 		t.Fatalf("zero baseline must be skipped, got %+v", regs)
 	}
@@ -104,11 +127,11 @@ func TestThresholdBoundary(t *testing.T) {
 	base := []bench.Result{res("otb-list", "otb-list", 4, 20, 100000)}
 	// Exactly -10% is within a 10% threshold (strictly-beyond gates).
 	cur := []bench.Result{res("otb-list", "otb-list", 4, 20, 90000)}
-	if regs, _ := compare(base, cur, 10); len(regs) != 0 {
+	if regs, _, _ := compare(base, cur, 10); len(regs) != 0 {
 		t.Fatalf("-10%% at threshold 10 should pass, got %+v", regs)
 	}
 	cur[0].TxPerSec = 89999
-	if regs, _ := compare(base, cur, 10); len(regs) != 1 {
+	if regs, _, _ := compare(base, cur, 10); len(regs) != 1 {
 		t.Fatal("-10.001% at threshold 10 should gate")
 	}
 }

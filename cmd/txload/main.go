@@ -1,0 +1,163 @@
+// Command txload drives a txstore server with many concurrent client
+// connections and reports throughput, latency percentiles and the retry
+// machinery's counters (reconnects, resends, overload sheds). It is the
+// many-connection companion of cmd/txstore — point it at a server, crank
+// -conns up, and watch admission control and the session retry protocol
+// work under load:
+//
+//	txload -addr localhost:7470 -conns 1000 -duration 10s
+//	txload -addr localhost:7470 -conns 200 -writes 50 -ops 4 -deadline 50ms
+//
+// Every connection holds one session and issues transactions back to back:
+// a mix of set adds/removes/contains over -keys keys, -ops operations per
+// transaction. Definitive per-request failures (deadline exceeded, aborts)
+// are counted, not fatal; transport failures are retried by the client
+// library and show up as resends.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txnet"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7470", "txstore server address")
+		conns    = flag.Int("conns", 100, "concurrent client connections (one session each)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		writes   = flag.Int("writes", 20, "write percentage (split add/remove)")
+		keys     = flag.Int64("keys", 1<<14, "key range")
+		opsPerTx = flag.Int("ops", 1, "operations per transaction")
+		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var (
+		commits, deadlines, aborted atomic.Uint64
+		failed                      atomic.Uint64
+	)
+	latCh := make(chan []time.Duration, *conns)
+	stopCtx, stop := context.WithTimeout(context.Background(), *duration)
+	defer stop()
+
+	var clients []*txnet.Client
+	var clientsMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := txnet.Dial(*addr, &txnet.ClientOptions{Seed: *seed + int64(i)})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "txload: conn %d: %v\n", i, err)
+				failed.Add(1)
+				return
+			}
+			defer c.Close()
+			clientsMu.Lock()
+			clients = append(clients, c)
+			clientsMu.Unlock()
+
+			rng := rand.New(rand.NewPCG(uint64(*seed), uint64(i)))
+			lats := make([]time.Duration, 0, 4096)
+			ops := make([]txnet.Op, *opsPerTx)
+			for stopCtx.Err() == nil {
+				for j := range ops {
+					key := rng.Int64N(*keys)
+					switch {
+					case rng.IntN(100) >= *writes:
+						ops[j] = txnet.Op{Code: txnet.OpContains, Struct: 0, Key: key}
+					case rng.IntN(2) == 0:
+						ops[j] = txnet.Op{Code: txnet.OpAdd, Struct: 0, Key: key}
+					default:
+						ops[j] = txnet.Op{Code: txnet.OpRemove, Struct: 0, Key: key}
+					}
+				}
+				ctx := stopCtx
+				var cancel context.CancelFunc
+				if *deadline > 0 {
+					ctx, cancel = context.WithTimeout(stopCtx, *deadline)
+				}
+				t0 := time.Now()
+				_, err := c.Do(ctx, ops)
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					commits.Add(1)
+					lats = append(lats, time.Since(t0))
+				case errors.Is(err, txnet.ErrDeadline):
+					deadlines.Add(1)
+				case errors.Is(err, txnet.ErrAborted):
+					aborted.Add(1)
+				case stopCtx.Err() != nil:
+					// window closed mid-request; not a failure
+				default:
+					fmt.Fprintf(os.Stderr, "txload: conn %d: %v\n", i, err)
+					failed.Add(1)
+					latCh <- lats
+					return
+				}
+			}
+			latCh <- lats
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+
+	var lats []time.Duration
+	for l := range latCh {
+		lats = append(lats, l...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	var reconnects, resends, overloads uint64
+	clientsMu.Lock()
+	for _, c := range clients {
+		st := c.Stats()
+		reconnects += st.Reconnects
+		resends += st.Resends
+		overloads += st.Overloads
+	}
+	clientsMu.Unlock()
+
+	n := commits.Load()
+	fmt.Printf("txload: %d conns, %v window\n", *conns, elapsed.Round(time.Millisecond))
+	fmt.Printf("  commits    %12d  (%.0f tx/s)\n", n, float64(n)/elapsed.Seconds())
+	fmt.Printf("  deadline   %12d\n", deadlines.Load())
+	fmt.Printf("  aborted    %12d\n", aborted.Load())
+	fmt.Printf("  failed     %12d\n", failed.Load())
+	fmt.Printf("  reconnects %12d\n", reconnects)
+	fmt.Printf("  resends    %12d\n", resends)
+	fmt.Printf("  overloads  %12d\n", overloads)
+	if len(lats) > 0 {
+		fmt.Printf("  latency    p50 %v  p99 %v  max %v\n",
+			pct(lats, 50), pct(lats, 99), lats[len(lats)-1])
+	}
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// pct reads the p-th percentile from a sorted latency slice.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,49 @@
+package recovery
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/txnet"
+)
+
+// txnetClient builds a txstore server plus one client for the network
+// failpoint scenarios: run pushes one set transaction through the full wire
+// stack (frame codec, session, admission, store). All four network faults
+// are recovered server-side — an injected panic drops that one connection,
+// and the client's session retry protocol (reconnect, resend, replay cache)
+// turns the drop into a committed transaction the caller never sees fail.
+func txnetClient(t *testing.T) (func(int64), func(int64), func()) {
+	s, err := txnet.Listen("127.0.0.1:0", txnet.Options{})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c, err := txnet.Dial(s.Addr(), &txnet.ClientOptions{Seed: 1})
+	if err != nil {
+		_ = s.Close()
+		t.Fatalf("dial: %v", err)
+	}
+	run := func(k int64) {
+		_, err := c.Do(context.Background(), []txnet.Op{
+			{Code: txnet.OpAdd, Struct: 0, Key: k % 16},
+			{Code: txnet.OpContains, Struct: 0, Key: (k + 1) % 16},
+		})
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	stop := func() {
+		_ = c.Close()
+		_ = s.Close()
+	}
+	return run, nil, stop
+}
+
+func init() {
+	scenarios = append(scenarios,
+		scenario{fp: "txnet.conn.drop", recovered: true, mk: txnetClient},
+		scenario{fp: "txnet.read.stall", recovered: true, mk: txnetClient},
+		scenario{fp: "txnet.write.partial", recovered: true, mk: txnetClient},
+		scenario{fp: "txnet.server.stall", recovered: true, mk: txnetClient},
+	)
+}

@@ -1,6 +1,8 @@
 package cm
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -213,5 +215,73 @@ func TestConfigure(t *testing.T) {
 	m := New(Polite, 1)
 	if Or(m) != m {
 		t.Fatal("Or(m) != m")
+	}
+}
+
+// TestPauseCtxCancellation pins the context contract of PauseCtx while the
+// serial gate is held: a dead context must get its error back promptly
+// instead of waiting out the escalated transaction, and an open gate must
+// short-circuit to nil even when the context is already cancelled (the
+// transaction is free to proceed; its own runtime will observe the
+// cancellation at the next attempt boundary).
+func TestPauseCtxCancellation(t *testing.T) {
+	m := New(Backoff, DefaultBudget)
+
+	// Gate open: nil immediately, even with a cancelled context.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if err := m.PauseCtx(dead); err != nil {
+		t.Fatalf("PauseCtx with open gate = %v, want nil", err)
+	}
+
+	m.Escalate()
+	held := true
+	defer func() {
+		if held {
+			m.Release()
+		}
+	}()
+
+	// Gate held + already-cancelled context: the ctx error, promptly.
+	start := time.Now()
+	if err := m.PauseCtx(dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PauseCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("PauseCtx took %v to notice a dead context", d)
+	}
+
+	// Gate held + context that expires while parked: DeadlineExceeded, well
+	// before any Release.
+	expiring, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if err := m.PauseCtx(expiring); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PauseCtx(expiring) = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("PauseCtx blocked %v past its context deadline", d)
+	}
+	if !SerialActive() {
+		t.Fatal("gate should still be held; PauseCtx must not touch it")
+	}
+
+	// Gate held + live context: parked until Release, then nil.
+	unparked := make(chan error, 1)
+	go func() { unparked <- m.PauseCtx(context.Background()) }()
+	select {
+	case err := <-unparked:
+		t.Fatalf("PauseCtx returned %v while the gate was held", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release()
+	held = false
+	select {
+	case err := <-unparked:
+		if err != nil {
+			t.Fatalf("PauseCtx after Release = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PauseCtx did not resume after Release")
 	}
 }

@@ -47,8 +47,29 @@ type Server struct {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down, dropping in-flight requests.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down, giving in-flight requests a short grace
+// period (a profile download cut off mid-stream is a corrupt profile)
+// before dropping whatever is left.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown stops the endpoint gracefully: the listener closes immediately,
+// in-flight requests get until ctx to finish, and anything still running
+// past that is dropped outright — Shutdown never returns with the port or
+// connections still held. It returns ctx's error when the grace period
+// expired, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Graceful drain timed out (or ctx was already dead): fall back to
+		// dropping the stragglers so shutdown still completes.
+		_ = s.srv.Close()
+		return err
+	}
+	return nil
+}
 
 // NewMux builds the debug mux for a recorder:
 //

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/leak"
+)
+
+// serveSlow is a Server whose /slow?hold=<dur> handler streams until the
+// hold elapses, the connection dies, or the request context is cancelled —
+// a deterministic stand-in for a long profile download, letting shutdown
+// tests control exactly how long an in-flight request stays in flight.
+func serveSlow(t *testing.T) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		hold, err := time.ParseDuration(r.URL.Query().Get("hold"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f := w.(http.Flusher)
+		end := time.Now().Add(hold)
+		for time.Now().Before(end) {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if _, err := w.Write([]byte("tick\n")); err != nil {
+				return
+			}
+			f.Flush()
+		}
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}
+}
+
+// get issues the request in the background, returning a channel with the
+// final body read error (nil = complete response).
+func get(t *testing.T, url string) <-chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(io.Discard, resp.Body)
+		done <- err
+	}()
+	return done
+}
+
+func TestServeShutdownWaitsForInflight(t *testing.T) {
+	defer leak.Check(t)()
+	// The real debug mux: a one-second runtime-trace download is in flight
+	// when Shutdown starts; with budget to spare it completes, not cut off.
+	srv, err := ServeRecorder("127.0.0.1:0", NewRecorder())
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	done := get(t, "http://"+srv.Addr()+"/debug/pprof/trace?seconds=1")
+	time.Sleep(100 * time.Millisecond) // let the handler start streaming
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request was dropped: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+func TestServeShutdownDeadlineDropsStragglers(t *testing.T) {
+	defer leak.Check(t)()
+	srv := serveSlow(t)
+	done := get(t, "http://"+srv.Addr()+"/slow?hold=30s")
+	time.Sleep(100 * time.Millisecond)
+
+	// A tiny budget cannot drain a thirty-second download: Shutdown must
+	// report the expiry AND still tear everything down via the fallback.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("shutdown blocked %v past its budget", waited)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("straggler request survived a forced shutdown")
+	}
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after forced shutdown")
+	}
+}
+
+func TestServeCloseIsGraceful(t *testing.T) {
+	defer leak.Check(t)()
+	srv := serveSlow(t)
+	// Close's built-in grace period covers a short in-flight request.
+	done := get(t, "http://"+srv.Addr()+"/slow?hold=300ms")
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request dropped by Close: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package txnet
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cm"
+)
+
+// admission bounds the number of transactions executing concurrently and
+// sheds the excess instead of queuing it unboundedly. Two watermarks gate
+// an arrival that misses a free slot:
+//
+//   - Serial-mode escalation: while the contention manager's process-wide
+//     serial gate is closed, the system has already declared optimism lost;
+//     piling more work on the gate only lengthens the convoy, so arrivals
+//     are shed immediately.
+//   - Patience: otherwise the arrival waits at most `patience` for a slot
+//     (a bounded admission queue in time rather than length), then sheds.
+//
+// Shed responses carry a retry-after hint derived from the observed commit
+// latency EWMA — roughly "how long until the backlog ahead of you clears" —
+// so well-behaved clients back off proportionally to actual service time.
+type admission struct {
+	slots    chan struct{}
+	patience time.Duration
+	ewmaNs   atomic.Uint64 // commit latency EWMA, nanoseconds
+	sheds    atomic.Uint64
+	executed atomic.Uint64
+}
+
+func newAdmission(slots int, patience time.Duration) *admission {
+	a := &admission{slots: make(chan struct{}, slots), patience: patience}
+	for i := 0; i < slots; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains an execution slot, or reports shed=true with nothing
+// held. ctx aborts the wait (connection-level teardown).
+func (a *admission) acquire(ctx context.Context) (ok bool) {
+	select {
+	case <-a.slots:
+		return true
+	default:
+	}
+	if cm.SerialActive() {
+		a.sheds.Add(1)
+		return false
+	}
+	t := time.NewTimer(a.patience)
+	defer t.Stop()
+	select {
+	case <-a.slots:
+		return true
+	case <-t.C:
+		a.sheds.Add(1)
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release returns a slot and folds the request's service time into the
+// latency EWMA (alpha = 1/8, fixed-point on raw nanoseconds; races between
+// updaters lose an update, which is fine for a hint).
+func (a *admission) release(service time.Duration) {
+	a.executed.Add(1)
+	old := a.ewmaNs.Load()
+	a.ewmaNs.Store(old - old/8 + uint64(service)/8)
+	a.slots <- struct{}{}
+}
+
+// retryAfter is the hint shed clients receive: enough time for the current
+// backlog to drain at the observed service rate, clamped to [1ms, 2s] so a
+// cold EWMA or a latency spike still yields a sane wait.
+func (a *admission) retryAfter() time.Duration {
+	backlog := cap(a.slots) - len(a.slots) + 1
+	d := time.Duration(a.ewmaNs.Load()) * time.Duration(backlog)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}

@@ -1,0 +1,301 @@
+package txnet
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/failpoint"
+	"repro/internal/chaos/leak"
+	"repro/internal/lincheck"
+)
+
+// chaosSeed offsets the failpoint schedules by $FAILPOINT_SEED (default 0),
+// so CI runs with rotating seeds explore different fault interleavings
+// while any one run stays reproducible.
+func chaosSeed(t *testing.T) uint64 {
+	v := os.Getenv("FAILPOINT_SEED")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		t.Fatalf("bad FAILPOINT_SEED %q: %v", v, err)
+	}
+	t.Logf("FAILPOINT_SEED=%d", n)
+	return n
+}
+
+// clientSet adapts a Client to the lincheck.Set interface. Any transport
+// error fails the test: under connection chaos the retry protocol must
+// always reach a definitive committed answer.
+type clientSet struct {
+	t *testing.T
+	c *Client
+}
+
+func (s clientSet) Add(key int64) bool      { return s.call(OpAdd, key) }
+func (s clientSet) Remove(key int64) bool   { return s.call(OpRemove, key) }
+func (s clientSet) Contains(key int64) bool { return s.call(OpContains, key) }
+
+func (s clientSet) call(code OpCode, key int64) bool {
+	r, err := s.c.Do1(context.Background(), Op{Code: code, Struct: 0, Key: key})
+	if err != nil {
+		s.t.Errorf("%s(%d): %v", code, key, err)
+		return false
+	}
+	return r.OK
+}
+
+// chaosRotor cycles fault injection across all four network failpoints
+// while the workload runs, one at a time so every fault class gets clean
+// exposure. Initial Dial calls must complete before the rotor starts —
+// Dial does not retry (only Do's reconnect path does).
+func chaosRotor(seed uint64, stop <-chan struct{}, wg *sync.WaitGroup) {
+	specs := []struct {
+		name string
+		spec failpoint.Spec
+	}{
+		{"txnet.conn.drop", failpoint.Spec{Action: failpoint.Panic, Prob: 0.05, Seed: seed + 1}},
+		{"txnet.read.stall", failpoint.Spec{Action: failpoint.Delay, Delay: time.Millisecond, Prob: 0.1, Seed: seed + 2}},
+		{"txnet.write.partial", failpoint.Spec{Action: failpoint.Panic, Prob: 0.05, Seed: seed + 3}},
+		{"txnet.server.stall", failpoint.Spec{Action: failpoint.Delay, Delay: time.Millisecond, Prob: 0.1, Seed: seed + 4}},
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int(seed % 4); ; i++ {
+			s := specs[i%len(specs)]
+			disarm := failpoint.Arm(s.name, s.spec)
+			select {
+			case <-stop:
+				disarm()
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			disarm()
+		}
+	}()
+}
+
+// TestChaosSoakLincheck runs concurrent clients against a live server while
+// faults rotate across every network failpoint, records the full operation
+// history, and checks it linearizes against the sequential set model. A
+// duplicated apply or a lost acknowledgement shows up as a history no
+// sequential set can explain.
+func TestChaosSoakLincheck(t *testing.T) {
+	leak.CheckCleanup(t)
+	seed := chaosSeed(t)
+	s := newTestServer(t, Options{})
+
+	const threads = 8
+	opsPer := 150
+	if testing.Short() {
+		opsPer = 40
+	}
+	rec := lincheck.NewRecorder(threads)
+
+	// Connect everyone before the chaos starts.
+	clients := make([]*Client, threads)
+	for th := range clients {
+		c, err := Dial(s.Addr(), &ClientOptions{Seed: int64(seed) + int64(th) + 1})
+		if err != nil {
+			t.Fatalf("thread %d dial: %v", th, err)
+		}
+		defer c.Close()
+		clients[th] = c
+	}
+
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosRotor(seed, stop, &chaosWG)
+
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			set := lincheck.RecordedSet{S: clientSet{t: t, c: clients[th]}, R: rec, Thread: th}
+			rng := seed*0x9E3779B97F4A7C15 + uint64(th)*0xBF58476D1CE4E5B9 + 1
+			for i := 0; i < opsPer; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				key := int64(rng % 8) // small key space maximizes interleaving
+				switch (rng >> 8) % 4 {
+				case 0, 1:
+					set.Add(key)
+				case 2:
+					set.Remove(key)
+				default:
+					set.Contains(key)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+	if t.Failed() {
+		return // transport errors already reported; the history is partial
+	}
+
+	hist := rec.History()
+	res := lincheck.Check(lincheck.SetModel(), hist)
+	if res.Outcome == lincheck.Violation {
+		path := lincheck.DumpArtifact("txnet-chaos-soak", int64(seed), res, hist, nil)
+		t.Fatalf("history not linearizable: %s\nartifact: %s", res.Detail, path)
+	}
+	if res.Outcome == lincheck.Inconclusive {
+		t.Logf("lincheck budget exhausted after %d steps (not a failure)", res.Cost)
+	}
+
+	st := s.Stats()
+	t.Logf("soak: %d ops, server stats %+v", len(hist), st)
+	if st.Commits == 0 {
+		t.Fatal("soak committed nothing")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("shutdown after soak: %v", err)
+	}
+}
+
+// TestManyConnectionsExactlyOnce drives a large fleet of connections, each
+// adding globally unique keys while connections are dropped and responses
+// truncated underneath them. Uniqueness turns the exactly-once guarantee
+// into two countable assertions: every add reports "inserted" (a duplicate
+// apply would report false on the retry), and every acknowledged key is
+// present afterwards (a lost commit would be absent).
+func TestManyConnectionsExactlyOnce(t *testing.T) {
+	leak.CheckCleanup(t)
+	seed := chaosSeed(t)
+	s := newTestServer(t, Options{})
+
+	nClients, opsPer := 1000, 4
+	if testing.Short() {
+		nClients = 64
+	}
+
+	// Fault injection arms only after every client has dialed (Dial does
+	// not retry); reconnect hellos inside Do retry and are fair game.
+	ready := make(chan *Client, nClients)
+	start := make(chan struct{})
+	acked := make([]int64, 0, nClients*opsPer)
+	var ackedMu sync.Mutex
+	var resends, dupApplies atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), &ClientOptions{Seed: int64(seed) + int64(i) + 1})
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				ready <- nil
+				return
+			}
+			defer c.Close()
+			ready <- c
+			<-start
+			mine := make([]int64, 0, opsPer)
+			for j := 0; j < opsPer; j++ {
+				key := int64(i*opsPer + j) // globally unique
+				ok, err := c.SetAdd(context.Background(), 0, key)
+				if err != nil {
+					t.Errorf("client %d add %d: %v", i, key, err)
+					return
+				}
+				if !ok {
+					dupApplies.Add(1)
+					t.Errorf("client %d: add(%d) reported duplicate — applied twice", i, key)
+				}
+				mine = append(mine, key)
+			}
+			resends.Add(c.Stats().Resends)
+			ackedMu.Lock()
+			acked = append(acked, mine...)
+			ackedMu.Unlock()
+		}(i)
+	}
+	for i := 0; i < nClients; i++ {
+		<-ready
+	}
+	disarmDrop := failpoint.Arm("txnet.conn.drop", failpoint.Spec{Action: failpoint.Panic, Prob: 0.01, Seed: seed + 11})
+	disarmPartial := failpoint.Arm("txnet.write.partial", failpoint.Spec{Action: failpoint.Panic, Prob: 0.01, Seed: seed + 12})
+	close(start)
+	wg.Wait()
+	disarmDrop()
+	disarmPartial()
+	if t.Failed() {
+		return
+	}
+
+	// Lost-ack audit: every acknowledged key must be present.
+	v, err := Dial(s.Addr(), &ClientOptions{Seed: int64(seed) + 7})
+	if err != nil {
+		t.Fatalf("verifier dial: %v", err)
+	}
+	defer v.Close()
+	const batch = 512
+	lost := 0
+	for i := 0; i < len(acked); i += batch {
+		end := i + batch
+		if end > len(acked) {
+			end = len(acked)
+		}
+		ops := make([]Op, 0, batch)
+		for _, k := range acked[i:end] {
+			ops = append(ops, Op{Code: OpContains, Struct: 0, Key: k})
+		}
+		res, err := v.Do(context.Background(), ops)
+		if err != nil {
+			t.Fatalf("verify batch: %v", err)
+		}
+		for j, r := range res {
+			if !r.OK {
+				lost++
+				t.Errorf("acked key %d missing — commit lost", acked[i+j])
+			}
+		}
+	}
+
+	st := s.Stats()
+	t.Logf("fleet: %d clients × %d adds; server %+v; client resends %d",
+		nClients, opsPer, st, resends.Load())
+	if lost != 0 || dupApplies.Load() != 0 {
+		t.Fatalf("exactly-once violated: %d lost acks, %d duplicate applies", lost, dupApplies.Load())
+	}
+	if st.DroppedConns > 0 && resends.Load() == 0 {
+		t.Error("connections were dropped but no client resent — retry path untested")
+	}
+
+	// Drain the whole fleet's server leak-free.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after fleet: %v", err)
+	}
+}
+
+// TestSoakSessionsSweepable double-checks the soak leaves no unbounded
+// session growth once clients go idle past the TTL.
+func TestSoakSessionsSweepable(t *testing.T) {
+	leak.CheckCleanup(t)
+	s := newTestServer(t, Options{SessionTTL: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		rc := dialRaw(t, s.Addr())
+		rc.hello(0)
+		rc.c.Close()
+	}
+	if got := s.Stats().Sessions; got != 10 {
+		t.Fatalf("sessions: %d", got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if n := s.sess.sweep(time.Now()); n != 10 {
+		t.Fatalf("swept %d of 10", n)
+	}
+}

@@ -1,0 +1,403 @@
+package txnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Terminal client errors. ErrDeadline, ErrAborted and ErrUnavailable are
+// definitive: the transaction did not commit (the server only caches and
+// replays committed responses, so a definitive non-OK answer proves no
+// effect). ErrSessionExpired means the exactly-once window was lost — the
+// client cannot retry safely and surfaces the uncertainty.
+var (
+	ErrDeadline       = errors.New("txnet: deadline exceeded")
+	ErrAborted        = errors.New("txnet: transaction aborted")
+	ErrUnavailable    = errors.New("txnet: server shutting down")
+	ErrSessionExpired = errors.New("txnet: session expired on server")
+	ErrClosed         = errors.New("txnet: client closed")
+)
+
+// ClientOptions tune the retry behaviour. Zero fields take defaults.
+type ClientOptions struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request round-trip when the context has
+	// no earlier deadline, so a stalled server is detected and the request
+	// retried over a fresh connection (default 30s).
+	RequestTimeout time.Duration
+	// RetryBase and RetryMax bound the jittered exponential reconnect
+	// backoff (defaults 1ms and 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed seeds the backoff jitter; 0 derives one from the clock.
+	Seed int64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = time.Millisecond
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// ClientStats counts client-side retry activity.
+type ClientStats struct {
+	Reconnects uint64 // connections re-established
+	Resends    uint64 // requests re-sent after a connection failure
+	Overloads  uint64 // StatusOverloaded responses honored
+}
+
+// Client is a connection to a txstore server holding one session. A Client
+// serializes its requests (sessions are sequential by design); use one
+// Client per concurrent actor.
+//
+// Requests are exactly-once: every transaction carries the session's next
+// sequence number, and any retry after a connection failure resends the
+// same number, which the server either executes (it never saw it) or
+// answers from its cache (it committed and the response was lost). Do never
+// double-applies and never loses a committed acknowledgement.
+type Client struct {
+	addr string
+	o    ClientOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	session uint64
+	seq     uint64
+	rng     *rand.Rand
+	buf     []byte
+	closed  bool
+
+	stats struct {
+		reconnects, resends, overloads atomic.Uint64
+	}
+}
+
+// Dial connects to a txstore server and opens a fresh session. opts may be
+// nil for defaults.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	o := ClientOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	c := &Client{addr: addr, o: o.withDefaults()}
+	c.rng = rand.New(rand.NewSource(c.o.Seed))
+	if err := c.connectLocked(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats snapshots the client's retry counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Reconnects: c.stats.reconnects.Load(),
+		Resends:    c.stats.resends.Load(),
+		Overloads:  c.stats.overloads.Load(),
+	}
+}
+
+// Session returns the server-assigned session ID.
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Close tears the connection down. The session remains on the server until
+// its TTL expires.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return c.dropLocked()
+}
+
+func (c *Client) dropLocked() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br = nil, nil
+	return err
+}
+
+// connectLocked dials and runs the session handshake (resuming the existing
+// session if one was ever established). Call with mu held.
+func (c *Client) connectLocked(ctx context.Context) error {
+	d := net.Dialer{Timeout: c.o.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	c.buf = appendHello(c.buf[:0], c.session)
+	_ = conn.SetDeadline(time.Now().Add(c.o.DialTimeout))
+	if err := writeFrame(conn, c.buf); err != nil {
+		conn.Close()
+		return err
+	}
+	frame, err := readFrame(br, nil)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	r, err := parseResponse(frame)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	switch r.status {
+	case StatusHello:
+		c.session = r.sessionID
+		c.conn, c.br = conn, br
+		return nil
+	case StatusBadRequest:
+		conn.Close()
+		return fmt.Errorf("%w (session %d)", ErrSessionExpired, c.session)
+	default:
+		conn.Close()
+		return fmt.Errorf("txnet: unexpected hello response %s", r.status)
+	}
+}
+
+// backoff sleeps the n-th jittered exponential wait, honouring ctx.
+func (c *Client) backoff(ctx context.Context, n int) error {
+	d := c.o.RetryBase << uint(n)
+	if d > c.o.RetryMax || d <= 0 {
+		d = c.o.RetryMax
+	}
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do executes ops as one atomic transaction and returns one result per op.
+// Connection failures are retried transparently (same sequence number —
+// safe by the session protocol); overload responses are retried after the
+// server's hint. Definitive failures return ErrDeadline, ErrAborted,
+// ErrUnavailable or ErrSessionExpired; in every such case the transaction
+// did not apply.
+func (c *Client) Do(ctx context.Context, ops []Op) ([]OpResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	seq := c.seq + 1
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.conn == nil {
+			if err := c.connectLocked(ctx); err != nil {
+				if errors.Is(err, ErrSessionExpired) || ctx.Err() != nil {
+					return nil, err
+				}
+				c.mu.Unlock()
+				berr := c.backoff(ctx, attempt)
+				c.mu.Lock()
+				if c.closed {
+					return nil, ErrClosed
+				}
+				if berr != nil {
+					return nil, berr
+				}
+				continue
+			}
+			c.stats.reconnects.Add(1)
+		}
+		r, err := c.roundTrip(ctx, seq, ops)
+		if err != nil {
+			// Connection-level failure mid-request: the server may or may
+			// not have committed. Reconnect and resend the same seq; the
+			// session cache disambiguates.
+			_ = c.dropLocked()
+			c.stats.resends.Add(1)
+			c.mu.Unlock()
+			berr := c.backoff(ctx, attempt)
+			c.mu.Lock()
+			if c.closed {
+				return nil, ErrClosed
+			}
+			if berr != nil {
+				return nil, berr
+			}
+			continue
+		}
+		switch r.status {
+		case StatusOK:
+			c.seq = seq
+			return r.results, nil
+		case StatusOverloaded:
+			c.stats.overloads.Add(1)
+			c.mu.Unlock()
+			werr := sleepCtx(ctx, c.jitter(r.retryAfter))
+			c.mu.Lock()
+			if c.closed {
+				return nil, ErrClosed
+			}
+			if werr != nil {
+				return nil, werr
+			}
+			continue
+		case StatusDeadline:
+			c.seq = seq
+			return nil, ErrDeadline
+		case StatusAborted:
+			c.seq = seq
+			return nil, fmt.Errorf("%w: %s", ErrAborted, r.msg)
+		case StatusShutdown:
+			c.seq = seq
+			return nil, ErrUnavailable
+		case StatusBadRequest:
+			c.seq = seq
+			if r.msg == "unknown session" {
+				return nil, ErrSessionExpired
+			}
+			return nil, fmt.Errorf("txnet: bad request: %s", r.msg)
+		default:
+			return nil, fmt.Errorf("txnet: unexpected response %s", r.status)
+		}
+	}
+}
+
+// jitter spreads a server retry hint over [hint/2, hint] so shed clients do
+// not return in one synchronized wave.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return c.o.RetryBase
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// roundTrip sends one txn frame and reads its response. Call with mu held.
+func (c *Client) roundTrip(ctx context.Context, seq uint64, ops []Op) (response, error) {
+	var deadline time.Duration
+	ioDeadline := time.Now().Add(c.o.RequestTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = time.Until(d)
+		if deadline <= 0 {
+			return response{}, context.DeadlineExceeded
+		}
+		if d.Before(ioDeadline) {
+			// Give the server's deadline response a moment to arrive before
+			// the socket gives up.
+			ioDeadline = d.Add(100 * time.Millisecond)
+		}
+	}
+	c.buf = appendTxn(c.buf[:0], c.session, seq, deadline, ops)
+	_ = c.conn.SetDeadline(ioDeadline)
+	if err := writeFrame(c.conn, c.buf); err != nil {
+		return response{}, err
+	}
+	frame, err := readFrame(c.br, nil)
+	if err != nil {
+		return response{}, err
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+	r, err := parseResponse(frame)
+	if err != nil {
+		return response{}, err
+	}
+	if r.status != StatusHello && r.seq != seq {
+		return response{}, fmt.Errorf("txnet: response for seq %d, want %d", r.seq, seq)
+	}
+	return r, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Convenience single-op helpers over the default store layout (set at
+// index 0, map at 1, PQ at 2, as built by NewOTBStore).
+
+// Do1 executes a single-op transaction.
+func (c *Client) Do1(ctx context.Context, op Op) (OpResult, error) {
+	res, err := c.Do(ctx, []Op{op})
+	if err != nil {
+		return OpResult{}, err
+	}
+	return res[0], nil
+}
+
+// SetAdd adds key to the set structure at index st.
+func (c *Client) SetAdd(ctx context.Context, st uint32, key int64) (bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpAdd, Struct: st, Key: key})
+	return r.OK, err
+}
+
+// SetRemove removes key from the set structure at index st.
+func (c *Client) SetRemove(ctx context.Context, st uint32, key int64) (bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpRemove, Struct: st, Key: key})
+	return r.OK, err
+}
+
+// SetContains reports membership of key in the set structure at index st.
+func (c *Client) SetContains(ctx context.Context, st uint32, key int64) (bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpContains, Struct: st, Key: key})
+	return r.OK, err
+}
+
+// MapPut stores key→val in the map structure at index st, reporting whether
+// a new entry was created.
+func (c *Client) MapPut(ctx context.Context, st uint32, key int64, val uint64) (bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpPut, Struct: st, Key: key, Val: val})
+	return r.OK, err
+}
+
+// MapGet reads key from the map structure at index st.
+func (c *Client) MapGet(ctx context.Context, st uint32, key int64) (uint64, bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpGet, Struct: st, Key: key})
+	return r.Out, r.OK, err
+}
+
+// PQAdd inserts key into the priority queue at index st.
+func (c *Client) PQAdd(ctx context.Context, st uint32, key int64) (bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpAdd, Struct: st, Key: key})
+	return r.OK, err
+}
+
+// PQRemoveMin pops the minimum of the priority queue at index st.
+func (c *Client) PQRemoveMin(ctx context.Context, st uint32) (int64, bool, error) {
+	r, err := c.Do1(ctx, Op{Code: OpRemoveMin, Struct: st})
+	return int64(r.Out), r.OK, err
+}

@@ -1,0 +1,489 @@
+package txnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos/failpoint"
+)
+
+// Network failpoints. All four are recovered at the connection level: an
+// injected panic drops that connection (the fault a real network inflicts)
+// and the server keeps serving everyone else. Real panics stay loud.
+var (
+	// fpConnDrop fires after a request frame is read, before dispatch —
+	// the connection dies with a request received but unanswered, forcing
+	// the client down the reconnect-and-retry path.
+	fpConnDrop = failpoint.New("txnet.conn.drop")
+	// fpReadStall fires before each frame read (delay stalls the server's
+	// read path, modeling a slow or hostile client; panic drops the conn).
+	fpReadStall = failpoint.New("txnet.read.stall")
+	// fpWritePartial fires after the first half of a response has been
+	// flushed to the wire — a panic here leaves the client with a
+	// truncated frame, exercising its resynchronization via reconnect.
+	fpWritePartial = failpoint.New("txnet.write.partial")
+	// fpServerStall fires between admission and execution (delay widens
+	// the window where a committed-but-unanswered transaction exists).
+	fpServerStall = failpoint.New("txnet.server.stall")
+)
+
+// Options configure a Server. The zero value serves the default OTBStore
+// with production-shaped limits.
+type Options struct {
+	// Store executes transactions; nil means NewOTBStore().
+	Store Store
+	// MaxInflight bounds concurrently executing transactions (admission
+	// slots). 0 means DefaultMaxInflight.
+	MaxInflight int
+	// AdmissionPatience is how long an arrival waits for a slot before
+	// being shed. 0 means DefaultAdmissionPatience.
+	AdmissionPatience time.Duration
+	// SessionTTL expires idle sessions (and their exactly-once caches).
+	// 0 means DefaultSessionTTL.
+	SessionTTL time.Duration
+}
+
+// Defaults for Options zero fields.
+const (
+	DefaultMaxInflight       = 128
+	DefaultAdmissionPatience = 5 * time.Millisecond
+	DefaultSessionTTL        = 5 * time.Minute
+)
+
+// Stats is a point-in-time snapshot of server counters.
+type Stats struct {
+	Conns        uint64 // connections accepted
+	Requests     uint64 // transaction requests received
+	Commits      uint64 // transactions committed
+	Replays      uint64 // duplicate seq answered from the session cache
+	Shed         uint64 // requests shed by admission control
+	Deadline     uint64 // requests that exceeded their wire deadline
+	Aborted      uint64 // requests answered StatusAborted
+	BadRequests  uint64 // malformed or invalid requests
+	ShutdownResp uint64 // requests refused because the server was draining
+	DroppedConns uint64 // connections dropped by injected faults
+	Sessions     int    // live sessions
+}
+
+// Server is a running txstore endpoint. Create with Listen or Serve; stop
+// with Shutdown (graceful drain) or Close.
+type Server struct {
+	opts  Options
+	store Store
+	ln    net.Listener
+	adm   *admission
+	sess  *sessionTable
+
+	ctx    context.Context // cancelled when drain gives up on in-flight work
+	cancel context.CancelFunc
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool // set by closeConns; late-accepted conns are refused
+
+	inflightMu sync.Mutex // guards draining vs. reqWG.Add
+	reqWG      sync.WaitGroup
+	draining   bool
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+	done         chan struct{} // closed when Shutdown finishes
+	connWG       sync.WaitGroup
+
+	stats struct {
+		conns, requests, commits, replays atomic.Uint64
+		shed, deadline, aborted, badReq   atomic.Uint64
+		shutdownResp, droppedConns        atomic.Uint64
+	}
+}
+
+// Listen starts a server on addr ("host:port", ":0" picks a port).
+func Listen(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, opts), nil
+}
+
+// Serve starts a server on an existing listener, which it owns from now on.
+func Serve(ln net.Listener, opts Options) *Server {
+	if opts.Store == nil {
+		opts.Store = NewOTBStore()
+	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.AdmissionPatience == 0 {
+		opts.AdmissionPatience = DefaultAdmissionPatience
+	}
+	if opts.SessionTTL == 0 {
+		opts.SessionTTL = DefaultSessionTTL
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		store:  opts.Store,
+		ln:     ln,
+		adm:    newAdmission(opts.MaxInflight, opts.AdmissionPatience),
+		sess:   newSessionTable(opts.SessionTTL),
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	s.connWG.Add(2)
+	go s.acceptLoop()
+	go s.sweepLoop()
+	return s
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:        s.stats.conns.Load(),
+		Requests:     s.stats.requests.Load(),
+		Commits:      s.stats.commits.Load(),
+		Replays:      s.stats.replays.Load(),
+		Shed:         s.stats.shed.Load(),
+		Deadline:     s.stats.deadline.Load(),
+		Aborted:      s.stats.aborted.Load(),
+		BadRequests:  s.stats.badReq.Load(),
+		ShutdownResp: s.stats.shutdownResp.Load(),
+		DroppedConns: s.stats.droppedConns.Load(),
+		Sessions:     s.sess.len(),
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight transactions
+// finish until ctx expires, then cancel whatever is left (in-flight
+// transactions return Canceled and answer StatusShutdown), close every
+// connection, and wait for all server goroutines to exit. It returns ctx's
+// error if the drain deadline was hit, nil on a clean drain. Subsequent
+// calls wait for the first and return its result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.inflightMu.Lock()
+		s.draining = true
+		s.inflightMu.Unlock()
+		_ = s.ln.Close()
+
+		drained := make(chan struct{})
+		go func() {
+			s.reqWG.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			s.shutdownErr = ctx.Err()
+		}
+		// Cancel stragglers (no-op when drained) and give them a moment to
+		// write their StatusShutdown responses before yanking connections.
+		s.cancel()
+		if s.shutdownErr != nil {
+			select {
+			case <-drained:
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+		s.closeConns()
+		s.connWG.Wait()
+		s.cancel()
+		close(s.done)
+	})
+	<-s.done
+	return s.shutdownErr
+}
+
+// Close is Shutdown with a one-second drain budget.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal; either way stop
+		}
+		s.connMu.Lock()
+		if s.closed {
+			// Raced with closeConns: this conn would be served but never
+			// torn down, hanging the drain. Refuse it instead.
+			s.connMu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.stats.conns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// sweepLoop expires idle sessions until shutdown.
+func (s *Server) sweepLoop() {
+	defer s.connWG.Done()
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-tick.C:
+			s.sess.sweep(now)
+		}
+	}
+}
+
+// errConnDropped signals the handler to close the connection after an
+// injected fault.
+var errConnDropped = errors.New("txnet: connection dropped by failpoint")
+
+// handleConn serves one connection: frames in, frames out, strictly in
+// order. Injected failpoint panics anywhere in the request path drop the
+// connection (the client's retry protocol makes that safe); real panics
+// propagate and crash the test/process — a protocol bug must stay loud.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		_ = c.Close()
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+	}()
+	// handleFrame recovers injected panics on the dispatch path; this catches
+	// the one place outside it (the read-stall hit below), so a panic-armed
+	// txnet.read.stall also drops the connection instead of the process.
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if _, injected := p.(*failpoint.PanicValue); injected {
+			s.stats.droppedConns.Add(1)
+			return
+		}
+		panic(p)
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var (
+		buf  []byte
+		ops  []Op
+		resp []byte
+	)
+	for {
+		fpReadStall.Hit()
+		frame, err := readFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = frame
+		ops, err = s.handleFrame(bw, frame, ops, &resp)
+		if err != nil {
+			if errors.Is(err, errConnDropped) {
+				s.stats.droppedConns.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// handleFrame dispatches one request and writes its response. It recovers
+// injected failpoint panics into errConnDropped.
+func (s *Server) handleFrame(bw *bufio.Writer, frame []byte, ops []Op, resp *[]byte) (opsOut []Op, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if _, injected := p.(*failpoint.PanicValue); injected {
+			opsOut, err = ops, errConnDropped
+			return
+		}
+		panic(p)
+	}()
+	if len(frame) == 0 {
+		return ops, fmt.Errorf("txnet: empty frame")
+	}
+	fpConnDrop.Hit()
+	switch frame[0] {
+	case msgHello:
+		if len(frame) != 9 {
+			return ops, fmt.Errorf("txnet: malformed hello")
+		}
+		var sess *session
+		if id := be64(frame[1:]); id == 0 {
+			sess = s.sess.open()
+		} else {
+			var ok bool
+			if sess, ok = s.sess.lookup(id); !ok {
+				*resp = appendErrResp((*resp)[:0], StatusBadRequest, 0, 0, "unknown session")
+				return ops, s.writeResp(bw, *resp)
+			}
+		}
+		*resp = appendHelloResp((*resp)[:0], sess.id, sess.lastSeq)
+		return ops, s.writeResp(bw, *resp)
+	case msgTxn:
+		req, ops, perr := parseTxn(frame, ops)
+		if perr != nil {
+			s.stats.badReq.Add(1)
+			*resp = appendErrResp((*resp)[:0], StatusBadRequest, 0, 0, perr.Error())
+			if werr := s.writeResp(bw, *resp); werr != nil {
+				return ops, werr
+			}
+			return ops, nil
+		}
+		s.stats.requests.Add(1)
+		*resp = s.execTxn(req, (*resp)[:0])
+		return ops, s.writeResp(bw, *resp)
+	default:
+		return ops, fmt.Errorf("txnet: unknown message type %d", frame[0])
+	}
+}
+
+// execTxn runs one transaction request through the session, admission and
+// store layers, returning the encoded response.
+func (s *Server) execTxn(req txnReq, resp []byte) []byte {
+	sess, ok := s.sess.lookup(req.session)
+	if !ok {
+		s.stats.badReq.Add(1)
+		return appendErrResp(resp, StatusBadRequest, req.seq, 0, "unknown session")
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	switch {
+	case req.seq == sess.lastSeq && sess.lastResp != nil:
+		// Retry of the committed transaction: replay the cached verdict.
+		s.stats.replays.Add(1)
+		return append(resp, sess.lastResp...)
+	case req.seq == 0:
+		s.stats.badReq.Add(1)
+		return appendErrResp(resp, StatusBadRequest, req.seq, 0, "seq must be positive")
+	case req.seq < sess.lastSeq:
+		s.stats.badReq.Add(1)
+		return appendErrResp(resp, StatusBadRequest, req.seq, 0,
+			fmt.Sprintf("stale seq %d (session at %d)", req.seq, sess.lastSeq))
+	}
+
+	// Admission: enter the in-flight set only if the server is not
+	// draining, so Shutdown's drain wait covers every executing request.
+	s.inflightMu.Lock()
+	if s.draining {
+		s.inflightMu.Unlock()
+		s.stats.shutdownResp.Add(1)
+		return appendErrResp(resp, StatusShutdown, req.seq, 0, "")
+	}
+	s.reqWG.Add(1)
+	s.inflightMu.Unlock()
+	defer s.reqWG.Done()
+
+	if !s.adm.acquire(s.ctx) {
+		if s.ctx.Err() != nil {
+			s.stats.shutdownResp.Add(1)
+			return appendErrResp(resp, StatusShutdown, req.seq, 0, "")
+		}
+		s.stats.shed.Add(1)
+		return appendErrResp(resp, StatusOverloaded, req.seq, s.adm.retryAfter(), "")
+	}
+	start := time.Now()
+	defer func() { s.adm.release(time.Since(start)) }()
+
+	fpServerStall.Hit()
+
+	ctx := s.ctx
+	var cancel context.CancelFunc
+	if req.deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, req.deadline)
+		defer cancel()
+	}
+	results := make([]OpResult, len(req.ops))
+	err := s.store.Exec(ctx, req.ops, results)
+	switch {
+	case err == nil:
+		s.stats.commits.Add(1)
+		resp = appendOKResp(resp, req.seq, results)
+		// Commit and cache move together under the session lock: from here
+		// on, a retry of req.seq replays this exact response.
+		sess.lastSeq = req.seq
+		sess.lastResp = append(sess.lastResp[:0], resp...)
+		return resp
+	case errors.Is(err, ErrBadOp):
+		s.stats.badReq.Add(1)
+		return appendErrResp(resp, StatusBadRequest, req.seq, 0, err.Error())
+	case errors.Is(err, context.DeadlineExceeded) && req.deadline > 0 && s.ctx.Err() == nil:
+		s.stats.deadline.Add(1)
+		return appendErrResp(resp, StatusDeadline, req.seq, 0, "")
+	case s.ctx.Err() != nil:
+		s.stats.shutdownResp.Add(1)
+		return appendErrResp(resp, StatusShutdown, req.seq, 0, "")
+	default:
+		s.stats.aborted.Add(1)
+		return appendErrResp(resp, StatusAborted, req.seq, 0, err.Error())
+	}
+}
+
+// writeResp frames and flushes one response. With txnet.write.partial armed
+// the header (promising the full length) and first half of the payload are
+// flushed to the wire before the failpoint fires, so an injected panic
+// leaves the client holding a truncated frame — the nastiest network fault:
+// bytes arrived, then silence.
+func (s *Server) writeResp(bw *bufio.Writer, payload []byte) error {
+	if fpWritePartial.Armed() && len(payload) > 1 {
+		var hdr [4]byte
+		hdr[0] = byte(len(payload) >> 24)
+		hdr[1] = byte(len(payload) >> 16)
+		hdr[2] = byte(len(payload) >> 8)
+		hdr[3] = byte(len(payload))
+		half := len(payload) / 2
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload[:half]); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		fpWritePartial.Hit()
+		if _, err := bw.Write(payload[half:]); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := writeFrame(bw, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func be64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

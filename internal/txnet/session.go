@@ -1,0 +1,94 @@
+package txnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// session is the per-client exactly-once state. Sessions outlive
+// connections: a client that reconnects resumes its session by ID, and the
+// cached last response makes retrying an unacknowledged request safe.
+//
+// lastSeq advances only when a transaction commits. A request with
+// seq == lastSeq is a retry of the committed transaction and is answered
+// from lastResp without executing; seq > lastSeq executes (sequence gaps
+// are normal — failed requests never advance lastSeq and the client moves
+// on); seq < lastSeq is a protocol violation.
+type session struct {
+	id uint64
+	// mu serializes requests of one session, so a zombie connection still
+	// executing a retry-superseded request and the retry itself cannot
+	// interleave: the retry observes either the cached response or a
+	// not-yet-committed lastSeq, never a half-applied transaction.
+	mu       sync.Mutex
+	lastSeq  uint64
+	lastResp []byte // encoded StatusOK response for lastSeq
+	lastUsed atomic.Int64
+}
+
+func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// sessionTable maps session IDs to live sessions. IDs are dense counters —
+// sessions are an at-least-once-delivery dedup mechanism, not an
+// authentication boundary (the server trusts its network, like any
+// in-process runtime trusts its callers).
+type sessionTable struct {
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   uint64
+	ttl      time.Duration
+}
+
+func newSessionTable(ttl time.Duration) *sessionTable {
+	return &sessionTable{sessions: make(map[uint64]*session), ttl: ttl}
+}
+
+// open creates a new session.
+func (t *sessionTable) open() *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &session{id: t.nextID}
+	s.touch()
+	t.sessions[s.id] = s
+	return s
+}
+
+// lookup resumes an existing session; ok is false if it never existed or
+// was expired (the client's exactly-once window is gone — it must fail
+// loudly rather than risk a duplicate apply).
+func (t *sessionTable) lookup(id uint64) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if ok {
+		s.touch()
+	}
+	return s, ok
+}
+
+// len reports the number of live sessions.
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// sweep drops sessions idle beyond the TTL and reports how many were
+// removed. A swept session's cached response is gone, so the TTL must
+// comfortably exceed any client's reconnect window (default 5 minutes vs.
+// sub-second reconnect backoff).
+func (t *sessionTable) sweep(now time.Time) int {
+	cutoff := now.Add(-t.ttl).UnixNano()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, s := range t.sessions {
+		if s.lastUsed.Load() < cutoff {
+			delete(t.sessions, id)
+			n++
+		}
+	}
+	return n
+}
