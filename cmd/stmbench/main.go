@@ -29,6 +29,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/conc"
 	"repro/internal/integrate"
+	"repro/internal/mvotb"
 	"repro/internal/otb"
 	"repro/internal/rinval"
 	"repro/internal/rtc"
@@ -159,6 +160,9 @@ func mkDriver(structure, alg string, capacity int) (bench.SetDriver, error) {
 		return bench.NewOTBDriver(otb.NewSkipSet()), nil
 	case "otb-hash":
 		return bench.NewOTBDriver(otb.NewHashSet(256)), nil
+	case "mvotb-set", "mvotb":
+		rt := mvotb.New(mvotb.Options{})
+		return bench.NewMVOTBDriver(rt, rt.NewSet(4096)), nil
 	case "otb-norec-list":
 		return bench.NewIntegratedDriver(integrate.NewOTBNOrec(), otb.NewListSet()), nil
 	case "otb-tl2-list":
@@ -235,8 +239,8 @@ func main() {
 
 	if *list {
 		fmt.Println("structures: lazy-list lazy-skip boosted-list boosted-skip otb-list" +
-			" otb-skip otb-hash otb-norec-list otb-tl2-list stm-list stm-skip stm-dlist" +
-			" stm-rbtree stm-hashmap")
+			" otb-skip otb-hash mvotb-set otb-norec-list otb-tl2-list stm-list stm-skip" +
+			" stm-dlist stm-rbtree stm-hashmap")
 		fmt.Print("algorithms (stm-*):")
 		for name := range stmAlgorithms {
 			fmt.Printf(" %s", name)
@@ -321,6 +325,7 @@ func main() {
 			canceled += m.Canceled()
 		}
 		fmt.Printf("recovered panics: %d   cancelled transactions: %d\n", panics, canceled)
+		telemetry.WriteGauges(os.Stdout)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -58,7 +58,7 @@ var stmAlgorithms = map[string]func() stm.AlgorithmCtx{
 func main() {
 	var (
 		addr        = flag.String("addr", ":7470", "listen address")
-		storeKind   = flag.String("store", "otb", "backing runtime: otb (boosted set+map+pq) or stm (word-based set+map)")
+		storeKind   = flag.String("store", "otb", "backing runtime: otb (boosted set+map+pq), mvotb (multi-version set+map) or stm (word-based set+map)")
 		alg         = flag.String("alg", "NOrec", "algorithm for -store stm: "+strings.Join(algNames(), ", "))
 		capacity    = flag.Int("capacity", 1<<20, "arena capacity for -store stm (inserts per structure)")
 		maxInflight = flag.Int("max-inflight", txnet.DefaultMaxInflight, "admission slots (concurrently executing transactions)")
@@ -88,6 +88,10 @@ func main() {
 	switch *storeKind {
 	case "otb":
 		store = txnet.NewOTBStore()
+	case "mvotb":
+		st := txnet.NewMVOTBStore()
+		defer st.Stop()
+		store = st
 	case "stm":
 		mk, ok := stmAlgorithms[*alg]
 		if !ok {
@@ -95,7 +99,7 @@ func main() {
 		}
 		store = txnet.NewSTMStore(mk(), *capacity)
 	default:
-		fatal(fmt.Errorf("unknown -store %q (otb or stm)", *storeKind))
+		fatal(fmt.Errorf("unknown -store %q (otb, mvotb or stm)", *storeKind))
 	}
 
 	if *debugAddr != "" {

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/mvotb"
+)
+
+// mvotbDriver runs set transactions on the multi-version runtime. A batch
+// with only Contains operations goes through the never-abort snapshot path;
+// anything else runs the updater path. That mirrors how a real caller uses
+// MVOTB — the read-mostly benchmark mixes are exactly where the snapshot
+// path pays.
+type mvotbDriver struct {
+	rt  *mvotb.Runtime
+	set *mvotb.Set
+}
+
+// NewMVOTBDriver wraps a multi-version set. Stop stops the runtime (and its
+// background version GC).
+func NewMVOTBDriver(rt *mvotb.Runtime, set *mvotb.Set) SetDriver {
+	return &mvotbDriver{rt: rt, set: set}
+}
+
+func (d *mvotbDriver) Name() string      { return "MVOTB" }
+func (d *mvotbDriver) Stop()             { d.rt.Stop() }
+func (d *mvotbDriver) RunTx(ops []SetOp) { d.RunTxCtx(nil, ops) }
+
+// mvotbRun is a pooled pair of transaction bodies (see boostedRun): one for
+// the updater path, one for the snapshot path.
+type mvotbRun struct {
+	d    *mvotbDriver
+	ops  []SetOp
+	fn   func(*mvotb.Tx)
+	roFn func(*mvotb.STx)
+}
+
+var mvotbRunPool = sync.Pool{New: func() any {
+	r := &mvotbRun{}
+	r.fn = func(tx *mvotb.Tx) {
+		for _, op := range r.ops {
+			switch op.Kind {
+			case OpAdd:
+				r.d.set.Add(tx, op.Key)
+			case OpRemove:
+				r.d.set.Remove(tx, op.Key)
+			default:
+				r.d.set.Contains(tx, op.Key)
+			}
+		}
+	}
+	r.roFn = func(x *mvotb.STx) {
+		for _, op := range r.ops {
+			r.d.set.SnapContains(x, op.Key)
+		}
+	}
+	return r
+}}
+
+// allContains reports whether the batch is pure membership queries.
+func allContains(ops []SetOp) bool {
+	for _, op := range ops {
+		if op.Kind != OpContains {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *mvotbDriver) RunTxCtx(ctx context.Context, ops []SetOp) error {
+	r := mvotbRunPool.Get().(*mvotbRun)
+	r.d, r.ops = d, ops
+	var err error
+	if allContains(ops) {
+		err = d.rt.ReadOnlyCtx(ctx, r.roFn)
+	} else {
+		err = d.rt.AtomicCtx(ctx, r.fn)
+	}
+	r.d, r.ops = nil, nil
+	mvotbRunPool.Put(r)
+	return err
+}

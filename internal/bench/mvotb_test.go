@@ -1,0 +1,46 @@
+package bench_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/mvotb"
+	"repro/internal/telemetry"
+)
+
+// TestMVOTBReadMostlyZeroROAborts is the ISSUE acceptance check in-tree:
+// under the 95%-lookup and 100%-lookup workload mixes, the MVOTB-RO meter
+// must report zero aborts — the snapshot path never retried — while still
+// committing work (the mix actually routed transactions through it).
+func TestMVOTBReadMostlyZeroROAborts(t *testing.T) {
+	telemetry.Enable()
+	cfg := bench.Config{
+		Threads: []int{4},
+		Warmup:  5 * time.Millisecond,
+		Measure: 50 * time.Millisecond,
+	}
+	for _, writes := range []int{5, 0} {
+		rt := mvotb.New(mvotb.Options{})
+		d := bench.NewMVOTBDriver(rt, rt.NewSet(4096))
+		wl := bench.SetWorkload{InitialSize: 256, KeyRange: 2048, WritePct: writes, OpsPerTx: 4}
+		wl.Populate(d)
+		workers := make([]func(*rand.Rand) []bench.SetOp, 4)
+		for i := range workers {
+			workers[i] = wl.NewSetWorker(i)
+		}
+		before := telemetry.M("MVOTB-RO").Snapshot()
+		bench.Throughput(cfg, 4, func(id int, rng *rand.Rand) {
+			d.RunTx(workers[id](rng))
+		})
+		after := telemetry.M("MVOTB-RO").Snapshot()
+		d.Stop()
+		if aborts := after.TotalAborts() - before.TotalAborts(); aborts != 0 {
+			t.Errorf("writes=%d%%: MVOTB-RO aborts = %d, want 0", writes, aborts)
+		}
+		if after.Commits == before.Commits {
+			t.Errorf("writes=%d%%: snapshot path committed nothing", writes)
+		}
+	}
+}

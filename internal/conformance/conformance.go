@@ -2,7 +2,8 @@
 // set, map and priority-queue implementation in the repository: the
 // hand-over-hand concurrent structures (internal/conc), the optimistically
 // boosted ones (internal/otb), the pessimistically boosted ones
-// (internal/boosting) and the STM-backed ones (internal/stmds).
+// (internal/boosting), the multi-version ones (internal/mvotb) and the
+// STM-backed ones (internal/stmds).
 //
 // The specification is the sequential model from internal/lincheck; the
 // package provides uniform adapters so each implementation presents the
@@ -16,6 +17,7 @@ import (
 	"repro/internal/boosting"
 	"repro/internal/conc"
 	"repro/internal/lincheck"
+	"repro/internal/mvotb"
 	"repro/internal/otb"
 	"repro/internal/stm"
 	"repro/internal/stm/norec"
@@ -61,6 +63,10 @@ func Sets() []SetEntry {
 		{"boosting/skip", func() (lincheck.Set, func()) {
 			return boostSet{boosting.NewSet(conc.NewLazySkipList(), 64)}, noStop
 		}},
+		{"mvotb/set", func() (lincheck.Set, func()) {
+			rt := mvotb.New(mvotb.Options{})
+			return mvotbSet{rt, rt.NewSet(16)}, rt.Stop
+		}},
 		{"stmds/list", func() (lincheck.Set, func()) {
 			alg := norec.New()
 			return stmSet{alg, stmds.NewList(arenaCap)}, alg.Stop
@@ -84,6 +90,10 @@ func Sets() []SetEntry {
 func Maps() []MapEntry {
 	return []MapEntry{
 		{"otb/map", func() (lincheck.Map, func()) { return otbMap{otb.NewMap()}, noStop }},
+		{"mvotb/map", func() (lincheck.Map, func()) {
+			rt := mvotb.New(mvotb.Options{})
+			return mvotbMap{rt, rt.NewMap(16)}, rt.Stop
+		}},
 		{"stmds/hashmap", func() (lincheck.Map, func()) {
 			alg := norec.New()
 			return stmMap{alg, stmds.NewHashMap(64, arenaCap)}, alg.Stop
@@ -180,6 +190,50 @@ func (a otbSkipPQ) Min() (k int64, ok bool) {
 
 func (a otbSkipPQ) RemoveMin() (k int64, ok bool) {
 	otb.Atomic(nil, func(tx *otb.Tx) { k, ok = a.q.RemoveMin(tx) })
+	return
+}
+
+// mvotbSet runs updates in standalone MVOTB transactions and membership
+// queries through the never-abort snapshot path (a single-key read-only
+// transaction linearizes at its snapshot point).
+type mvotbSet struct {
+	rt *mvotb.Runtime
+	s  *mvotb.Set
+}
+
+func (a mvotbSet) Add(k int64) (ok bool) {
+	a.rt.Atomic(func(tx *mvotb.Tx) { ok = a.s.Add(tx, k) })
+	return
+}
+
+func (a mvotbSet) Remove(k int64) (ok bool) {
+	a.rt.Atomic(func(tx *mvotb.Tx) { ok = a.s.Remove(tx, k) })
+	return
+}
+
+func (a mvotbSet) Contains(k int64) (ok bool) {
+	a.rt.ReadOnly(func(x *mvotb.STx) { ok = a.s.SnapContains(x, k) })
+	return
+}
+
+// mvotbMap is mvotbSet for the map.
+type mvotbMap struct {
+	rt *mvotb.Runtime
+	m  *mvotb.Map
+}
+
+func (a mvotbMap) Put(k int64, v uint64) (ok bool) {
+	a.rt.Atomic(func(tx *mvotb.Tx) { ok = a.m.Put(tx, k, v) })
+	return
+}
+
+func (a mvotbMap) Get(k int64) (v uint64, ok bool) {
+	a.rt.ReadOnly(func(x *mvotb.STx) { v, ok = a.m.SnapGet(x, k) })
+	return
+}
+
+func (a mvotbMap) Delete(k int64) (ok bool) {
+	a.rt.Atomic(func(tx *mvotb.Tx) { ok = a.m.Delete(tx, k) })
 	return
 }
 

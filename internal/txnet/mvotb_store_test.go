@@ -1,0 +1,111 @@
+package txnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/leak"
+)
+
+// newMVOTBServer builds a test server over the multi-version store.
+func newMVOTBServer(t *testing.T, opts Options) (*Server, *MVOTBStore) {
+	t.Helper()
+	st := NewMVOTBStore()
+	t.Cleanup(st.Stop)
+	opts.Store = st
+	return newTestServer(t, opts), st
+}
+
+// TestMVOTBStoreWire drives mixed and read-only batches through the full
+// wire stack against the multi-version store: updates atomically, reads
+// through the snapshot path (the all-read batch), same answers either way.
+func TestMVOTBStoreWire(t *testing.T) {
+	leak.CheckCleanup(t)
+	s, _ := newMVOTBServer(t, Options{})
+	c := newTestClient(t, s.Addr())
+	ctx := context.Background()
+
+	res, err := c.Do(ctx, []Op{
+		{Code: OpAdd, Struct: 0, Key: 5},
+		{Code: OpPut, Struct: 1, Key: 9, Val: 3},
+		{Code: OpContains, Struct: 0, Key: 5}, // mixed batch: updater path
+	})
+	if err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	for i, r := range res {
+		if !r.OK {
+			t.Fatalf("mixed batch op %d: %+v", i, r)
+		}
+	}
+
+	// All-read batch: snapshot path. One atomic view across both structures.
+	res, err = c.Do(ctx, []Op{
+		{Code: OpContains, Struct: 0, Key: 5},
+		{Code: OpGet, Struct: 1, Key: 9},
+		{Code: OpContains, Struct: 0, Key: 6},
+	})
+	if err != nil {
+		t.Fatalf("read batch: %v", err)
+	}
+	if !res[0].OK || !res[1].OK || res[1].Out != 3 || res[2].OK {
+		t.Fatalf("read batch results: %+v", res)
+	}
+
+	// Unsupported op on the set is rejected before any transactional work.
+	if _, err := c.Do(ctx, []Op{{Code: OpMin, Struct: 0}}); err == nil {
+		t.Fatal("OpMin on mvotb set: want error")
+	}
+}
+
+// TestSessionTTLExpiryOnResume is the reconnect leg of session expiry: a
+// client whose idle session was swept and whose connection is gone gets a
+// definitive bad-request verdict when it tries to resume — never a fresh
+// session that would silently re-apply an unacknowledged transaction. The
+// store's state must show exactly the committed history.
+func TestSessionTTLExpiryOnResume(t *testing.T) {
+	leak.CheckCleanup(t)
+	s, _ := newMVOTBServer(t, Options{SessionTTL: time.Nanosecond})
+	c := newTestClient(t, s.Addr())
+	ctx := context.Background()
+
+	if ok, err := c.SetAdd(ctx, 0, 1); err != nil || !ok {
+		t.Fatalf("add: %v %v", ok, err)
+	}
+
+	// Connection dies and the idle session expires while the client is away.
+	c.mu.Lock()
+	_ = c.dropLocked()
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	if n := s.sess.sweep(time.Now()); n == 0 {
+		t.Fatal("session not swept")
+	}
+
+	// The next request forces the hello-resume path; the server no longer
+	// knows the session and must refuse, loudly.
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if _, err := c.Do(dctx, []Op{{Code: OpAdd, Struct: 0, Key: 2}}); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("want ErrSessionExpired on resume, got %v", err)
+	}
+
+	// A fresh session sees exactly the committed history: key 1 applied
+	// once, the refused key 2 never applied.
+	c2 := newTestClient(t, s.Addr())
+	res, err := c2.Do(ctx, []Op{
+		{Code: OpContains, Struct: 0, Key: 1},
+		{Code: OpContains, Struct: 0, Key: 2},
+	})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !res[0].OK || res[1].OK {
+		t.Fatalf("state after expiry: key1=%v key2=%v, want true,false", res[0].OK, res[1].OK)
+	}
+	if ok, err := c2.SetAdd(ctx, 0, 1); err != nil || ok {
+		t.Fatalf("re-add key 1: ok=%v err=%v, want false (already present exactly once)", ok, err)
+	}
+}
