@@ -9,6 +9,7 @@
 // Examples:
 //
 //	txstore -addr :7470
+//	txstore -addr :7470 -wal-dir /var/lib/txstore -fsync always   # durable
 //	txstore -addr :7470 -store stm -alg TL2
 //	txstore -addr :7470 -max-inflight 64 -cm hybrid -debug-addr localhost:6060
 //	txstore -failpoints 'txnet.conn.drop=panic@prob:0.01'   # chaos drill
@@ -40,6 +41,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/txnet"
+	"repro/internal/wal"
 )
 
 // stmAlgorithms are the context-aware runtimes an -store stm server can
@@ -70,6 +72,10 @@ func main() {
 		failspec    = flag.String("failpoints", "", "fault-injection specs, 'name=action[@triggers];...' (see internal/chaos/failpoint)")
 		debugAddr   = flag.String("debug-addr", "", "serve the live debug endpoint (trace snapshot, pprof, expvar) on this address")
 		statsEvery  = flag.Duration("stats-every", 0, "periodically log server stats to stderr (0 = off)")
+		walDir      = flag.String("wal-dir", "", "directory for the write-ahead log; enables durable mode (-store otb only) with recovery on start")
+		fsyncPolicy = flag.String("fsync", "always", "WAL sync policy: always (ack after fsync), interval (background fsync), never (OS decides)")
+		fsyncEvery  = flag.Duration("fsync-interval", 2*time.Millisecond, "background fsync cadence for -fsync interval")
+		snapEvery   = flag.Int("snapshot-every", txnet.DefaultSnapshotEvery, "snapshot the store+sessions after this many logged commits (<=0 disables)")
 	)
 	flag.Parse()
 
@@ -85,9 +91,35 @@ func main() {
 	telemetry.Publish()
 
 	var store txnet.Store
+	var dur *txnet.Durable
 	switch *storeKind {
 	case "otb":
-		store = txnet.NewOTBStore()
+		otbStore := txnet.NewOTBStore()
+		store = otbStore
+		if *walDir != "" {
+			policy, err := wal.ParsePolicy(*fsyncPolicy)
+			if err != nil {
+				fatal(err)
+			}
+			every := *snapEvery
+			if every <= 0 {
+				every = -1
+			}
+			dur, err = txnet.OpenDurable(otbStore, txnet.DurabilityOptions{
+				Dir:           *walDir,
+				Fsync:         policy,
+				FsyncInterval: *fsyncEvery,
+				SnapshotEvery: every,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			rec := dur.Recovery()
+			fmt.Fprintf(os.Stderr,
+				"txstore: recovered %s in %v: snapshot lsn %d, %d records (%d commits) replayed, %d sessions, torn-tail=%v, snapshots-skipped=%d\n",
+				*walDir, rec.Elapsed.Round(time.Microsecond), rec.SnapshotLSN, rec.RecordsReplayed,
+				rec.CommitsReplayed, rec.SessionsRestored, rec.TornTail, rec.SnapshotsSkipped)
+		}
 	case "mvotb":
 		st := txnet.NewMVOTBStore()
 		defer st.Stop()
@@ -100,6 +132,9 @@ func main() {
 		store = txnet.NewSTMStore(mk(), *capacity)
 	default:
 		fatal(fmt.Errorf("unknown -store %q (otb, mvotb or stm)", *storeKind))
+	}
+	if *walDir != "" && dur == nil {
+		fatal(fmt.Errorf("-wal-dir requires -store otb (the durable dump/replay path is OTB-only)"))
 	}
 
 	if *debugAddr != "" {
@@ -117,6 +152,7 @@ func main() {
 
 	srv, err := txnet.Listen(*addr, txnet.Options{
 		Store:             store,
+		Durable:           dur,
 		MaxInflight:       *maxInflight,
 		AdmissionPatience: *patience,
 		SessionTTL:        *sessionTTL,

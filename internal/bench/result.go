@@ -29,6 +29,11 @@ type Result struct {
 	AllocBytesPerTx float64 `json:"alloc_bytes_per_tx"`
 	GCPauseTotalNS  uint64  `json:"gc_pause_total_ns"`
 	NumGC           uint32  `json:"num_gc"`
+
+	// RecoveryMS is the wall-clock cost of durable-store recovery
+	// (snapshot load + log-tail replay), emitted by the recovery-timing
+	// suite in internal/txnet; zero (omitted) for throughput records.
+	RecoveryMS float64 `json:"recovery_ms,omitempty"`
 }
 
 // FigureResults flattens a reproduced figure into stmbench-result/v1

@@ -1,0 +1,66 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos/failpoint"
+	"repro/internal/wal"
+)
+
+// The WAL failpoints are all "recovered" in this suite's sense: the wal
+// package converts the injected panic into an error on the faulting call
+// (a poisoned log, a failed sync, a discarded snapshot, a failed open),
+// and crash recovery is re-opening the directory — which truncates any
+// torn tail and skips unreadable snapshots. Each run() is therefore one
+// full open → append → sync → (periodic) snapshot → close cycle against
+// a per-scenario directory, so the 100 follow-up runs after the fault
+// double as 100 successful recoveries of the surviving log.
+func walCycle() func(t *testing.T) (func(int64), func(int64), func()) {
+	return func(t *testing.T) (func(int64), func(int64), func()) {
+		dir := t.TempDir()
+		injected := func(err error) bool {
+			var pv *failpoint.PanicValue
+			return errors.As(err, &pv)
+		}
+		run := func(k int64) {
+			l, _, err := wal.Open(dir, wal.Options{Policy: wal.SyncAlways})
+			if err != nil {
+				if !injected(err) {
+					t.Errorf("open cycle %d: %v", k, err)
+				}
+				return
+			}
+			defer l.Close()
+			lsn, err := l.Append([]byte(fmt.Sprintf("cycle-%d", k)))
+			if err != nil {
+				if !injected(err) {
+					t.Errorf("append cycle %d: %v", k, err)
+				}
+				return
+			}
+			if err := l.SyncTo(lsn); err != nil {
+				if !injected(err) {
+					t.Errorf("sync cycle %d: %v", k, err)
+				}
+				return
+			}
+			if k%8 == 7 {
+				if err := l.Snapshot([]byte(fmt.Sprintf("snap-%d", k))); err != nil && !injected(err) {
+					t.Errorf("snapshot cycle %d: %v", k, err)
+				}
+			}
+		}
+		return run, nil, func() {}
+	}
+}
+
+func init() {
+	scenarios = append(scenarios,
+		scenario{fp: "wal.append.torn", recovered: true, mk: walCycle()},
+		scenario{fp: "wal.fsync.fail", recovered: true, mk: walCycle()},
+		scenario{fp: "wal.snapshot.partial", recovered: true, mk: walCycle()},
+		scenario{fp: "wal.replay.stall", recovered: true, mk: walCycle()},
+	)
+}

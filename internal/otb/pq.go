@@ -204,6 +204,10 @@ type SkipPQ struct {
 // implementation.
 func NewSkipPQ() *SkipPQ { return &SkipPQ{set: NewSkipSet()} }
 
+// Keys returns the unmarked keys in ascending order. Pinned like Len;
+// meant for quiescent callers (tests, snapshots).
+func (q *SkipPQ) Keys() []int64 { return q.set.Keys() }
+
 // skipPQState is the per-transaction state for one SkipPQ.
 type skipPQState struct {
 	local       conc.SeqHeap

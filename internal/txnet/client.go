@@ -125,12 +125,24 @@ func (c *Client) Session() uint64 {
 	return c.session
 }
 
-// Close tears the connection down. The session remains on the server until
-// its TTL expires.
+// Close says goodbye and tears the connection down. The goodbye frame
+// frees the server-side session immediately instead of leaving it to the
+// TTL sweeper; it is best-effort — if the connection is already dead the
+// session still expires by TTL as before.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
 	c.closed = true
+	if c.conn != nil && c.session != 0 {
+		c.buf = appendBye(c.buf[:0], c.session)
+		_ = c.conn.SetDeadline(time.Now().Add(time.Second))
+		if err := writeFrame(c.conn, c.buf); err == nil {
+			_, _ = readFrame(c.br, nil) // wait for the ack, ignore its content
+		}
+	}
 	return c.dropLocked()
 }
 

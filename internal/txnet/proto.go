@@ -16,10 +16,12 @@ import (
 //	hello:  msgHello, u64 sessionID (0 = open a new session)
 //	txn:    msgTxn, u64 sessionID, u64 seq, u32 deadline (ms, 0 = none),
 //	        u16 nops, nops × (u8 code, u32 struct, u64 key, u64 val)
+//	bye:    msgBye, u64 sessionID (frees the session immediately)
 //
 // Responses:
 //
 //	hello:  StatusHello, u64 sessionID, u64 lastSeq
+//	bye:    StatusBye (no body)
 //	txn:    status, u64 seq, then status-specific:
 //	        StatusOK         u16 n, n × (u64 out, u8 ok)
 //	        StatusOverloaded u32 retry-after (ms)
@@ -35,6 +37,7 @@ const MaxFrame = 1 << 20
 const (
 	msgHello byte = 1
 	msgTxn   byte = 2
+	msgBye   byte = 3
 )
 
 // Status is the first byte of every response.
@@ -52,6 +55,7 @@ const (
 	StatusBadRequest Status = 4
 	StatusShutdown   Status = 5
 	StatusHello      Status = 6
+	StatusBye        Status = 7
 )
 
 // String names the status for errors and logs.
@@ -71,6 +75,8 @@ func (s Status) String() string {
 		return "shutting-down"
 	case StatusHello:
 		return "hello"
+	case StatusBye:
+		return "bye"
 	default:
 		return fmt.Sprintf("status(%d)", byte(s))
 	}
@@ -181,6 +187,17 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 func appendHello(b []byte, sessionID uint64) []byte {
 	b = append(b, msgHello)
 	return binary.BigEndian.AppendUint64(b, sessionID)
+}
+
+// appendBye encodes a goodbye request.
+func appendBye(b []byte, sessionID uint64) []byte {
+	b = append(b, msgBye)
+	return binary.BigEndian.AppendUint64(b, sessionID)
+}
+
+// appendByeResp encodes a goodbye acknowledgement.
+func appendByeResp(b []byte) []byte {
+	return append(b, byte(StatusBye))
 }
 
 // appendTxn encodes a transaction request. deadline is clamped to the u32
@@ -305,6 +322,12 @@ func parseResponse(p []byte) (response, error) {
 		}
 		r.sessionID = binary.BigEndian.Uint64(p)
 		r.lastSeq = binary.BigEndian.Uint64(p[8:])
+		return r, nil
+	}
+	if r.status == StatusBye {
+		if len(p) != 0 {
+			return r, fmt.Errorf("txnet: unexpected bye body")
+		}
 		return r, nil
 	}
 	if len(p) < 8 {

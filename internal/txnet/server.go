@@ -47,6 +47,11 @@ type Options struct {
 	// SessionTTL expires idle sessions (and their exactly-once caches).
 	// 0 means DefaultSessionTTL.
 	SessionTTL time.Duration
+	// Durable, when set, makes commits crash-recoverable: the server
+	// adopts the recovered store and session table from OpenDurable
+	// (overriding Store) and acknowledges mutating transactions only
+	// after the write-ahead log has accepted them.
+	Durable *Durable
 }
 
 // Defaults for Options zero fields.
@@ -76,6 +81,7 @@ type Stats struct {
 type Server struct {
 	opts  Options
 	store Store
+	dur   *Durable // nil unless Options.Durable
 	ln    net.Listener
 	adm   *admission
 	sess  *sessionTable
@@ -114,7 +120,7 @@ func Listen(addr string, opts Options) (*Server, error) {
 
 // Serve starts a server on an existing listener, which it owns from now on.
 func Serve(ln net.Listener, opts Options) *Server {
-	if opts.Store == nil {
+	if opts.Store == nil && opts.Durable == nil {
 		opts.Store = NewOTBStore()
 	}
 	if opts.MaxInflight == 0 {
@@ -137,6 +143,13 @@ func Serve(ln net.Listener, opts Options) *Server {
 		cancel: cancel,
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
+	}
+	if opts.Durable != nil {
+		// Durable mode owns both the store (recovery already rebuilt it)
+		// and the session table (resumed sessions carry their caches).
+		s.dur = opts.Durable
+		s.store = opts.Durable.store
+		s.sess = opts.Durable.adoptSessions(opts.SessionTTL)
 	}
 	s.connWG.Add(2)
 	go s.acceptLoop()
@@ -199,6 +212,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closeConns()
 		s.connWG.Wait()
 		s.cancel()
+		if s.dur != nil {
+			if cerr := s.dur.Close(); cerr != nil && s.shutdownErr == nil {
+				s.shutdownErr = cerr
+			}
+		}
 		close(s.done)
 	})
 	<-s.done
@@ -340,14 +358,33 @@ func (s *Server) handleFrame(bw *bufio.Writer, frame []byte, ops []Op, resp *[]b
 		var sess *session
 		if id := be64(frame[1:]); id == 0 {
 			sess = s.sess.open()
+			if s.dur != nil {
+				// The grant must survive a crash: a client holding an
+				// ID the server forgot loses its exactly-once window.
+				s.dur.logSessionOpen(sess.id)
+			}
 		} else {
 			var ok bool
 			if sess, ok = s.sess.lookup(id); !ok {
+				sessStats.resumeExpired.Add(1)
 				*resp = appendErrResp((*resp)[:0], StatusBadRequest, 0, 0, "unknown session")
 				return ops, s.writeResp(bw, *resp)
 			}
+			sessStats.resumed.Add(1)
 		}
 		*resp = appendHelloResp((*resp)[:0], sess.id, sess.lastSeq)
+		return ops, s.writeResp(bw, *resp)
+	case msgBye:
+		if len(frame) != 9 {
+			return ops, fmt.Errorf("txnet: malformed bye")
+		}
+		if id := be64(frame[1:]); id != 0 && s.sess.remove(id) {
+			sessStats.closed.Add(1)
+			if s.dur != nil {
+				s.dur.logSessionClose(id)
+			}
+		}
+		*resp = appendByeResp((*resp)[:0])
 		return ops, s.writeResp(bw, *resp)
 	case msgTxn:
 		req, ops, perr := parseTxn(frame, ops)
@@ -423,9 +460,16 @@ func (s *Server) execTxn(req txnReq, resp []byte) []byte {
 		defer cancel()
 	}
 	results := make([]OpResult, len(req.ops))
-	err := s.store.Exec(ctx, req.ops, results)
-	switch {
-	case err == nil:
+	var err error
+	if s.dur != nil {
+		// Durable commit path: execute, log, ack — commitTxn returns only
+		// store errors (log failures crash via walFatal, never ack).
+		resp, err = s.dur.commitTxn(ctx, sess, req, results, resp)
+		if err == nil {
+			s.stats.commits.Add(1)
+			return resp
+		}
+	} else if err = s.store.Exec(ctx, req.ops, results); err == nil {
 		s.stats.commits.Add(1)
 		resp = appendOKResp(resp, req.seq, results)
 		// Commit and cache move together under the session lock: from here
@@ -433,6 +477,8 @@ func (s *Server) execTxn(req txnReq, resp []byte) []byte {
 		sess.lastSeq = req.seq
 		sess.lastResp = append(sess.lastResp[:0], resp...)
 		return resp
+	}
+	switch {
 	case errors.Is(err, ErrBadOp):
 		s.stats.badReq.Add(1)
 		return appendErrResp(resp, StatusBadRequest, req.seq, 0, err.Error())

@@ -37,10 +37,13 @@ type OTBStore struct {
 }
 
 // otbStruct dispatches ops onto one OTB structure kind. supports is checked
-// before the transaction starts, so apply never fails mid-transaction.
+// before the transaction starts, so apply never fails mid-transaction. dump
+// emits ops that rebuild the structure's current state (quiescent callers
+// only — snapshots run with the commit path held).
 type otbStruct interface {
 	supports(c OpCode) bool
 	apply(tx *otb.Tx, op Op) OpResult
+	dump(st uint32, emit func(Op))
 }
 
 // NewOTBStore builds the default store: one ListSet (index 0), one Map
@@ -81,6 +84,7 @@ type otbSetOps interface {
 	Add(tx *otb.Tx, key int64) bool
 	Remove(tx *otb.Tx, key int64) bool
 	Contains(tx *otb.Tx, key int64) bool
+	Keys() []int64
 }
 
 type otbSet struct{ s otbSetOps }
@@ -97,6 +101,12 @@ func (w otbSet) apply(tx *otb.Tx, op Op) OpResult {
 		return OpResult{OK: w.s.Remove(tx, op.Key)}
 	default:
 		return OpResult{OK: w.s.Contains(tx, op.Key)}
+	}
+}
+
+func (w otbSet) dump(st uint32, emit func(Op)) {
+	for _, k := range w.s.Keys() {
+		emit(Op{Code: OpAdd, Struct: st, Key: k})
 	}
 }
 
@@ -120,6 +130,12 @@ func (w otbMap) apply(tx *otb.Tx, op Op) OpResult {
 	}
 }
 
+func (w otbMap) dump(st uint32, emit func(Op)) {
+	for k, v := range w.m.Snapshot() {
+		emit(Op{Code: OpPut, Struct: st, Key: k, Val: v})
+	}
+}
+
 type otbPQ struct{ q *otb.SkipPQ }
 
 func (w otbPQ) supports(c OpCode) bool {
@@ -136,6 +152,22 @@ func (w otbPQ) apply(tx *otb.Tx, op Op) OpResult {
 	default:
 		k, ok := w.q.RemoveMin(tx)
 		return OpResult{Out: uint64(k), OK: ok}
+	}
+}
+
+func (w otbPQ) dump(st uint32, emit func(Op)) {
+	for _, k := range w.q.Keys() {
+		emit(Op{Code: OpAdd, Struct: st, Key: k})
+	}
+}
+
+// DumpOps emits one op per live entry across every registered structure,
+// in registry order — replaying them against an empty store rebuilds the
+// current state. The caller must be quiescent (no concurrent Exec); the
+// durable commit path guarantees this by snapshotting under its lock.
+func (s *OTBStore) DumpOps(emit func(Op)) {
+	for i, st := range s.structs {
+		st.dump(uint32(i), emit)
 	}
 }
 

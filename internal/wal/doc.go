@@ -1,0 +1,34 @@
+// Package wal is a checksummed, length-prefixed write-ahead log with
+// snapshots, built for the durable txstore (DESIGN.md, "Durability model").
+//
+// The log is payload-opaque: callers append byte records (the networked
+// store logs its semantic commit records — session, sequence number, and
+// the transaction's operations in the wire codec) and get back a log
+// sequence number (LSN). Durability is governed by the sync policy:
+//
+//	SyncAlways    every SyncTo waits until the record's bytes are fsynced;
+//	              concurrent callers share one fsync (group commit)
+//	SyncInterval  a background goroutine flushes and fsyncs on a cadence
+//	SyncNever     the OS decides; only Close and Snapshot force an fsync
+//
+// Snapshot(payload) atomically supersedes the log's history: the payload
+// (a full dump of the caller's state, covering every appended record) is
+// written to a temp file, fsynced, renamed into place, and only then are
+// the covered segments deleted. Open loads the newest valid snapshot and
+// replays the record tail beyond it. A torn final record — the expected
+// residue of a crash mid-append — is detected by its checksum or short
+// length, truncated away, and reported; corruption anywhere earlier is a
+// hard error, because silently skipping committed history would be data
+// loss.
+//
+// The append path is poisoned by its first error: a log that failed to
+// write or sync a record refuses all further work, so a caller that has
+// already applied the record in memory can only fail stop (crash without
+// acknowledging) rather than diverge from its own log. The txnet server
+// does exactly that.
+//
+// Failure injection: wal.append.torn (flushes a half-written record before
+// erroring), wal.fsync.fail, wal.snapshot.partial and wal.replay.stall are
+// registered failpoints; injected panics are converted to errors at the
+// package boundary so callers see a failed disk, not a crashed library.
+package wal

@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Open opens (or creates) the log in dir and recovers its contents: the
+// newest valid snapshot plus every record beyond it, in LSN order. A torn
+// or checksum-corrupt record at the very end of the log — the residue of
+// a crash mid-append — is truncated away and reported via
+// Recovery.TornTail; the same corruption anywhere earlier is a hard
+// error, because skipping committed history would silently lose it.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segMeta
+	var snaps []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A crash mid-snapshot leaves a temp file; it was never
+			// renamed, so it covers nothing and is garbage.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if lsn, ok := parseNamed(name, segPrefix, segSuffix); ok {
+			segs = append(segs, segMeta{first: lsn, name: name})
+			continue
+		}
+		if lsn, ok := parseNamed(name, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, lsn)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+
+	rec := &Recovery{}
+	for _, lsn := range snaps {
+		payload, gotLSN, lerr := loadSnapshotFile(filepath.Join(dir, snapName(lsn)))
+		if lerr != nil || gotLSN != lsn {
+			rec.SnapshotsSkipped++
+			stats.snapshotsSkipped.Add(1)
+			continue
+		}
+		rec.Snapshot, rec.SnapshotLSN = payload, lsn
+		break
+	}
+
+	// Scan segments in order, keeping records beyond the snapshot. LSNs
+	// must be contiguous from the first record on disk through the tail;
+	// any gap means a segment went missing and recovery cannot be trusted.
+	var (
+		active    *os.File
+		expect    uint64 // next LSN the scan must see; 0 = not yet pinned
+		keptFirst uint64
+	)
+	fail := func(err error) (*Log, *Recovery, error) {
+		if active != nil {
+			_ = active.Close()
+		}
+		return nil, nil, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if expect != 0 && seg.first != expect {
+			return fail(fmt.Errorf("wal: segment %s starts at lsn %d, want %d (missing segment?)", seg.name, seg.first, expect))
+		}
+		if expect == 0 {
+			if seg.first > rec.SnapshotLSN+1 {
+				return fail(fmt.Errorf("wal: segment %s starts at lsn %d but the newest snapshot covers only lsn %d", seg.name, seg.first, rec.SnapshotLSN))
+			}
+			expect = seg.first
+		}
+		flags := os.O_RDONLY
+		if last {
+			flags = os.O_RDWR
+		}
+		f, oerr := os.OpenFile(filepath.Join(dir, seg.name), flags, 0)
+		if oerr != nil {
+			return fail(fmt.Errorf("wal: %w", oerr))
+		}
+		next, torn, serr := scanSegment(f, expect, rec.SnapshotLSN, last, &rec.Records)
+		if serr != nil {
+			_ = f.Close()
+			return fail(serr)
+		}
+		expect = next
+		if torn {
+			rec.TornTail = true
+			stats.tornTails.Add(1)
+		}
+		if last {
+			active = f
+		} else {
+			_ = f.Close()
+		}
+	}
+	if len(rec.Records) > 0 {
+		keptFirst = rec.Records[0].LSN
+		if rec.SnapshotLSN != 0 && keptFirst != rec.SnapshotLSN+1 {
+			return fail(fmt.Errorf("wal: first surviving record is lsn %d, want %d (log gap after snapshot)", keptFirst, rec.SnapshotLSN+1))
+		}
+	}
+	stats.replayedRecords.Add(uint64(len(rec.Records)))
+
+	nextLSN := uint64(1)
+	if rec.SnapshotLSN+1 > nextLSN {
+		nextLSN = rec.SnapshotLSN + 1
+	}
+	if expect > nextLSN {
+		nextLSN = expect
+	}
+
+	l := &Log{dir: dir, opts: opts, nextLSN: nextLSN, snapLSN: rec.SnapshotLSN, segs: segs}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	l.syncedLSN = nextLSN - 1 // everything on disk is at least written
+	if active == nil {
+		name := segName(nextLSN)
+		f, cerr := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("wal: %w", cerr)
+		}
+		active = f
+		l.segs = append(l.segs, segMeta{first: nextLSN, name: name})
+		if derr := fsyncDir(dir); derr != nil {
+			_ = f.Close()
+			return nil, nil, derr
+		}
+	} else if _, serr := active.Seek(0, io.SeekEnd); serr != nil {
+		_ = active.Close()
+		return nil, nil, fmt.Errorf("wal: %w", serr)
+	}
+	l.f = active
+	l.w = bufio.NewWriterSize(active, 1<<16)
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.intervalLoop()
+	}
+	return l, rec, nil
+}
+
+// scanSegment reads one segment's records starting at LSN expect,
+// appending those beyond snapLSN to out. It returns the next expected
+// LSN. In the last segment a torn/corrupt record truncates the file at
+// the last valid boundary (torn=true); elsewhere it is a hard error.
+func scanSegment(f *os.File, expect, snapLSN uint64, last bool, out *[]Record) (next uint64, torn bool, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: %w", err)
+	}
+	size := st.Size()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var (
+		off    int64 // validated byte offset
+		hdr    [recHeaderSize]byte
+		body   []byte
+		tornAt = func(why string) (uint64, bool, error) {
+			if !last {
+				return 0, false, fmt.Errorf("wal: corrupt record at lsn %d (%s) before the log tail — refusing to skip committed history", expect, why)
+			}
+			if terr := f.Truncate(off); terr != nil {
+				return 0, false, fmt.Errorf("wal: truncating torn tail: %w", terr)
+			}
+			if serr := f.Sync(); serr != nil {
+				return 0, false, fmt.Errorf("wal: truncating torn tail: %w", serr)
+			}
+			return expect, true, nil
+		}
+	)
+	for {
+		if _, rerr := io.ReadFull(br, hdr[:]); rerr != nil {
+			if rerr == io.EOF {
+				return expect, false, nil // clean segment boundary
+			}
+			return tornAt("short header")
+		}
+		n := binary.BigEndian.Uint32(hdr[0:])
+		crc := binary.BigEndian.Uint32(hdr[4:])
+		if n < 8 || n > 8+MaxRecordSize {
+			return tornAt(fmt.Sprintf("implausible length %d", n))
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, rerr := io.ReadFull(br, body); rerr != nil {
+			return tornAt("short body")
+		}
+		// A corrupt record with log bytes beyond its claimed extent cannot
+		// be a torn final write — something after it was once committed,
+		// so truncating here would discard durable history.
+		end := off + int64(recHeaderSize+n)
+		if crc32.Checksum(body, crcTable) != crc {
+			if end < size {
+				return 0, false, fmt.Errorf("wal: corrupt record at lsn %d (checksum mismatch) with %d log bytes beyond it — refusing to skip committed history", expect, size-end)
+			}
+			return tornAt("checksum mismatch")
+		}
+		lsn := binary.BigEndian.Uint64(body)
+		if lsn != expect {
+			if end < size {
+				return 0, false, fmt.Errorf("wal: corrupt record at lsn %d (lsn %d on disk) with %d log bytes beyond it — refusing to skip committed history", expect, lsn, size-end)
+			}
+			return tornAt(fmt.Sprintf("lsn %d, want %d", lsn, expect))
+		}
+		if ierr := injectedHit(fpReplayStall); ierr != nil {
+			return 0, false, fmt.Errorf("wal: replay stalled: %w", ierr)
+		}
+		off += int64(recHeaderSize + n)
+		if lsn > snapLSN {
+			payload := make([]byte, len(body)-8)
+			copy(payload, body[8:])
+			*out = append(*out, Record{LSN: lsn, Payload: payload})
+		}
+		expect = lsn + 1
+	}
+}

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// writeSnapshotFile persists one snapshot: header + CRC'd payload to a
+// temp name, fsync, rename, fsync dir. Only after the rename survives a
+// crash is the snapshot eligible to be loaded, so a half-written temp
+// (crash or wal.snapshot.partial) is invisible to recovery.
+func writeSnapshotFile(dir string, snapLSN uint64, payload []byte) error {
+	final := filepath.Join(dir, snapName(snapLSN))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	cleanup := func() {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+	}
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:], snapMagic)
+	binary.BigEndian.PutUint32(hdr[4:], snapVersion)
+	binary.BigEndian.PutUint64(hdr[8:], snapLSN)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[20:], crc32.Checksum(payload, crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	half := len(payload) / 2
+	if _, err := f.Write(payload[:half]); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if ierr := injectedHit(fpSnapshotPartial); ierr != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot partial: %w", ierr)
+	}
+	if _, err := f.Write(payload[half:]); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return fsyncDir(dir)
+}
+
+// loadSnapshotFile validates and returns one snapshot's payload.
+func loadSnapshotFile(path string) (payload []byte, snapLSN uint64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	if len(b) < 24 {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: short header (%d bytes)", filepath.Base(path), len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:]) != snapMagic {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: bad magic", filepath.Base(path))
+	}
+	if v := binary.BigEndian.Uint32(b[4:]); v != snapVersion {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: unsupported version %d", filepath.Base(path), v)
+	}
+	snapLSN = binary.BigEndian.Uint64(b[8:])
+	n := binary.BigEndian.Uint32(b[16:])
+	crc := binary.BigEndian.Uint32(b[20:])
+	body := b[24:]
+	if uint32(len(body)) != n {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: payload %d bytes, header says %d", filepath.Base(path), len(body), n)
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: checksum mismatch", filepath.Base(path))
+	}
+	return body, snapLSN, nil
+}
+
+// removeOldSnapshots deletes every snapshot strictly older than keepLSN.
+func removeOldSnapshots(dir string, keepLSN uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		lsn, ok := parseNamed(e.Name(), snapPrefix, snapSuffix)
+		if ok && lsn < keepLSN {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// parseNamed extracts the hex LSN from a "<prefix>%016x<suffix>" name.
+func parseNamed(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Package-wide durability counters, aggregated across logs (one process
+// serves one store; per-log split would add plumbing for no insight).
+var stats struct {
+	appends          atomic.Uint64
+	appendedBytes    atomic.Uint64
+	fsyncs           atomic.Uint64
+	snapshots        atomic.Uint64
+	snapshotErrs     atomic.Uint64
+	segmentsDeleted  atomic.Uint64
+	replayedRecords  atomic.Uint64
+	tornTails        atomic.Uint64
+	snapshotsSkipped atomic.Uint64
+}
+
+// fsyncLatency tracks the fsync wall time behind group commit — the
+// latency every SyncAlways acknowledgement ultimately waits on.
+var fsyncLatency telemetry.Histogram
+
+// Stats is a point-in-time snapshot of the package counters.
+type Stats struct {
+	Appends          uint64
+	AppendedBytes    uint64
+	Fsyncs           uint64
+	Snapshots        uint64
+	SnapshotErrs     uint64
+	SegmentsDeleted  uint64
+	ReplayedRecords  uint64
+	TornTails        uint64
+	SnapshotsSkipped uint64
+}
+
+// StatsSnapshot reads the package counters.
+func StatsSnapshot() Stats {
+	return Stats{
+		Appends:          stats.appends.Load(),
+		AppendedBytes:    stats.appendedBytes.Load(),
+		Fsyncs:           stats.fsyncs.Load(),
+		Snapshots:        stats.snapshots.Load(),
+		SnapshotErrs:     stats.snapshotErrs.Load(),
+		SegmentsDeleted:  stats.segmentsDeleted.Load(),
+		ReplayedRecords:  stats.replayedRecords.Load(),
+		TornTails:        stats.tornTails.Load(),
+		SnapshotsSkipped: stats.snapshotsSkipped.Load(),
+	}
+}
+
+func init() {
+	telemetry.RegisterSection(writeSection)
+}
+
+// writeSection renders the durability line in telemetry.WriteTable (and
+// therefore on the trace.Serve debug endpoint). Silent when the process
+// never touched a log.
+func writeSection(w io.Writer) {
+	s := StatsSnapshot()
+	if s.Appends == 0 && s.ReplayedRecords == 0 && s.Snapshots == 0 && s.TornTails == 0 {
+		return
+	}
+	h := fsyncLatency.Snapshot()
+	fmt.Fprintf(w, "\nwal: appends %d (%d bytes)  fsyncs %d (p50 %v p99 %v)  snapshots %d (errs %d, skipped %d)  segments-deleted %d  replayed %d  torn-tails %d\n",
+		s.Appends, s.AppendedBytes, s.Fsyncs, h.Quantile(0.50), h.Quantile(0.99),
+		s.Snapshots, s.SnapshotErrs, s.SnapshotsSkipped, s.SegmentsDeleted, s.ReplayedRecords, s.TornTails)
+}
