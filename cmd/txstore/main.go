@@ -76,6 +76,8 @@ func main() {
 		fsyncPolicy = flag.String("fsync", "always", "WAL sync policy: always (ack after fsync), interval (background fsync), never (OS decides)")
 		fsyncEvery  = flag.Duration("fsync-interval", 2*time.Millisecond, "background fsync cadence for -fsync interval")
 		snapEvery   = flag.Int("snapshot-every", txnet.DefaultSnapshotEvery, "snapshot the store+sessions after this many logged commits (<=0 disables)")
+		slowMS      = flag.Float64("slow-ms", 0, "log a structured per-stage breakdown for requests slower than this many milliseconds (0 = off)")
+		traceSample = flag.Uint64("trace-sample", 0, "arm the flight recorder, tracing 1 in N requests (0 = off, 1 = every request)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,9 @@ func main() {
 	}
 	telemetry.Enable()
 	telemetry.Publish()
+	if *traceSample > 0 {
+		trace.Enable(*traceSample)
+	}
 
 	var store txnet.Store
 	var dur *txnet.Durable
@@ -142,7 +147,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "txstore: debug endpoint on http://%s/debug/trace\n", dbg.Addr())
+		fmt.Fprintf(os.Stderr, "txstore: debug endpoint on http://%s/debug/trace (metrics on /metrics)\n", dbg.Addr())
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
@@ -156,6 +161,7 @@ func main() {
 		MaxInflight:       *maxInflight,
 		AdmissionPatience: *patience,
 		SessionTTL:        *sessionTTL,
+		SlowThreshold:     time.Duration(*slowMS * float64(time.Millisecond)),
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,605 @@
+// Package omtext is a small, dependency-free parser and validator for the
+// OpenMetrics text exposition format (the format Prometheus scrapes),
+// covering the subset this repository emits: TYPE/HELP/UNIT metadata,
+// counter/gauge/histogram families, escaped label values, bucket exemplars
+// and the terminating "# EOF" line.
+//
+// It exists so the metrics-scrape smoke tests can validate /metrics output
+// structurally — family grouping, counter _total suffixes, cumulative
+// le-bucket monotonicity, exemplar syntax — without pulling in a client
+// library. The grammar follows the OpenMetrics 1.0 specification; anything
+// outside the emitted subset (summaries, stateset, metric timestamps with
+// exotic syntax) is rejected rather than guessed at.
+package omtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one metric sample line.
+type Sample struct {
+	// Name is the full sample name, including any _total/_bucket/_count/
+	// _sum suffix.
+	Name string
+	// Labels holds the decoded label set (nil when none).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+	// Exemplar is the attached exemplar, if any.
+	Exemplar *Exemplar
+}
+
+// Exemplar is an OpenMetrics exemplar attached to a sample.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its metadata and samples, in exposition
+// order.
+type Family struct {
+	// Name is the family name — for counters and histograms, the name
+	// without the sample suffixes.
+	Name string
+	// Type is the declared type ("unknown" when no TYPE metadata was seen).
+	Type string
+	// Help is the HELP text ("" when absent).
+	Help string
+	// Unit is the UNIT text ("" when absent).
+	Unit string
+	// Samples are the family's samples in order of appearance.
+	Samples []Sample
+}
+
+// Sample returns the family's first sample with the given name whose labels
+// are a superset of want (nil = any), or nil.
+func (f *Family) Sample(name string, want map[string]string) *Sample {
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// Validate parses the exposition and discards the result.
+func Validate(data []byte) error {
+	_, err := Parse(data)
+	return err
+}
+
+// Find returns the family with the given name from a Parse result, or nil.
+func Find(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a full OpenMetrics exposition. It enforces:
+//
+//   - the exposition ends with exactly one "# EOF" line and nothing after;
+//   - metadata lines ("# TYPE|HELP|UNIT name ...") precede their family's
+//     samples, with at most one of each per family;
+//   - a family's samples are contiguous (a family never reappears after
+//     another family has started) and sample names match the declared type's
+//     suffix rules (counter → _total/_created, histogram →
+//     _bucket/_count/_sum/_created, otherwise the bare name);
+//   - no duplicate (name, label set) sample;
+//   - counter values are finite and non-negative;
+//   - histogram buckets carry an le label, appear in ascending le order
+//     with non-decreasing cumulative counts per label set, include an
+//     le="+Inf" bucket, and agree with _count when present;
+//   - exemplars appear only on histogram buckets or counter samples.
+func Parse(data []byte) ([]Family, error) {
+	p := &parser{
+		byName: map[string]*Family{},
+		closed: map[string]bool{},
+		seen:   map[string]bool{},
+	}
+	text := string(data)
+	sawEOF := false
+	for n, line := range strings.Split(text, "\n") {
+		lineNo := n + 1
+		if sawEOF {
+			if line != "" {
+				return nil, fmt.Errorf("omtext: line %d: content after # EOF", lineNo)
+			}
+			continue
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if line == "" {
+			return nil, fmt.Errorf("omtext: line %d: empty line", lineNo)
+		}
+		var err error
+		if strings.HasPrefix(line, "#") {
+			err = p.metadata(line)
+		} else {
+			err = p.sample(line)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("omtext: line %d: %w", lineNo, err)
+		}
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("omtext: missing terminating # EOF")
+	}
+	if err := p.closeCurrent(); err != nil {
+		return nil, fmt.Errorf("omtext: %w", err)
+	}
+	return p.fams, nil
+}
+
+type parser struct {
+	fams   []Family
+	cur    *Family // points into a scratch family, appended on close
+	curFam Family
+	byName map[string]*Family
+	closed map[string]bool
+	seen   map[string]bool // sample dedup: name + canonical label set
+}
+
+// metadata handles "# TYPE|HELP|UNIT name rest" lines.
+func (p *parser) metadata(line string) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	kind, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("malformed metadata %q", line)
+	}
+	name, value, _ := strings.Cut(rest, " ")
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	switch kind {
+	case "TYPE":
+		switch value {
+		case "counter", "gauge", "histogram", "summary", "info", "stateset", "unknown":
+		default:
+			return fmt.Errorf("unknown metric type %q", value)
+		}
+		f, err := p.family(name, true)
+		if err != nil {
+			return err
+		}
+		if f.Type != "unknown" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.Type = value
+	case "HELP":
+		f, err := p.family(name, true)
+		if err != nil {
+			return err
+		}
+		if f.Help != "" {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		f.Help = value
+	case "UNIT":
+		f, err := p.family(name, true)
+		if err != nil {
+			return err
+		}
+		if f.Unit != "" {
+			return fmt.Errorf("duplicate UNIT for %s", name)
+		}
+		f.Unit = value
+	default:
+		return fmt.Errorf("unknown comment kind %q", kind)
+	}
+	return nil
+}
+
+// family returns the open family with the given name, starting one when
+// needed. meta distinguishes metadata-driven starts (exact name) from
+// sample-driven implicit families.
+func (p *parser) family(name string, meta bool) (*Family, error) {
+	if p.cur != nil && p.curFam.Name == name {
+		return p.cur, nil
+	}
+	if p.closed[name] {
+		return nil, fmt.Errorf("family %s reappears after other families (samples must be contiguous)", name)
+	}
+	if err := p.closeCurrent(); err != nil {
+		return nil, err
+	}
+	p.curFam = Family{Name: name, Type: "unknown"}
+	p.cur = &p.curFam
+	_ = meta
+	return p.cur, nil
+}
+
+// closeCurrent finalizes the open family: histogram consistency checks,
+// then appends it to the output.
+func (p *parser) closeCurrent() error {
+	if p.cur == nil {
+		return nil
+	}
+	f := p.curFam
+	if f.Type == "histogram" {
+		if err := checkHistogram(&f); err != nil {
+			return fmt.Errorf("histogram %s: %w", f.Name, err)
+		}
+	}
+	p.fams = append(p.fams, f)
+	p.closed[f.Name] = true
+	p.cur = nil
+	return nil
+}
+
+// sample parses one sample line.
+func (p *parser) sample(line string) error {
+	s, err := parseSampleLine(line)
+	if err != nil {
+		return err
+	}
+	famName, err := p.resolveFamily(s.Name)
+	if err != nil {
+		return err
+	}
+	f, err := p.family(famName, false)
+	if err != nil {
+		return err
+	}
+	if err := checkSample(f, s); err != nil {
+		return err
+	}
+	key := s.Name + "\x00" + canonicalLabels(s.Labels)
+	if p.seen[key] {
+		return fmt.Errorf("duplicate sample %s{%s}", s.Name, canonicalLabels(s.Labels))
+	}
+	p.seen[key] = true
+	f.Samples = append(f.Samples, s)
+	return nil
+}
+
+// resolveFamily maps a sample name to its family: the open family when the
+// name fits its suffix rules, else the bare sample name (implicit unknown
+// family).
+func (p *parser) resolveFamily(name string) (string, error) {
+	if p.cur != nil && nameInFamily(&p.curFam, name) {
+		return p.curFam.Name, nil
+	}
+	return name, nil
+}
+
+// nameInFamily reports whether a sample name belongs to the family per its
+// declared type.
+func nameInFamily(f *Family, name string) bool {
+	switch f.Type {
+	case "counter":
+		return name == f.Name+"_total" || name == f.Name+"_created"
+	case "histogram":
+		return name == f.Name+"_bucket" || name == f.Name+"_count" ||
+			name == f.Name+"_sum" || name == f.Name+"_created"
+	default:
+		return name == f.Name
+	}
+}
+
+// checkSample enforces per-type sample rules.
+func checkSample(f *Family, s Sample) error {
+	switch f.Type {
+	case "counter":
+		if !nameInFamily(f, s.Name) {
+			return fmt.Errorf("sample %s does not fit counter family %s (want %s_total)", s.Name, f.Name, f.Name)
+		}
+		if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return fmt.Errorf("counter %s has invalid value %v", s.Name, s.Value)
+		}
+	case "histogram":
+		if !nameInFamily(f, s.Name) {
+			return fmt.Errorf("sample %s does not fit histogram family %s", s.Name, f.Name)
+		}
+		if s.Name == f.Name+"_bucket" {
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("bucket sample %s lacks an le label", s.Name)
+			}
+		}
+		if s.Exemplar != nil && s.Name != f.Name+"_bucket" {
+			return fmt.Errorf("exemplar on non-bucket histogram sample %s", s.Name)
+		}
+	case "gauge", "unknown", "info", "stateset", "summary":
+		if !nameInFamily(f, s.Name) {
+			return fmt.Errorf("sample %s does not fit family %s", s.Name, f.Name)
+		}
+		if s.Exemplar != nil && f.Type != "unknown" {
+			return fmt.Errorf("exemplar on %s sample %s", f.Type, s.Name)
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates cumulative bucket structure per label set.
+func checkHistogram(f *Family) error {
+	type state struct {
+		lastLE   float64
+		lastCum  float64
+		sawInf   bool
+		infValue float64
+	}
+	groups := map[string]*state{}
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_bucket" {
+			continue
+		}
+		le := s.Labels["le"]
+		leV, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("unparseable le %q", le)
+		}
+		key := canonicalLabelsExcept(s.Labels, "le")
+		st, ok := groups[key]
+		if !ok {
+			st = &state{lastLE: math.Inf(-1), lastCum: -1}
+			groups[key] = st
+		}
+		if st.sawInf {
+			return fmt.Errorf("bucket after le=\"+Inf\" for {%s}", key)
+		}
+		if leV <= st.lastLE {
+			return fmt.Errorf("le %q not ascending for {%s}", le, key)
+		}
+		if s.Value < st.lastCum {
+			return fmt.Errorf("bucket counts not cumulative at le=%q for {%s}", le, key)
+		}
+		st.lastLE = leV
+		st.lastCum = s.Value
+		if math.IsInf(leV, +1) {
+			st.sawInf = true
+			st.infValue = s.Value
+		}
+	}
+	for key, st := range groups {
+		if !st.sawInf {
+			return fmt.Errorf("missing le=\"+Inf\" bucket for {%s}", key)
+		}
+	}
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_count" {
+			continue
+		}
+		key := canonicalLabelsExcept(s.Labels, "le")
+		if st, ok := groups[key]; ok && st.infValue != s.Value {
+			return fmt.Errorf("_count %v disagrees with +Inf bucket %v for {%s}", s.Value, st.infValue, key)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine decodes "name[{labels}] value [timestamp] [# {labels} value [ts]]".
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	name, i, err := scanName(line, i)
+	if err != nil {
+		return s, err
+	}
+	s.Name = name
+	if i < len(line) && line[i] == '{' {
+		s.Labels, i, err = scanLabels(line, i)
+		if err != nil {
+			return s, err
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("expected space before value in %q", line)
+	}
+	i++
+	var tok string
+	tok, i = scanToken(line, i)
+	s.Value, err = parseValue(tok)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", tok, err)
+	}
+	// Optional timestamp.
+	if i < len(line) && line[i] == ' ' && i+1 < len(line) && line[i+1] != '#' {
+		tok, i = scanToken(line, i+1)
+		if _, err := strconv.ParseFloat(tok, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", tok)
+		}
+	}
+	// Optional exemplar: " # {labels} value [ts]".
+	if i < len(line) {
+		if !strings.HasPrefix(line[i:], " # ") {
+			return s, fmt.Errorf("trailing garbage %q", line[i:])
+		}
+		i += 3
+		if i >= len(line) || line[i] != '{' {
+			return s, fmt.Errorf("exemplar lacks label braces in %q", line)
+		}
+		ex := &Exemplar{}
+		ex.Labels, i, err = scanLabels(line, i)
+		if err != nil {
+			return s, err
+		}
+		if i >= len(line) || line[i] != ' ' {
+			return s, fmt.Errorf("expected space before exemplar value in %q", line)
+		}
+		tok, i = scanToken(line, i+1)
+		ex.Value, err = parseValue(tok)
+		if err != nil {
+			return s, fmt.Errorf("bad exemplar value %q", tok)
+		}
+		if i < len(line) {
+			if line[i] != ' ' {
+				return s, fmt.Errorf("trailing garbage %q", line[i:])
+			}
+			tok, i = scanToken(line, i+1)
+			if _, err := strconv.ParseFloat(tok, 64); err != nil {
+				return s, fmt.Errorf("bad exemplar timestamp %q", tok)
+			}
+			if i != len(line) {
+				return s, fmt.Errorf("trailing garbage %q", line[i:])
+			}
+		}
+		s.Exemplar = ex
+	}
+	return s, nil
+}
+
+func parseValue(tok string) (float64, error) {
+	if tok == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+func scanToken(s string, i int) (string, int) {
+	j := i
+	for j < len(s) && s[j] != ' ' {
+		j++
+	}
+	return s[i:j], j
+}
+
+func scanName(s string, i int) (string, int, error) {
+	j := i
+	for j < len(s) && isNameChar(s[j], j == i) {
+		j++
+	}
+	if j == i {
+		return "", i, fmt.Errorf("missing metric name in %q", s)
+	}
+	return s[i:j], j, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanLabels decodes a {name="value",...} block starting at s[i] == '{'.
+func scanLabels(s string, i int) (map[string]string, int, error) {
+	labels := map[string]string{}
+	i++ // consume '{'
+	for {
+		if i >= len(s) {
+			return nil, i, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return labels, i + 1, nil
+		}
+		name, j, err := scanName(s, i)
+		if err != nil {
+			return nil, i, err
+		}
+		if strings.Contains(name, ":") {
+			return nil, i, fmt.Errorf("invalid label name %q", name)
+		}
+		i = j
+		if i >= len(s) || s[i] != '=' {
+			return nil, i, fmt.Errorf("expected = after label %q", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return nil, i, fmt.Errorf("expected quoted value for label %q", name)
+		}
+		var val strings.Builder
+		i++
+		for {
+			if i >= len(s) {
+				return nil, i, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, i, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, i, fmt.Errorf("unknown escape \\%c in label %q", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, i, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// canonicalLabels renders a label set sorted by name for dedup keys.
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels map[string]string, skip string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		if n != skip {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString("=\"")
+		b.WriteString(labels[n])
+		b.WriteString("\"")
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package omtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# TYPE acme_requests counter
+# HELP acme_requests Requests served.
+acme_requests_total 42
+# TYPE acme_temp gauge
+acme_temp{room="lab \"a\"",floor="2"} -3.5
+# TYPE acme_latency_seconds histogram
+acme_latency_seconds_bucket{le="0.01"} 3 # {trace_id="00000000deadbeef"} 0.004
+acme_latency_seconds_bucket{le="0.1"} 5
+acme_latency_seconds_bucket{le="+Inf"} 6
+acme_latency_seconds_count 6
+acme_latency_seconds_sum 0.34
+# EOF
+`
+
+func TestParseGood(t *testing.T) {
+	fams, err := Parse([]byte(goodExposition))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families: got %d want 3", len(fams))
+	}
+
+	c := Find(fams, "acme_requests")
+	if c == nil || c.Type != "counter" || c.Help != "Requests served." {
+		t.Fatalf("counter family: %+v", c)
+	}
+	if s := c.Sample("acme_requests_total", nil); s == nil || s.Value != 42 {
+		t.Fatalf("counter sample: %+v", s)
+	}
+
+	g := Find(fams, "acme_temp")
+	if g == nil || g.Type != "gauge" {
+		t.Fatalf("gauge family: %+v", g)
+	}
+	s := g.Sample("acme_temp", map[string]string{"floor": "2"})
+	if s == nil || s.Value != -3.5 || s.Labels["room"] != `lab "a"` {
+		t.Fatalf("gauge sample: %+v", s)
+	}
+
+	h := Find(fams, "acme_latency_seconds")
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram family: %+v", h)
+	}
+	b := h.Sample("acme_latency_seconds_bucket", map[string]string{"le": "0.01"})
+	if b == nil || b.Exemplar == nil {
+		t.Fatalf("first bucket or exemplar missing: %+v", b)
+	}
+	if b.Exemplar.Labels["trace_id"] != "00000000deadbeef" || b.Exemplar.Value != 0.004 {
+		t.Fatalf("exemplar: %+v", b.Exemplar)
+	}
+	if cnt := h.Sample("acme_latency_seconds_count", nil); cnt == nil || cnt.Value != 6 {
+		t.Fatalf("_count: %+v", cnt)
+	}
+}
+
+// TestParseRejects feeds structurally broken expositions and requires a
+// parse error naming roughly the right defect.
+func TestParseRejects(t *testing.T) {
+	cases := map[string]struct {
+		text string
+		want string
+	}{
+		"missing EOF": {
+			"# TYPE a counter\na_total 1",
+			"missing terminating",
+		},
+		"content after EOF": {
+			"a 1\n# EOF\nb 2\n",
+			"after # EOF",
+		},
+		"counter without _total": {
+			"# TYPE a counter\na 1\n# EOF\n",
+			"does not fit counter",
+		},
+		"negative counter": {
+			"# TYPE a counter\na_total -1\n# EOF\n",
+			"invalid value",
+		},
+		"duplicate TYPE": {
+			"# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n",
+			"duplicate TYPE",
+		},
+		"TYPE after samples": {
+			"a_total 1\n# TYPE a_total counter\n# EOF\n",
+			"after its samples",
+		},
+		"family interleaved": {
+			"# TYPE a gauge\na 1\n# TYPE b gauge\nb 1\na 2\n# EOF\n",
+			"reappears",
+		},
+		"duplicate sample": {
+			"# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n# EOF\n",
+			"duplicate sample",
+		},
+		"bucket without le": {
+			"# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\n# EOF\n",
+			"lacks an le label",
+		},
+		"buckets not cumulative": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n# EOF\n",
+			"not cumulative",
+		},
+		"le not ascending": {
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n# EOF\n",
+			"not ascending",
+		},
+		"missing +Inf": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 0.5\n# EOF\n",
+			"+Inf",
+		},
+		"count disagrees": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 0.5\n# EOF\n",
+			"disagrees",
+		},
+		"exemplar on gauge": {
+			"# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n# EOF\n",
+			"exemplar on gauge",
+		},
+		"unterminated labels": {
+			"# TYPE g gauge\ng{x=\"1\" 1\n# EOF\n",
+			"",
+		},
+		"bad escape": {
+			"# TYPE g gauge\ng{x=\"\\t\"} 1\n# EOF\n",
+			"unknown escape",
+		},
+		"bad value": {
+			"# TYPE g gauge\ng xyz\n# EOF\n",
+			"bad value",
+		},
+		"empty line": {
+			"# TYPE g gauge\n\ng 1\n# EOF\n",
+			"empty line",
+		},
+		"bad metric name": {
+			"# TYPE 9g gauge\n9g 1\n# EOF\n",
+			"invalid metric name",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := Validate([]byte(tc.text))
+			if err == nil {
+				t.Fatalf("accepted:\n%s", tc.text)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseTimestampsAndBareSamples covers the permissive corners: optional
+// timestamps, metadata-free samples (implicit unknown families), and
+// multi-group histograms.
+func TestParseTimestampsAndBareSamples(t *testing.T) {
+	text := "bare_metric{a=\"b\"} 3 1700000000\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"1\",op=\"get\"} 1\n" +
+		"h_bucket{le=\"+Inf\",op=\"get\"} 2\n" +
+		"h_bucket{le=\"1\",op=\"put\"} 4\n" +
+		"h_bucket{le=\"+Inf\",op=\"put\"} 4\n" +
+		"h_count{op=\"get\"} 2\n" +
+		"h_count{op=\"put\"} 4\n" +
+		"h_sum{op=\"get\"} 0.1\n" +
+		"h_sum{op=\"put\"} 0.2\n" +
+		"# EOF\n"
+	fams, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f := Find(fams, "bare_metric"); f == nil || f.Type != "unknown" {
+		t.Fatalf("implicit family: %+v", f)
+	}
+	h := Find(fams, "h")
+	if h == nil || len(h.Samples) != 8 {
+		t.Fatalf("histogram samples: %+v", h)
+	}
+}

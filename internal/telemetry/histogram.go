@@ -20,6 +20,23 @@ const NumBuckets = 48
 type Histogram struct {
 	buckets [NumBuckets]atomic.Uint64
 	sum     atomic.Int64 // total observed nanoseconds, for the mean
+	// exemplars holds one recent traced observation per bucket (last
+	// writer wins). The two words are stored independently — a torn pair
+	// can mismatch duration and trace id by one observation, which is
+	// acceptable for an exemplar.
+	exemplars [NumBuckets]exemplarSlot
+}
+
+type exemplarSlot struct {
+	ns    atomic.Int64
+	trace atomic.Uint64
+}
+
+// Exemplar is one traced observation attached to a histogram bucket, in the
+// OpenMetrics exemplar sense: a concrete request to go look at.
+type Exemplar struct {
+	NS      int64  // the observed duration
+	TraceID uint64 // the wire trace id that produced it (0 = none)
 }
 
 // bucketOf returns the bucket index for a duration of ns nanoseconds.
@@ -56,21 +73,40 @@ func (h *Histogram) Observe(ns int64) {
 	h.sum.Add(ns)
 }
 
+// ObserveEx records one duration and, when traceID is nonzero, stamps it as
+// the bucket's exemplar so the OpenMetrics exposition can point a slow
+// bucket at a concrete trace.
+func (h *Histogram) ObserveEx(ns int64, traceID uint64) {
+	b := bucketOf(ns)
+	h.buckets[b].Add(1)
+	h.sum.Add(ns)
+	if traceID != 0 {
+		h.exemplars[b].ns.Store(ns)
+		h.exemplars[b].trace.Store(traceID)
+	}
+}
+
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.exemplars[i].ns.Store(0)
+		h.exemplars[i].trace.Store(0)
 	}
 	h.sum.Store(0)
 }
 
-// Snapshot copies the bucket counts and sum.
+// Snapshot copies the bucket counts, sum and exemplars.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
 	for i := range h.buckets {
 		c := h.buckets[i].Load()
 		s.Counts[i] = c
 		s.Total += c
+		s.Exemplars[i] = Exemplar{
+			NS:      h.exemplars[i].ns.Load(),
+			TraceID: h.exemplars[i].trace.Load(),
+		}
 	}
 	s.SumNS = h.sum.Load()
 	return s
@@ -78,9 +114,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // HistogramSnapshot is a point-in-time copy of a Histogram.
 type HistogramSnapshot struct {
-	Counts [NumBuckets]uint64
-	Total  uint64
-	SumNS  int64
+	Counts    [NumBuckets]uint64
+	Total     uint64
+	SumNS     int64
+	Exemplars [NumBuckets]Exemplar
 }
 
 // Mean returns the average observed duration (zero if empty).
@@ -91,8 +128,12 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return time.Duration(s.SumNS / int64(s.Total))
 }
 
-// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
-// exclusive upper edge of the bucket containing the q-th observation.
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// holding the q-th observation and interpolating linearly within it,
+// assuming observations spread uniformly across the bucket. A bucket spans
+// [2^(i-1), 2^i), so the previous behaviour — returning the upper edge —
+// overstated the quantile by up to 2×; interpolation keeps the estimate
+// inside the bucket and exact at the bucket's last observation.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Total == 0 {
 		return 0
@@ -109,10 +150,16 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	}
 	var seen uint64
 	for i, c := range s.Counts {
-		seen += c
-		if seen > rank {
-			return time.Duration(BucketHigh(i))
+		if c == 0 {
+			continue
 		}
+		if seen+c > rank {
+			low, high := BucketLow(i), BucketHigh(i)
+			pos := rank - seen // 0-based position within this bucket
+			return time.Duration(float64(low) +
+				float64(high-low)*float64(pos+1)/float64(c))
+		}
+		seen += c
 	}
 	return time.Duration(BucketHigh(NumBuckets - 1))
 }

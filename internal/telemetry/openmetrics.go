@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/abort"
+)
+
+// OpenMetrics text exposition (https://openmetrics.io, the format Prometheus
+// scrapes). The renderer follows the spec's shape rules so standard tooling
+// ingests it directly:
+//
+//   - a family is announced by "# TYPE name type" (and optional HELP) before
+//     its samples, and all its samples stay contiguous;
+//   - counter families expose "name_total" samples;
+//   - histogram families expose cumulative "name_bucket{le=...}" samples
+//     ending in le="+Inf", plus "name_count" and "name_sum", with durations
+//     converted to seconds;
+//   - buckets carry OpenMetrics exemplars ("# {trace_id=...} value") when a
+//     traced observation landed there, linking a slow bucket to one concrete
+//     wire trace id;
+//   - the exposition ends with exactly one "# EOF" line.
+
+// OpenMetricsContentType is the HTTP Content-Type of WriteOpenMetrics output.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// omMu guards omSections; omSections holds the extra family emitters other
+// packages (wal, txnet) register, mirroring RegisterSection for WriteTable.
+var (
+	omMu       sync.Mutex
+	omSections []func(*OM)
+)
+
+// RegisterOpenMetrics appends a family emitter to every WriteOpenMetrics
+// exposition. Emitters must write complete, self-contained families through
+// the OM helper and must not write "# EOF"; family names must be unique
+// across all emitters.
+func RegisterOpenMetrics(f func(*OM)) {
+	if f == nil {
+		return
+	}
+	omMu.Lock()
+	omSections = append(omSections, f)
+	omMu.Unlock()
+}
+
+// OM renders OpenMetrics families onto one writer. It carries the first
+// write error so emitters can chain calls without checking each one.
+type OM struct {
+	w   io.Writer
+	err error
+}
+
+// NewOM wraps w for OpenMetrics family rendering.
+func NewOM(w io.Writer) *OM { return &OM{w: w} }
+
+// Err returns the first write error, if any.
+func (o *OM) Err() error { return o.err }
+
+func (o *OM) printf(format string, args ...any) {
+	if o.err == nil {
+		_, o.err = fmt.Fprintf(o.w, format, args...)
+	}
+}
+
+// Family announces a metric family: its TYPE and, when help is non-empty,
+// HELP metadata. typ is one of "counter", "gauge", "histogram". For
+// counters, name is the family name without the _total suffix.
+func (o *OM) Family(name, typ, help string) {
+	o.printf("# TYPE %s %s\n", name, typ)
+	if help != "" {
+		o.printf("# HELP %s %s\n", name, help)
+	}
+}
+
+// Total writes one counter sample: name_total{labels} v.
+func (o *OM) Total(name, labels string, v uint64) {
+	o.sample(name+"_total", labels, strconv.FormatUint(v, 10))
+}
+
+// Value writes one plain sample (gauge families).
+func (o *OM) Value(name, labels string, v float64) {
+	o.sample(name, labels, formatFloat(v))
+}
+
+func (o *OM) sample(name, labels, value string) {
+	if labels == "" {
+		o.printf("%s %s\n", name, value)
+		return
+	}
+	o.printf("%s{%s} %s\n", name, labels, value)
+}
+
+// Histogram writes the samples of one histogram family member: cumulative
+// le-buckets in seconds (non-empty buckets plus +Inf), exemplars where a
+// traced observation exists, then _count and _sum.
+func (o *OM) Histogram(name, labels string, h HistogramSnapshot) {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.Counts[i]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		line := name + "_bucket{" + joinLabels(labels, `le="`+formatSeconds(BucketHigh(i))+`"`) +
+			"} " + strconv.FormatUint(cum, 10)
+		if ex := h.Exemplars[i]; ex.TraceID != 0 {
+			line += fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex.TraceID, formatSeconds(ex.NS))
+		}
+		o.printf("%s\n", line)
+	}
+	o.printf("%s_bucket{%s} %d\n", name, joinLabels(labels, `le="+Inf"`), h.Total)
+	o.sample(name+"_count", labels, strconv.FormatUint(h.Total, 10))
+	o.sample(name+"_sum", labels, formatSeconds(h.SumNS))
+}
+
+// joinLabels concatenates two label lists, either possibly empty.
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}
+
+// formatSeconds renders nanoseconds as an OpenMetrics float in seconds.
+func formatSeconds(ns int64) string {
+	return formatFloat(float64(ns) / 1e9)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// EscapeLabel escapes a label value per the OpenMetrics text format.
+func EscapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// meterCounterFamilies drives the per-meter counter exposition: one family
+// per counter, one sample per active meter.
+var meterCounterFamilies = []struct {
+	name, help string
+	value      func(MeterSnapshot) uint64
+}{
+	{"tx_commits", "Committed transactions.", func(s MeterSnapshot) uint64 { return s.Commits }},
+	{"tx_retries", "Attempt retries after aborts.", func(s MeterSnapshot) uint64 { return s.Retries }},
+	{"tx_fallbacks", "Slow-path fallbacks.", func(s MeterSnapshot) uint64 { return s.Fallbacks }},
+	{"tx_escalations", "Serial-mode escalations.", func(s MeterSnapshot) uint64 { return s.Escalations }},
+}
+
+// WriteOpenMetrics renders the meter snapshots, the process gauge table and
+// every registered package section in OpenMetrics text format, terminated
+// by "# EOF". Meters with no recorded activity are skipped, like Vars.
+func WriteOpenMetrics(w io.Writer, snaps []MeterSnapshot) error {
+	om := NewOM(w)
+	active := snaps[:0:0]
+	for _, s := range snaps {
+		if s.Commits != 0 || s.TotalAborts() != 0 || s.Fallbacks != 0 {
+			active = append(active, s)
+		}
+	}
+
+	if len(active) > 0 {
+		for _, fam := range meterCounterFamilies {
+			om.Family(fam.name, "counter", fam.help)
+			for _, s := range active {
+				om.Total(fam.name, algLabel(s), fam.value(s))
+			}
+		}
+		om.Family("tx_aborts", "counter", "Aborted attempts by reason.")
+		for _, s := range active {
+			for r := abort.Reason(0); r < abort.NumReasons; r++ {
+				if s.Aborts[r] != 0 {
+					om.Total("tx_aborts",
+						joinLabels(algLabel(s), `reason="`+EscapeLabel(ReasonName(r))+`"`),
+						s.Aborts[r])
+				}
+			}
+		}
+		om.Family("tx_latency_seconds", "histogram", "Whole-transaction latency of committed transactions.")
+		for _, s := range active {
+			om.Histogram("tx_latency_seconds", algLabel(s), s.TxLatency)
+		}
+		om.Family("tx_commit_latency_seconds", "histogram", "Commit-phase latency.")
+		for _, s := range active {
+			om.Histogram("tx_commit_latency_seconds", algLabel(s), s.CommitLatency)
+		}
+	}
+
+	if vars := GaugeVars(); len(vars) > 0 {
+		names := make([]string, 0, len(vars))
+		for name := range vars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		om.Family("runtime_gauge", "gauge", "Named instantaneous values (see the name label).")
+		for _, name := range names {
+			om.Value("runtime_gauge", `name="`+EscapeLabel(name)+`"`, float64(vars[name]))
+		}
+	}
+
+	omMu.Lock()
+	extra := omSections
+	omMu.Unlock()
+	for _, f := range extra {
+		f(om)
+	}
+
+	om.printf("# EOF\n")
+	return om.Err()
+}
+
+func algLabel(s MeterSnapshot) string {
+	return `algorithm="` + EscapeLabel(s.Name) + `"`
+}

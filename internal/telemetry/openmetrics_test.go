@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/abort"
+	"repro/internal/omtext"
+)
+
+// swapGauges empties the process gauge table for the test and restores it
+// afterwards, so the exposition is deterministic regardless of what other
+// tests touched.
+func swapGauges(t *testing.T) {
+	t.Helper()
+	gaugeMu.Lock()
+	saved := gauges
+	gauges = map[string]*Gauge{}
+	gaugeMu.Unlock()
+	t.Cleanup(func() {
+		gaugeMu.Lock()
+		gauges = saved
+		gaugeMu.Unlock()
+	})
+}
+
+// histWithExemplar is histWith plus a trace-id exemplar on the bucket.
+func histWithExemplar(ns int64, count uint64, traceID uint64) HistogramSnapshot {
+	h := histWith(ns, count)
+	h.Exemplars[bucketOf(ns)] = Exemplar{NS: ns, TraceID: traceID}
+	return h
+}
+
+func openMetricsFixture() []MeterSnapshot {
+	return []MeterSnapshot{
+		{
+			Name: "otb-norec", Policy: "karma",
+			Commits: 1200, Retries: 40,
+			Aborts: func() (a [abort.NumReasons]uint64) {
+				a[abort.Conflict] = 30
+				a[abort.LockBusy] = 8
+				a[abort.Explicit] = 2
+				return
+			}(),
+			Escalations:   1,
+			TxLatency:     histWithExemplar(1500, 1200, 0xdeadbeef),
+			CommitLatency: histWith(700, 1200),
+		},
+		{
+			Name:    "glock",
+			Commits: 900, Fallbacks: 3,
+			TxLatency: histWith(90000, 900),
+		},
+		{Name: "idle"}, // zero activity: must be omitted entirely
+	}
+}
+
+func TestGoldenOpenMetrics(t *testing.T) {
+	swapGauges(t)
+	G("versions.live").Set(77)
+	G(`weird"name`).Set(1)
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, openMetricsFixture()); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	golden(t, "openmetrics.golden", buf.Bytes())
+}
+
+// TestOpenMetricsValidates runs the exposition through the vendored
+// OpenMetrics parser — the same structural validation the CI scrape job
+// applies to a live /metrics endpoint.
+func TestOpenMetricsValidates(t *testing.T) {
+	swapGauges(t)
+	G("versions.live").Set(77)
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, openMetricsFixture()); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	fams, err := omtext.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.Bytes())
+	}
+
+	c := omtext.Find(fams, "tx_commits")
+	if c == nil || c.Type != "counter" {
+		t.Fatalf("tx_commits family: %+v", c)
+	}
+	if s := c.Sample("tx_commits_total", map[string]string{"algorithm": "otb-norec"}); s == nil || s.Value != 1200 {
+		t.Fatalf("tx_commits sample: %+v", s)
+	}
+	if s := c.Sample("tx_commits_total", map[string]string{"algorithm": "idle"}); s != nil {
+		t.Fatalf("idle meter leaked into exposition: %+v", s)
+	}
+
+	a := omtext.Find(fams, "tx_aborts")
+	if a == nil || a.Sample("tx_aborts_total", map[string]string{"algorithm": "otb-norec", "reason": "conflict"}) == nil {
+		t.Fatalf("tx_aborts by reason missing: %+v", a)
+	}
+
+	h := omtext.Find(fams, "tx_latency_seconds")
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("tx_latency_seconds family: %+v", h)
+	}
+	var sawExemplar bool
+	for _, s := range h.Samples {
+		if s.Exemplar != nil {
+			if s.Exemplar.Labels["trace_id"] != "00000000deadbeef" {
+				t.Fatalf("exemplar trace id: %+v", s.Exemplar)
+			}
+			sawExemplar = true
+		}
+	}
+	if !sawExemplar {
+		t.Fatalf("no exemplar survived on tx_latency_seconds")
+	}
+
+	g := omtext.Find(fams, "runtime_gauge")
+	if g == nil || g.Sample("runtime_gauge", map[string]string{"name": "versions.live"}) == nil {
+		t.Fatalf("runtime_gauge missing: %+v", g)
+	}
+}

@@ -79,11 +79,12 @@ func ExportPerfetto(events []Event) ([]byte, error) {
 		return l
 	}
 
-	push := func(l *lane, ts float64, name string) {
+	pushArgs := func(l *lane, ts float64, name string, args map[string]any) {
 		out.TraceEvents = append(out.TraceEvents,
-			perfettoEvent{Name: name, Ph: "B", TS: ts, PID: l.pid, TID: l.tid})
+			perfettoEvent{Name: name, Ph: "B", TS: ts, PID: l.pid, TID: l.tid, Args: args})
 		l.open = append(l.open, name)
 	}
+	push := func(l *lane, ts float64, name string) { pushArgs(l, ts, name, nil) }
 	popOne := func(l *lane, ts float64) {
 		out.TraceEvents = append(out.TraceEvents,
 			perfettoEvent{Ph: "E", TS: ts, PID: l.pid, TID: l.tid})
@@ -118,6 +119,9 @@ func ExportPerfetto(events []Event) ([]byte, error) {
 		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
 			Name: name, Ph: "X", TS: end - d, Dur: d, PID: l.pid, TID: l.tid,
 		})
+	}
+	traceArgs := func(e Event) map[string]any {
+		return map[string]any{"trace": fmt.Sprintf("%016x", e.Span)}
 	}
 
 	for _, e := range events {
@@ -159,6 +163,33 @@ func ExportPerfetto(events []Event) ([]byte, error) {
 			for len(l.open) > 0 {
 				popOne(l, ts)
 			}
+		case EvReqStart:
+			// A new request implicitly closes anything a truncated history
+			// left open on this lane (same contract as EvTxStart).
+			for len(l.open) > 0 {
+				popOne(l, ts)
+			}
+			args := traceArgs(e)
+			if e.Arg != 0 && e.Arg != e.Span {
+				args["parent"] = fmt.Sprintf("%016x", e.Arg)
+			}
+			pushArgs(l, ts, "request", args)
+		case EvReqEnd:
+			for len(l.open) > 0 {
+				popOne(l, ts)
+			}
+		case EvStage:
+			d := us(int64(e.Arg))
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: Stage(e.Key).String(), Ph: "X", TS: ts - d, Dur: d,
+				PID: l.pid, TID: l.tid, Args: traceArgs(e),
+			})
+		case EvResend:
+			args := traceArgs(e)
+			if e.Arg != 0 {
+				args["resend"] = e.Arg
+			}
+			instant(l, ts, "resend", args)
 		case EvPause:
 			slice(l, ts, e.Arg, "cm-pause")
 		case EvQueueWait:
@@ -192,6 +223,33 @@ func ExportPerfetto(events []Event) ([]byte, error) {
 		for len(l.open) > 0 {
 			popOne(l, l.lastTS)
 		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// MergePerfetto combines several trace-event JSON dumps — typically one per
+// process, e.g. cmd/txload's client-side export plus the server's
+// /debug/trace/perfetto dump — into one trace. Process ids of later dumps
+// are offset past the earlier ones so lanes never collide; timestamps are
+// left untouched (both recorders stamp wall-clock nanoseconds, so spans
+// sharing a wire trace id line up on one timeline).
+func MergePerfetto(dumps ...[]byte) ([]byte, error) {
+	out := perfettoTrace{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	base := 0
+	for i, d := range dumps {
+		var t perfettoTrace
+		if err := json.Unmarshal(d, &t); err != nil {
+			return nil, fmt.Errorf("trace: merge dump %d: %w", i, err)
+		}
+		maxPID := base
+		for _, e := range t.TraceEvents {
+			e.PID += base
+			if e.PID > maxPID {
+				maxPID = e.PID
+			}
+			out.TraceEvents = append(out.TraceEvents, e)
+		}
+		base = maxPID
 	}
 	return json.MarshalIndent(out, "", " ")
 }

@@ -202,3 +202,116 @@ func TestPerfettoTruncatedHistory(t *testing.T) {
 	}
 	l.TxEnd()
 }
+
+// requestHistory scripts one cross-layer request on each of two recorders
+// — a "client" drawing the sample and a "server" adopting the wire id —
+// the way txnet does it, on deterministic clocks.
+func requestHistory(traceID uint64) (client, server *Recorder) {
+	client = NewRecorderSized(1, 256)
+	client.SetClock(fakeClock(100))
+	client.SetEnabled(true)
+	cl := client.Source("txnet.client").Local()
+	cl.SpanOpen(traceID, 0)
+	cl.Resend(1)
+	cl.Stage(StageQueue, 300)
+	cl.Stage(StageNet, 900)
+	cl.SpanClose()
+
+	server = NewRecorderSized(1, 256)
+	server.SetClock(fakeClock(100))
+	server.SetEnabled(true)
+	sl := server.Source("txnet.server").Local()
+	sl.SpanOpen(traceID, traceID)
+	sl.Stage(StageDispatch, 50)
+	sl.Stage(StageExecute, 400)
+	sl.Stage(StageFsync, 700)
+	sl.SpanClose()
+	return client, server
+}
+
+// TestRequestSpanExport checks the request-span event kinds export as one
+// named slice stack per side, every slice carrying the trace id argument.
+func TestRequestSpanExport(t *testing.T) {
+	const traceID = 0xabc123
+	client, _ := requestHistory(traceID)
+	raw, err := ExportPerfetto(client.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur,omitempty"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"request": "B", "queue": "X", "net": "X", "resend": "i"}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if ph, ok := want[e.Name]; ok {
+			if e.Ph != ph {
+				t.Fatalf("%s exported as ph=%q, want %q", e.Name, e.Ph, ph)
+			}
+			if tr, _ := e.Args["trace"].(string); tr != "0000000000abc123" {
+				t.Fatalf("%s trace arg %v", e.Name, e.Args)
+			}
+			seen[e.Name] = true
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Fatalf("slice %q missing from export", name)
+		}
+	}
+}
+
+// TestMergePerfetto merges a client dump and a server dump and checks the
+// result is one well-formed trace: every event of the second dump moved to
+// a fresh pid, and the shared trace id appears under both pids.
+func TestMergePerfetto(t *testing.T) {
+	const traceID = 0x77
+	client, server := requestHistory(traceID)
+	cd, err := ExportPerfetto(client.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := ExportPerfetto(server.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergePerfetto(cd, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatalf("merged dump does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	pidsByTrace := map[int]bool{}
+	allPIDs := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		allPIDs[e.PID] = true
+		if tr, _ := e.Args["trace"].(string); tr == "0000000000000077" {
+			pidsByTrace[e.PID] = true
+		}
+	}
+	if len(allPIDs) < 2 {
+		t.Fatalf("merge collapsed the dumps into pids %v", allPIDs)
+	}
+	if len(pidsByTrace) < 2 {
+		t.Fatalf("trace id spans pids %v, want both processes", pidsByTrace)
+	}
+}

@@ -79,6 +79,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	                       (load in ui.perfetto.dev)
 //	/debug/trace/conflicts conflict attribution table (text)
 //	/debug/trace/aborts    last-N-aborts dump (text)
+//	/metrics               OpenMetrics text exposition (Prometheus-scrapable)
 //	/debug/vars            expvar (includes telemetry's "transactions")
 //	/debug/pprof/...       the standard pprof handlers
 func NewMux(r *Recorder) *http.ServeMux {
@@ -107,6 +108,12 @@ func NewMux(r *Recorder) *http.ServeMux {
 	mux.HandleFunc("/debug/trace/aborts", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		r.WriteAborts(w, abortLogCap)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+		if err := telemetry.WriteOpenMetrics(w, telemetry.Default.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)

@@ -111,6 +111,19 @@ const (
 	EvExecute
 	// EvHWAttempt opens one emulated-hardware attempt (hybrid HTM).
 	EvHWAttempt
+	// EvReqStart opens a networked-request span under a wire-propagated
+	// trace id (the Span field); Arg carries the parent span id.
+	EvReqStart
+	// EvStage is one completed request lifecycle stage; Key is the Stage
+	// code, Arg the duration in nanoseconds (the event timestamp is the
+	// stage's end).
+	EvStage
+	// EvResend marks a same-sequence resend of a request after a
+	// connection failure (the exactly-once retry path); Arg is the resend
+	// ordinal when known.
+	EvResend
+	// EvReqEnd closes a networked-request span.
+	EvReqEnd
 
 	numKinds
 )
@@ -124,10 +137,54 @@ func (k Kind) String() string {
 		EvPause: "cm-pause", EvFallback: "fallback", EvEscalate: "escalate",
 		EvCommitBegin: "commit", EvCommitEnd: "commit-end", EvAbort: "abort",
 		EvTxEnd: "tx-end", EvQueueWait: "queue-wait", EvExecute: "execute",
-		EvHWAttempt: "hw-attempt",
+		EvHWAttempt: "hw-attempt", EvReqStart: "req-start", EvStage: "stage",
+		EvResend: "resend", EvReqEnd: "req-end",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
+	}
+	return "unknown"
+}
+
+// Stage identifies one phase of a networked request's lifecycle, shared by
+// the txnet client and server so a cross-process trace composes into one
+// timeline. Stage codes travel in EvStage events (Key field) and in the wire
+// response's stage block.
+type Stage uint8
+
+// Request lifecycle stages, in causal order.
+const (
+	// StageQueue is client-side encode + socket write.
+	StageQueue Stage = iota
+	// StageNet is wire time: the client's round trip minus the server-side
+	// stages it learned from the response.
+	StageNet
+	// StageDispatch is server-side frame receipt to session lock held.
+	StageDispatch
+	// StageAdmission is the admission-slot wait (including a shed verdict).
+	StageAdmission
+	// StageExecute is store execution of the transaction body.
+	StageExecute
+	// StageWALAppend is the write-ahead-log append (durable servers).
+	StageWALAppend
+	// StageFsync is the group-commit fsync wait (durable servers).
+	StageFsync
+	// StageAck is response encode + socket write back to the client.
+	StageAck
+
+	// NumStages sizes per-request stage arrays.
+	NumStages
+)
+
+// String returns the stage's name as used in exports and metric labels.
+func (s Stage) String() string {
+	names := [NumStages]string{
+		StageQueue: "queue", StageNet: "net", StageDispatch: "dispatch",
+		StageAdmission: "admission", StageExecute: "execute",
+		StageWALAppend: "wal-append", StageFsync: "fsync", StageAck: "ack",
+	}
+	if s < NumStages {
+		return names[s]
 	}
 	return "unknown"
 }
@@ -603,6 +660,77 @@ func (l *Local) Abort(reason abort.Reason) {
 	if key != 0 {
 		l.src.conflicts.note(key, 0)
 	}
+}
+
+// Draw counts one request against the sampling divisor without opening a
+// span. The txnet client uses it to decide whether a request carries a wire
+// trace id; the verdict then travels to the server, which opens its span on
+// the propagated id rather than drawing again. Costs one atomic load while
+// the recorder is disabled.
+func (l *Local) Draw() bool {
+	if l == nil {
+		return false
+	}
+	r := l.src.r
+	if !r.on.Load() {
+		return false
+	}
+	n := r.txCtr.Add(1)
+	if every := r.every.Load(); every > 1 && n%every != 0 {
+		return false
+	}
+	return true
+}
+
+// SpanOpen opens a request span under an explicit id — the wire-propagated
+// trace id — bypassing the sampling draw (the id's presence IS the sampling
+// verdict, made once at the client). parent is the opening peer's span id
+// (zero for a root span). A zero id, nil Local or disabled recorder leaves
+// the span closed; every later call stays a one-branch no-op.
+func (l *Local) SpanOpen(id, parent uint64) {
+	if l == nil {
+		return
+	}
+	if id == 0 || !l.src.r.on.Load() {
+		l.span = 0
+		return
+	}
+	l.span = id
+	l.attempt = 0
+	l.attemptTS = 0
+	l.pauseTS = 0
+	l.lastKey = 0
+	l.emit(EvReqStart, 0, 0, parent)
+}
+
+// SpanActive reports whether a request span is open on this Local.
+func (l *Local) SpanActive() bool { return l != nil && l.span != 0 }
+
+// SpanClose closes the request span opened by SpanOpen (no-op otherwise).
+func (l *Local) SpanClose() {
+	if l == nil || l.span == 0 {
+		return
+	}
+	l.emit(EvReqEnd, 0, 0, 0)
+	l.span = 0
+}
+
+// Stage records a completed request lifecycle stage of d nanoseconds ending
+// now. Non-positive durations are dropped.
+func (l *Local) Stage(st Stage, d int64) {
+	if l == nil || l.span == 0 || d <= 0 {
+		return
+	}
+	l.emit(EvStage, 0, uint64(st), uint64(d))
+}
+
+// Resend marks the open request span as a same-sequence resend (the
+// exactly-once retry path); n is the resend ordinal when known.
+func (l *Local) Resend(n int) {
+	if l == nil || l.span == 0 {
+		return
+	}
+	l.emit(EvResend, 0, 0, uint64(n))
 }
 
 // Now returns the recorder clock when the current transaction is sampled,

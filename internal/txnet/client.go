@@ -10,7 +10,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
+
+// clientSrc is the flight-recorder source client request spans record under.
+var clientSrc = trace.S("txnet.client")
 
 // Terminal client errors. ErrDeadline, ErrAborted and ErrUnavailable are
 // definitive: the transaction did not commit (the server only caches and
@@ -88,6 +93,7 @@ type Client struct {
 	rng     *rand.Rand
 	buf     []byte
 	closed  bool
+	tr      *trace.Local
 
 	stats struct {
 		reconnects, resends, overloads atomic.Uint64
@@ -101,7 +107,7 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 	if opts != nil {
 		o = *opts
 	}
-	c := &Client{addr: addr, o: o.withDefaults()}
+	c := &Client{addr: addr, o: o.withDefaults(), tr: clientSrc.Local()}
 	c.rng = rand.New(rand.NewSource(c.o.Seed))
 	if err := c.connectLocked(context.Background()); err != nil {
 		return nil, err
@@ -214,6 +220,17 @@ func (c *Client) backoff(ctx context.Context, n int) error {
 	}
 }
 
+// Stages is the per-request latency breakdown filled by DoStages: one
+// duration per trace.Stage — client-side queue (encode + socket write) and
+// net (round trip minus server time), plus the server-reported dispatch,
+// admission, execute, WAL-append, fsync and ack stages — and the whole
+// call's duration. Stages the request did not pass through stay zero.
+type Stages struct {
+	D       [trace.NumStages]time.Duration
+	Total   time.Duration
+	Resends int // same-seq resends this call needed
+}
+
 // Do executes ops as one atomic transaction and returns one result per op.
 // Connection failures are retried transparently (same sequence number —
 // safe by the session protocol); overload responses are retried after the
@@ -221,12 +238,34 @@ func (c *Client) backoff(ctx context.Context, n int) error {
 // ErrUnavailable or ErrSessionExpired; in every such case the transaction
 // did not apply.
 func (c *Client) Do(ctx context.Context, ops []Op) ([]OpResult, error) {
+	return c.DoStages(ctx, ops, nil)
+}
+
+// DoStages is Do with a latency breakdown: when st is non-nil the request
+// asks the server for its stage block and fills st with the combined
+// client+server view on return. When the flight recorder samples the
+// request, a trace id is generated, propagated on the wire (surviving
+// resends verbatim) and recorded with every stage span on both ends.
+func (c *Client) DoStages(ctx context.Context, ops []Op, st *Stages) ([]OpResult, error) {
+	t0 := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
 	seq := c.seq + 1
+	var traceID uint64
+	if c.tr.Draw() {
+		// Nonzero by construction: zero means "unsampled" on the wire.
+		traceID = uint64(c.rng.Int63())<<1 | 1
+	}
+	c.tr.SpanOpen(traceID, 0)
+	defer c.tr.SpanClose()
+	var flags byte
+	if st != nil {
+		flags |= flagStages
+	}
+	resends := 0
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -249,13 +288,17 @@ func (c *Client) Do(ctx context.Context, ops []Op) ([]OpResult, error) {
 			}
 			c.stats.reconnects.Add(1)
 		}
-		r, err := c.roundTrip(ctx, seq, ops)
+		r, queueNS, netNS, err := c.roundTrip(ctx, seq, ops, traceID, flags)
 		if err != nil {
 			// Connection-level failure mid-request: the server may or may
 			// not have committed. Reconnect and resend the same seq; the
-			// session cache disambiguates.
+			// session cache disambiguates. The resend keeps the original
+			// trace id so the retried commit stays one trace.
 			_ = c.dropLocked()
 			c.stats.resends.Add(1)
+			resends++
+			flags |= flagResend
+			c.tr.Resend(resends)
 			c.mu.Unlock()
 			berr := c.backoff(ctx, attempt)
 			c.mu.Lock()
@@ -270,6 +313,25 @@ func (c *Client) Do(ctx context.Context, ops []Op) ([]OpResult, error) {
 		switch r.status {
 		case StatusOK:
 			c.seq = seq
+			var serverNS int64
+			for _, d := range r.stages {
+				serverNS += d
+			}
+			if wireNS := netNS - serverNS; wireNS > 0 {
+				netNS = wireNS
+			}
+			c.tr.Stage(trace.StageQueue, queueNS)
+			c.tr.Stage(trace.StageNet, netNS)
+			if st != nil {
+				*st = Stages{Total: time.Since(t0), Resends: resends}
+				st.D[trace.StageQueue] = time.Duration(queueNS)
+				st.D[trace.StageNet] = time.Duration(netNS)
+				for i, d := range r.stages {
+					if d > 0 {
+						st.D[i] = time.Duration(d)
+					}
+				}
+			}
 			return r.results, nil
 		case StatusOverloaded:
 			c.stats.overloads.Add(1)
@@ -313,14 +375,20 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 }
 
-// roundTrip sends one txn frame and reads its response. Call with mu held.
-func (c *Client) roundTrip(ctx context.Context, seq uint64, ops []Op) (response, error) {
+// roundTrip sends one txn frame and reads its response, returning the
+// client-side stage timings: queueNS (encode + socket write) and netNS (the
+// wait for the response frame, which the caller narrows to wire time by
+// subtracting the server-reported stages). Timing is skipped — both return
+// zero — when neither the trace span nor a stage breakdown wants it. Call
+// with mu held.
+func (c *Client) roundTrip(ctx context.Context, seq uint64, ops []Op,
+	traceID uint64, flags byte) (r response, queueNS, netNS int64, err error) {
 	var deadline time.Duration
 	ioDeadline := time.Now().Add(c.o.RequestTimeout)
 	if d, ok := ctx.Deadline(); ok {
 		deadline = time.Until(d)
 		if deadline <= 0 {
-			return response{}, context.DeadlineExceeded
+			return response{}, 0, 0, context.DeadlineExceeded
 		}
 		if d.Before(ioDeadline) {
 			// Give the server's deadline response a moment to arrive before
@@ -328,24 +396,37 @@ func (c *Client) roundTrip(ctx context.Context, seq uint64, ops []Op) (response,
 			ioDeadline = d.Add(100 * time.Millisecond)
 		}
 	}
-	c.buf = appendTxn(c.buf[:0], c.session, seq, deadline, ops)
+	timed := traceID != 0 || flags&flagStages != 0
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	c.buf = appendTxn(c.buf[:0], c.session, seq, deadline, traceID, traceID, flags, ops)
 	_ = c.conn.SetDeadline(ioDeadline)
 	if err := writeFrame(c.conn, c.buf); err != nil {
-		return response{}, err
+		return response{}, 0, 0, err
+	}
+	var sent time.Time
+	if timed {
+		sent = time.Now()
+		queueNS = sent.Sub(t0).Nanoseconds()
 	}
 	frame, err := readFrame(c.br, nil)
 	if err != nil {
-		return response{}, err
+		return response{}, 0, 0, err
+	}
+	if timed {
+		netNS = time.Since(sent).Nanoseconds()
 	}
 	_ = c.conn.SetDeadline(time.Time{})
-	r, err := parseResponse(frame)
+	r, err = parseResponse(frame)
 	if err != nil {
-		return response{}, err
+		return response{}, 0, 0, err
 	}
 	if r.status != StatusHello && r.seq != seq {
-		return response{}, fmt.Errorf("txnet: response for seq %d, want %d", r.seq, seq)
+		return response{}, 0, 0, fmt.Errorf("txnet: response for seq %d, want %d", r.seq, seq)
 	}
-	return r, nil
+	return r, queueNS, netNS, nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -225,7 +225,7 @@ func (w *wconn) close() { _ = w.c.Close() }
 // caller's inflight bookkeeping takes over.
 func sendTxn(conn *wconn, w *crashWorker, seq uint64, ops []Op) (response, bool) {
 	for {
-		resp, err := conn.rt(appendTxn(nil, w.sess, seq, 0, ops))
+		resp, err := conn.rt(appendTxn(nil, w.sess, seq, 0, 0, 0, 0, ops))
 		if err != nil {
 			return response{}, false
 		}

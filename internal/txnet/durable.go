@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -181,15 +182,17 @@ func parseOp(p []byte) Op {
 // in that order, with the ack written to the wire only after SyncTo
 // honours the fsync policy. Called with sess.mu held. Store errors return
 // for the caller's status classification; log errors never return.
-func (d *Durable) commitTxn(ctx context.Context, sess *session, req txnReq, results []OpResult, resp []byte) ([]byte, error) {
+func (d *Durable) commitTxn(ctx context.Context, sess *session, req txnReq, results []OpResult, resp []byte, o *reqObs) ([]byte, error) {
 	if !mutating(req.ops) {
 		// Read-only: nothing to log. Execute outside d.mu (reads keep
 		// their concurrency) but update the session cache under it, so
 		// the snapshot encoder sees a consistent pair.
-		if err := d.store.Exec(ctx, req.ops, results); err != nil {
+		err := d.store.Exec(ctx, req.ops, results)
+		o.stamp(trace.StageExecute)
+		if err != nil {
 			return resp, err
 		}
-		resp = appendOKResp(resp, req.seq, results)
+		resp = appendOKResp(resp, req.seq, results, o.wireStages(req))
 		d.mu.Lock()
 		sess.lastSeq = req.seq
 		sess.lastResp = append(sess.lastResp[:0], resp...)
@@ -198,7 +201,9 @@ func (d *Durable) commitTxn(ctx context.Context, sess *session, req txnReq, resu
 	}
 
 	d.mu.Lock()
-	if err := d.store.Exec(ctx, req.ops, results); err != nil {
+	err := d.store.Exec(ctx, req.ops, results)
+	o.stamp(trace.StageExecute)
+	if err != nil {
 		d.mu.Unlock()
 		return resp, err
 	}
@@ -217,7 +222,9 @@ func (d *Durable) commitTxn(ctx context.Context, sess *session, req txnReq, resu
 		d.mu.Unlock()
 		d.fatal(err)
 	}
-	resp = appendOKResp(resp, req.seq, results)
+	o.stamp(trace.StageWALAppend)
+	okStart := len(resp)
+	resp = appendOKResp(resp, req.seq, results, o.wireStages(req))
 	sess.lastSeq = req.seq
 	sess.lastResp = append(sess.lastResp[:0], resp...)
 	d.commitsSinceSnap++
@@ -228,8 +235,16 @@ func (d *Durable) commitTxn(ctx context.Context, sess *session, req txnReq, resu
 		_ = d.log.Snapshot(d.snapshotPayloadLocked())
 	}
 	d.mu.Unlock()
+	o.rearm()
 	if err := d.log.SyncTo(lsn); err != nil {
 		d.fatal(err)
+	}
+	o.stamp(trace.StageFsync)
+	if ws := o.wireStages(req); ws != nil {
+		// Re-encode so the wire block includes the fsync wait. The cached
+		// replay keeps the pre-fsync block (the results are identical and
+		// both parse the same).
+		resp = appendOKResp(resp[:okStart], req.seq, results, ws)
 	}
 	return resp, nil
 }
@@ -355,7 +370,7 @@ func (d *Durable) replayRecord(r wal.Record, results *[]OpResult) error {
 		sess := d.sess.restore(id)
 		if seq >= sess.lastSeq {
 			sess.lastSeq = seq
-			sess.lastResp = appendOKResp(sess.lastResp[:0], seq, res)
+			sess.lastResp = appendOKResp(sess.lastResp[:0], seq, res, nil)
 		}
 		d.rec.CommitsReplayed++
 		return nil

@@ -19,7 +19,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frame(appendHello(nil, 0)))
 	f.Add(frame(appendHello(nil, 42)))
 	f.Add(frame(appendBye(nil, 7)))
-	f.Add(frame(appendTxn(nil, 1, 2, 50*time.Millisecond, []Op{
+	f.Add(frame(appendTxn(nil, 1, 2, 50*time.Millisecond, 0, 0, 0, []Op{
 		{Code: OpAdd, Struct: 0, Key: 10},
 		{Code: OpPut, Struct: 1, Key: -3, Val: 99},
 	})))
@@ -27,7 +27,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})                       // short header
 	f.Add([]byte{0, 0, 0, 5, 1, 2})       // truncated payload
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // oversize length prefix
-	f.Add(frame(appendOKResp(nil, 3, []OpResult{{Out: 1, OK: true}})))
+	f.Add(frame(appendOKResp(nil, 3, []OpResult{{Out: 1, OK: true}}, nil)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := readFrame(bytes.NewReader(data), nil)
@@ -58,12 +58,12 @@ func FuzzDecodeFrame(f *testing.F) {
 func FuzzDecodeTxn(f *testing.F) {
 	f.Add(appendHello(nil, 0))
 	f.Add(appendBye(nil, 12))
-	f.Add(appendTxn(nil, 1, 1, 0, []Op{{Code: OpContains, Struct: 0, Key: 5}}))
-	f.Add(appendTxn(nil, 9, 4, time.Second, []Op{
+	f.Add(appendTxn(nil, 1, 1, 0, 0, 0, 0, []Op{{Code: OpContains, Struct: 0, Key: 5}}))
+	f.Add(appendTxn(nil, 9, 4, time.Second, 0xdeadbeefcafef00d, 0x1234, flagResend|flagStages, []Op{
 		{Code: OpRemoveMin, Struct: 2},
 		{Code: OpDelete, Struct: 1, Key: 1 << 40},
 	}))
-	f.Add(appendOKResp(nil, 2, []OpResult{{Out: 7, OK: false}, {OK: true}}))
+	f.Add(appendOKResp(nil, 2, []OpResult{{Out: 7, OK: false}, {OK: true}}, nil))
 	f.Add(appendHelloResp(nil, 3, 17))
 	f.Add(appendByeResp(nil))
 	f.Add(appendErrResp(nil, StatusOverloaded, 5, 20*time.Millisecond, ""))
@@ -76,7 +76,7 @@ func FuzzDecodeTxn(f *testing.F) {
 			if len(ops) > maxOps {
 				t.Fatalf("parseTxn accepted %d ops, over maxOps", len(ops))
 			}
-			enc := appendTxn(nil, req.session, req.seq, req.deadline, ops)
+			enc := appendTxn(nil, req.session, req.seq, req.deadline, req.traceID, req.parent, req.flags, ops)
 			if !bytes.Equal(enc, data) {
 				t.Fatalf("txn round-trip mismatch:\n in  %x\n out %x", data, enc)
 			}

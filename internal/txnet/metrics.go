@@ -1,0 +1,132 @@
+package txnet
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Wire-layer metrics. netStats aggregates across every Server in the
+// process (there is almost always exactly one); the per-request observer
+// (reqObs.finish) feeds the histograms with the wire trace id as the
+// OpenMetrics exemplar, so a slow bucket points at one concrete trace.
+var netStats struct {
+	reqLatency   telemetry.Histogram
+	stageLatency [trace.NumStages]telemetry.Histogram
+}
+
+// Live-server registry: the OpenMetrics emitter walks it for counters and
+// gauges that live on the Server (stats block, session table, admission).
+var (
+	serversMu sync.Mutex
+	servers   = map[*Server]struct{}{}
+)
+
+func registerServer(s *Server) {
+	serversMu.Lock()
+	servers[s] = struct{}{}
+	serversMu.Unlock()
+}
+
+func unregisterServer(s *Server) {
+	serversMu.Lock()
+	delete(servers, s)
+	serversMu.Unlock()
+}
+
+func liveServers() []*Server {
+	serversMu.Lock()
+	defer serversMu.Unlock()
+	out := make([]*Server, 0, len(servers))
+	for s := range servers {
+		out = append(out, s)
+	}
+	return out
+}
+
+func init() {
+	telemetry.RegisterOpenMetrics(emitNetMetrics)
+}
+
+// netCounterFamilies drives the per-server counter exposition; each value
+// is summed across live servers.
+var netCounterFamilies = []struct {
+	name, help string
+	value      func(Stats) uint64
+}{
+	{"txnet_conns", "Connections accepted.", func(s Stats) uint64 { return s.Conns }},
+	{"txnet_requests", "Transaction requests received.", func(s Stats) uint64 { return s.Requests }},
+	{"txnet_commits", "Transactions committed.", func(s Stats) uint64 { return s.Commits }},
+	{"txnet_replays", "Duplicate sequence numbers answered from the exactly-once cache.", func(s Stats) uint64 { return s.Replays }},
+	{"txnet_shed", "Requests shed by admission control.", func(s Stats) uint64 { return s.Shed }},
+	{"txnet_deadline_exceeded", "Requests past their wire deadline on arrival.", func(s Stats) uint64 { return s.Deadline }},
+	{"txnet_aborted", "Requests answered StatusAborted.", func(s Stats) uint64 { return s.Aborted }},
+	{"txnet_bad_requests", "Malformed or invalid requests.", func(s Stats) uint64 { return s.BadRequests }},
+	{"txnet_shutdown_responses", "Requests refused because the server was draining.", func(s Stats) uint64 { return s.ShutdownResp }},
+	{"txnet_dropped_conns", "Connections dropped by injected faults.", func(s Stats) uint64 { return s.DroppedConns }},
+}
+
+// emitNetMetrics renders the txnet families: server counters, session
+// lifecycle counters, live-session and admission gauges, and the request /
+// per-stage latency histograms (with trace-id exemplars).
+func emitNetMetrics(om *telemetry.OM) {
+	live := liveServers()
+
+	var sum Stats
+	var admExecuted, admShed uint64
+	var sessions int
+	for _, s := range live {
+		st := s.Stats()
+		sum.Conns += st.Conns
+		sum.Requests += st.Requests
+		sum.Commits += st.Commits
+		sum.Replays += st.Replays
+		sum.Shed += st.Shed
+		sum.Deadline += st.Deadline
+		sum.Aborted += st.Aborted
+		sum.BadRequests += st.BadRequests
+		sum.ShutdownResp += st.ShutdownResp
+		sum.DroppedConns += st.DroppedConns
+		sessions += st.Sessions
+		admExecuted += s.adm.executed.Load()
+		admShed += s.adm.sheds.Load()
+	}
+
+	for _, fam := range netCounterFamilies {
+		om.Family(fam.name, "counter", fam.help)
+		om.Total(fam.name, "", fam.value(sum))
+	}
+
+	ss := SessionStatsSnapshot()
+	om.Family("txnet_sessions_opened", "counter", "Sessions opened.")
+	om.Total("txnet_sessions_opened", "", ss.Opened)
+	om.Family("txnet_sessions_closed", "counter", "Sessions closed by explicit goodbye.")
+	om.Total("txnet_sessions_closed", "", ss.Closed)
+	om.Family("txnet_sessions_swept", "counter", "Sessions reclaimed by TTL expiry.")
+	om.Total("txnet_sessions_swept", "", ss.Swept)
+	om.Family("txnet_sessions_resumed", "counter", "Sessions resumed after reconnect.")
+	om.Total("txnet_sessions_resumed", "", ss.Resumed)
+	om.Family("txnet_session_resume_expired", "counter", "Resume attempts on dead sessions.")
+	om.Total("txnet_session_resume_expired", "", ss.ResumeExpired)
+
+	om.Family("txnet_sessions", "gauge", "Live sessions.")
+	om.Value("txnet_sessions", "", float64(sessions))
+	om.Family("txnet_admission_executed", "counter", "Requests that obtained an admission slot.")
+	om.Total("txnet_admission_executed", "", admExecuted)
+
+	om.Family("txnet_request_duration_seconds", "histogram",
+		"Server-side request latency, receipt to response flush.")
+	om.Histogram("txnet_request_duration_seconds", "", netStats.reqLatency.Snapshot())
+
+	om.Family("txnet_stage_duration_seconds", "histogram",
+		"Per-stage server latency (see the stage label).")
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		snap := netStats.stageLatency[st].Snapshot()
+		if snap.Total == 0 {
+			continue
+		}
+		om.Histogram("txnet_stage_duration_seconds",
+			`stage="`+telemetry.EscapeLabel(st.String())+`"`, snap)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Wire format: every message is one frame — a 4-byte big-endian payload
@@ -15,19 +17,31 @@ import (
 //
 //	hello:  msgHello, u64 sessionID (0 = open a new session)
 //	txn:    msgTxn, u64 sessionID, u64 seq, u32 deadline (ms, 0 = none),
+//	        u64 traceID (0 = unsampled), u64 parentSpan, u8 flags,
 //	        u16 nops, nops × (u8 code, u32 struct, u64 key, u64 val)
 //	bye:    msgBye, u64 sessionID (frees the session immediately)
+//
+// The trace context propagates the client's sampling verdict: a nonzero
+// traceID tells the server to open a request span under exactly that id, so
+// client and server spans compose into one cross-process trace. The id is
+// preserved verbatim across exactly-once resends (flagResend marks them), so
+// a retried commit stays one trace.
 //
 // Responses:
 //
 //	hello:  StatusHello, u64 sessionID, u64 lastSeq
 //	bye:    StatusBye (no body)
 //	txn:    status, u64 seq, then status-specific:
-//	        StatusOK         u16 n, n × (u64 out, u8 ok)
+//	        StatusOK         u16 n, n × (u64 out, u8 ok),
+//	                         u8 nstages, nstages × (u8 stage, u64 ns)
 //	        StatusOverloaded u32 retry-after (ms)
 //	        StatusAborted /
 //	        StatusBadRequest u16 len, message
 //	        StatusDeadline / StatusShutdown (no body)
+//
+// The OK stage block reports where the server spent the request's time
+// (trace.Stage codes); it is empty unless the request asked for it with
+// flagStages. Replayed responses return the original execution's stages.
 
 // MaxFrame bounds a frame payload; a length prefix beyond it poisons the
 // connection (protocol desync or a hostile peer) and the conn is dropped.
@@ -38,6 +52,14 @@ const (
 	msgHello byte = 1
 	msgTxn   byte = 2
 	msgBye   byte = 3
+)
+
+// Txn request trace-context flags.
+const (
+	// flagResend marks a same-sequence resend after a connection failure.
+	flagResend byte = 1 << 0
+	// flagStages asks the server to fill the OK response's stage block.
+	flagStages byte = 1 << 1
 )
 
 // Status is the first byte of every response.
@@ -137,6 +159,9 @@ type txnReq struct {
 	session  uint64
 	seq      uint64
 	deadline time.Duration // 0 = none
+	traceID  uint64        // wire trace context (0 = unsampled)
+	parent   uint64        // opening peer's span id
+	flags    byte          // flagResend | flagStages
 	ops      []Op
 }
 
@@ -149,6 +174,11 @@ type response struct {
 	results    []OpResult    // StatusOK
 	sessionID  uint64        // StatusHello
 	lastSeq    uint64        // StatusHello
+
+	// stages is the server-side stage breakdown of an OK response
+	// (nanoseconds per trace.Stage); hasStages reports a non-empty block.
+	stages    [trace.NumStages]int64
+	hasStages bool
 }
 
 // writeFrame writes one length-prefixed frame. The caller flushes.
@@ -201,12 +231,17 @@ func appendByeResp(b []byte) []byte {
 }
 
 // appendTxn encodes a transaction request. deadline is clamped to the u32
-// millisecond range; zero means none.
-func appendTxn(b []byte, session, seq uint64, deadline time.Duration, ops []Op) []byte {
+// millisecond range; zero means none. traceID/parent/flags carry the trace
+// context (all zero for unsampled requests).
+func appendTxn(b []byte, session, seq uint64, deadline time.Duration,
+	traceID, parent uint64, flags byte, ops []Op) []byte {
 	b = append(b, msgTxn)
 	b = binary.BigEndian.AppendUint64(b, session)
 	b = binary.BigEndian.AppendUint64(b, seq)
 	b = binary.BigEndian.AppendUint32(b, clampMillis(deadline))
+	b = binary.BigEndian.AppendUint64(b, traceID)
+	b = binary.BigEndian.AppendUint64(b, parent)
+	b = append(b, flags)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(ops)))
 	for _, op := range ops {
 		b = append(b, byte(op.Code))
@@ -237,7 +272,7 @@ const maxOps = 4096
 // been inspected but not consumed). ops is reused when large enough.
 func parseTxn(p []byte, ops []Op) (txnReq, []Op, error) {
 	var req txnReq
-	if len(p) < 1+8+8+4+2 || p[0] != msgTxn {
+	if len(p) < 1+8+8+4+8+8+1+2 || p[0] != msgTxn {
 		return req, ops, fmt.Errorf("txnet: malformed txn request (%d bytes)", len(p))
 	}
 	req.session = binary.BigEndian.Uint64(p[1:])
@@ -245,8 +280,11 @@ func parseTxn(p []byte, ops []Op) (txnReq, []Op, error) {
 	if ms := binary.BigEndian.Uint32(p[17:]); ms != 0 {
 		req.deadline = time.Duration(ms) * time.Millisecond
 	}
-	n := int(binary.BigEndian.Uint16(p[21:]))
-	p = p[23:]
+	req.traceID = binary.BigEndian.Uint64(p[21:])
+	req.parent = binary.BigEndian.Uint64(p[29:])
+	req.flags = p[37]
+	n := int(binary.BigEndian.Uint16(p[38:]))
+	p = p[40:]
 	if n > maxOps || len(p) != n*opWireSize {
 		return req, ops, fmt.Errorf("txnet: txn body length %d does not match %d ops", len(p), n)
 	}
@@ -274,8 +312,10 @@ func appendHelloResp(b []byte, sessionID, lastSeq uint64) []byte {
 	return binary.BigEndian.AppendUint64(b, lastSeq)
 }
 
-// appendOKResp encodes a committed transaction's response.
-func appendOKResp(b []byte, seq uint64, results []OpResult) []byte {
+// appendOKResp encodes a committed transaction's response. stages, when
+// non-nil, is the server-side stage breakdown (nanoseconds indexed by
+// trace.Stage); zero stages are elided from the wire block.
+func appendOKResp(b []byte, seq uint64, results []OpResult, stages *[trace.NumStages]int64) []byte {
 	b = append(b, byte(StatusOK))
 	b = binary.BigEndian.AppendUint64(b, seq)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(results)))
@@ -285,6 +325,23 @@ func appendOKResp(b []byte, seq uint64, results []OpResult) []byte {
 			b = append(b, 1)
 		} else {
 			b = append(b, 0)
+		}
+	}
+	n := 0
+	if stages != nil {
+		for _, d := range stages {
+			if d > 0 {
+				n++
+			}
+		}
+	}
+	b = append(b, byte(n))
+	if n > 0 {
+		for st, d := range stages {
+			if d > 0 {
+				b = append(b, byte(st))
+				b = binary.BigEndian.AppendUint64(b, uint64(d))
+			}
 		}
 	}
 	return b
@@ -342,7 +399,7 @@ func parseResponse(p []byte) (response, error) {
 		}
 		n := int(binary.BigEndian.Uint16(p))
 		p = p[2:]
-		if len(p) != n*9 {
+		if len(p) < n*9+1 {
 			return r, fmt.Errorf("txnet: ok body length %d does not match %d results", len(p), n)
 		}
 		r.results = make([]OpResult, n)
@@ -351,6 +408,24 @@ func parseResponse(p []byte) (response, error) {
 				Out: binary.BigEndian.Uint64(p[i*9:]),
 				OK:  p[i*9+8] == 1,
 			}
+		}
+		p = p[n*9:]
+		ns := int(p[0])
+		p = p[1:]
+		if len(p) != ns*9 {
+			return r, fmt.Errorf("txnet: ok stage block length %d does not match %d stages", len(p), ns)
+		}
+		for i := 0; i < ns; i++ {
+			st := trace.Stage(p[i*9])
+			d := binary.BigEndian.Uint64(p[i*9+1:])
+			if st >= trace.NumStages || d == 0 || d > 1<<62 {
+				return r, fmt.Errorf("txnet: malformed stage entry %d", i)
+			}
+			if r.stages[st] != 0 {
+				return r, fmt.Errorf("txnet: duplicate stage entry %v", st)
+			}
+			r.stages[st] = int64(d)
+			r.hasStages = true
 		}
 	case StatusOverloaded:
 		if len(p) != 4 {

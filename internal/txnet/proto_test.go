@@ -36,7 +36,7 @@ func TestTxnRoundTrip(t *testing.T) {
 		{Code: OpPut, Struct: 1, Key: 7, Val: 1<<63 + 9},
 		{Code: OpRemoveMin, Struct: 2},
 	}
-	b := appendTxn(nil, 17, 99, 1500*time.Millisecond, ops)
+	b := appendTxn(nil, 17, 99, 1500*time.Millisecond, 0xabcdef0123456789, 0x42, flagResend|flagStages, ops)
 	req, _, err := parseTxn(b, nil)
 	if err != nil {
 		t.Fatalf("parseTxn: %v", err)
@@ -46,6 +46,12 @@ func TestTxnRoundTrip(t *testing.T) {
 	}
 	if req.deadline != 1500*time.Millisecond {
 		t.Fatalf("deadline: got %v", req.deadline)
+	}
+	if req.traceID != 0xabcdef0123456789 || req.parent != 0x42 {
+		t.Fatalf("trace context: got %x/%x", req.traceID, req.parent)
+	}
+	if req.flags != flagResend|flagStages {
+		t.Fatalf("flags: got %x", req.flags)
 	}
 	if len(req.ops) != len(ops) {
 		t.Fatalf("ops: got %d want %d", len(req.ops), len(ops))
@@ -59,7 +65,7 @@ func TestTxnRoundTrip(t *testing.T) {
 
 func TestTxnReusesOpsBuffer(t *testing.T) {
 	scratch := make([]Op, 0, 8)
-	b := appendTxn(nil, 1, 1, 0, []Op{{Code: OpContains, Key: 5}})
+	b := appendTxn(nil, 1, 1, 0, 0, 0, 0, []Op{{Code: OpContains, Key: 5}})
 	_, ops, err := parseTxn(b, scratch)
 	if err != nil {
 		t.Fatalf("parseTxn: %v", err)
@@ -70,7 +76,7 @@ func TestTxnReusesOpsBuffer(t *testing.T) {
 }
 
 func TestTxnMalformed(t *testing.T) {
-	good := appendTxn(nil, 1, 1, 0, []Op{{Code: OpAdd, Key: 1}})
+	good := appendTxn(nil, 1, 1, 0, 0, 0, 0, []Op{{Code: OpAdd, Key: 1}})
 	cases := map[string][]byte{
 		"empty":      {},
 		"wrong type": append([]byte{msgHello}, good[1:]...),
@@ -100,7 +106,7 @@ func TestHelloRoundTrip(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	results := []OpResult{{Out: 7, OK: true}, {Out: 0, OK: false}}
-	r, err := parseResponse(appendOKResp(nil, 42, results))
+	r, err := parseResponse(appendOKResp(nil, 42, results, nil))
 	if err != nil {
 		t.Fatalf("parse ok: %v", err)
 	}
@@ -139,7 +145,7 @@ func TestResponseRoundTrip(t *testing.T) {
 }
 
 func TestResponseMalformed(t *testing.T) {
-	ok := appendOKResp(nil, 1, []OpResult{{OK: true}})
+	ok := appendOKResp(nil, 1, []OpResult{{OK: true}}, nil)
 	cases := map[string][]byte{
 		"empty":          {},
 		"short ok":       ok[:5],

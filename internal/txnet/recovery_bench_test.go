@@ -38,7 +38,7 @@ func buildDurableLog(tb testing.TB, dir string, commits, snapEvery int) uint64 {
 				{Code: OpPut, Struct: 1, Key: k, Val: uint64(i)},
 			},
 		}
-		if _, err := d.commitTxn(context.Background(), sess, req, results, nil); err != nil {
+		if _, err := d.commitTxn(context.Background(), sess, req, results, nil, new(reqObs)); err != nil {
 			tb.Fatalf("commit %d: %v", i, err)
 		}
 	}

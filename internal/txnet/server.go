@@ -5,13 +5,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos/failpoint"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// serverSrc is the flight-recorder source server request spans record under.
+var serverSrc = trace.S("txnet.server")
 
 // Network failpoints. All four are recovered at the connection level: an
 // injected panic drops that connection (the fault a real network inflicts)
@@ -52,6 +60,12 @@ type Options struct {
 	// (overriding Store) and acknowledges mutating transactions only
 	// after the write-ahead log has accepted them.
 	Durable *Durable
+	// SlowThreshold, when positive, logs a structured line with the full
+	// per-stage breakdown for every request whose total service time
+	// (receipt to response flushed) reaches it.
+	SlowThreshold time.Duration
+	// SlowWriter receives slow-request lines (default os.Stderr).
+	SlowWriter io.Writer
 }
 
 // Defaults for Options zero fields.
@@ -102,6 +116,9 @@ type Server struct {
 	done         chan struct{} // closed when Shutdown finishes
 	connWG       sync.WaitGroup
 
+	slowNS int64     // slow-request threshold (0 = off)
+	slow   io.Writer // slow-request sink
+
 	stats struct {
 		conns, requests, commits, replays atomic.Uint64
 		shed, deadline, aborted, badReq   atomic.Uint64
@@ -151,6 +168,14 @@ func Serve(ln net.Listener, opts Options) *Server {
 		s.store = opts.Durable.store
 		s.sess = opts.Durable.adoptSessions(opts.SessionTTL)
 	}
+	if opts.SlowThreshold > 0 {
+		s.slowNS = opts.SlowThreshold.Nanoseconds()
+		s.slow = opts.SlowWriter
+		if s.slow == nil {
+			s.slow = os.Stderr
+		}
+	}
+	registerServer(s)
 	s.connWG.Add(2)
 	go s.acceptLoop()
 	go s.sweepLoop()
@@ -217,6 +242,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				s.shutdownErr = cerr
 			}
 		}
+		unregisterServer(s)
 		close(s.done)
 	})
 	<-s.done
@@ -310,6 +336,7 @@ func (s *Server) handleConn(c net.Conn) {
 	}()
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
+	tl := serverSrc.Local()
 	var (
 		buf  []byte
 		ops  []Op
@@ -322,7 +349,7 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		buf = frame
-		ops, err = s.handleFrame(bw, frame, ops, &resp)
+		ops, err = s.handleFrame(bw, tl, frame, ops, &resp)
 		if err != nil {
 			if errors.Is(err, errConnDropped) {
 				s.stats.droppedConns.Add(1)
@@ -334,7 +361,7 @@ func (s *Server) handleConn(c net.Conn) {
 
 // handleFrame dispatches one request and writes its response. It recovers
 // injected failpoint panics into errConnDropped.
-func (s *Server) handleFrame(bw *bufio.Writer, frame []byte, ops []Op, resp *[]byte) (opsOut []Op, err error) {
+func (s *Server) handleFrame(bw *bufio.Writer, tl *trace.Local, frame []byte, ops []Op, resp *[]byte) (opsOut []Op, err error) {
 	defer func() {
 		p := recover()
 		if p == nil {
@@ -397,16 +424,24 @@ func (s *Server) handleFrame(bw *bufio.Writer, frame []byte, ops []Op, resp *[]b
 			return ops, nil
 		}
 		s.stats.requests.Add(1)
-		*resp = s.execTxn(req, (*resp)[:0])
-		return ops, s.writeResp(bw, *resp)
+		var obs reqObs
+		s.beginObs(&obs, tl, &req)
+		// An injected panic between here and finish leaves the span open;
+		// abandon (a no-op after finish) closes it on that path.
+		defer obs.abandon()
+		*resp = s.execTxn(req, (*resp)[:0], &obs)
+		werr := s.writeResp(bw, *resp)
+		obs.finish(s, &req, Status((*resp)[0]), werr == nil)
+		return ops, werr
 	default:
 		return ops, fmt.Errorf("txnet: unknown message type %d", frame[0])
 	}
 }
 
 // execTxn runs one transaction request through the session, admission and
-// store layers, returning the encoded response.
-func (s *Server) execTxn(req txnReq, resp []byte) []byte {
+// store layers, returning the encoded response. o records where the
+// request's time went (a disarmed o makes every stamp one branch).
+func (s *Server) execTxn(req txnReq, resp []byte, o *reqObs) []byte {
 	sess, ok := s.sess.lookup(req.session)
 	if !ok {
 		s.stats.badReq.Add(1)
@@ -414,10 +449,12 @@ func (s *Server) execTxn(req txnReq, resp []byte) []byte {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	o.stamp(trace.StageDispatch)
 	switch {
 	case req.seq == sess.lastSeq && sess.lastResp != nil:
 		// Retry of the committed transaction: replay the cached verdict.
 		s.stats.replays.Add(1)
+		o.replay = true
 		return append(resp, sess.lastResp...)
 	case req.seq == 0:
 		s.stats.badReq.Add(1)
@@ -440,7 +477,9 @@ func (s *Server) execTxn(req txnReq, resp []byte) []byte {
 	s.inflightMu.Unlock()
 	defer s.reqWG.Done()
 
-	if !s.adm.acquire(s.ctx) {
+	admitted := s.adm.acquire(s.ctx)
+	o.stamp(trace.StageAdmission)
+	if !admitted {
 		if s.ctx.Err() != nil {
 			s.stats.shutdownResp.Add(1)
 			return appendErrResp(resp, StatusShutdown, req.seq, 0, "")
@@ -464,19 +503,23 @@ func (s *Server) execTxn(req txnReq, resp []byte) []byte {
 	if s.dur != nil {
 		// Durable commit path: execute, log, ack — commitTxn returns only
 		// store errors (log failures crash via walFatal, never ack).
-		resp, err = s.dur.commitTxn(ctx, sess, req, results, resp)
+		resp, err = s.dur.commitTxn(ctx, sess, req, results, resp, o)
 		if err == nil {
 			s.stats.commits.Add(1)
 			return resp
 		}
-	} else if err = s.store.Exec(ctx, req.ops, results); err == nil {
-		s.stats.commits.Add(1)
-		resp = appendOKResp(resp, req.seq, results)
-		// Commit and cache move together under the session lock: from here
-		// on, a retry of req.seq replays this exact response.
-		sess.lastSeq = req.seq
-		sess.lastResp = append(sess.lastResp[:0], resp...)
-		return resp
+	} else {
+		err = s.store.Exec(ctx, req.ops, results)
+		o.stamp(trace.StageExecute)
+		if err == nil {
+			s.stats.commits.Add(1)
+			resp = appendOKResp(resp, req.seq, results, o.wireStages(req))
+			// Commit and cache move together under the session lock: from here
+			// on, a retry of req.seq replays this exact response.
+			sess.lastSeq = req.seq
+			sess.lastResp = append(sess.lastResp[:0], resp...)
+			return resp
+		}
 	}
 	switch {
 	case errors.Is(err, ErrBadOp):
@@ -526,6 +569,136 @@ func (s *Server) writeResp(bw *bufio.Writer, payload []byte) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// reqObs carries one request's observability state: the open trace span,
+// per-stage wall-clock stamps, and the replay/resend markers. Its zero
+// value is fully disarmed — every stamp collapses to one predictable branch
+// — so untraced requests on a server with no slow log and disabled
+// telemetry pay nothing (guarded by the trace_bench_test overhead bench).
+type reqObs struct {
+	tl      *trace.Local
+	traceID uint64
+	armed   bool
+	done    bool
+	replay  bool
+	start   time.Time
+	mark    time.Time
+	stages  [trace.NumStages]int64
+}
+
+// beginObs arms the observer when anyone wants the data: the wire carried a
+// trace id (the client's sampling verdict), the client asked for a stage
+// block, the server logs slow requests, or telemetry is recording.
+func (s *Server) beginObs(o *reqObs, tl *trace.Local, req *txnReq) {
+	if req.traceID != 0 {
+		o.traceID = req.traceID
+		tl.SpanOpen(req.traceID, req.parent)
+		if tl.SpanActive() {
+			o.tl = tl
+			if req.flags&flagResend != 0 {
+				tl.Resend(0)
+			}
+		}
+	}
+	o.armed = o.tl != nil || o.traceID != 0 || s.slowNS > 0 ||
+		req.flags&flagStages != 0 || telemetry.Default.Enabled()
+	if o.armed {
+		now := time.Now()
+		o.start, o.mark = now, now
+	}
+}
+
+// stamp closes the stage that began at the previous stamp (or at receipt).
+func (o *reqObs) stamp(st trace.Stage) {
+	if !o.armed {
+		return
+	}
+	now := time.Now()
+	if d := now.Sub(o.mark).Nanoseconds(); d > 0 {
+		o.stages[st] += d
+		o.tl.Stage(st, d)
+	}
+	o.mark = now
+}
+
+// rearm resets the stage clock without recording anything, so untracked
+// work between two stages (snapshotting, bookkeeping) is not billed to the
+// next stage.
+func (o *reqObs) rearm() {
+	if o.armed {
+		o.mark = time.Now()
+	}
+}
+
+// wireStages returns the stage array for the OK response's wire block when
+// the request asked for one (flagStages), nil otherwise. The block misses
+// the ack stage by construction — the response is encoded before it is
+// written — but the server's own histograms and trace spans include it.
+func (o *reqObs) wireStages(req txnReq) *[trace.NumStages]int64 {
+	if o.armed && req.flags&flagStages != 0 {
+		return &o.stages
+	}
+	return nil
+}
+
+// finish stamps the ack stage, feeds the wire-layer histograms (with the
+// trace id as exemplar), emits the slow-request line when warranted, and
+// closes the span. flushed is false when the response write failed.
+func (o *reqObs) finish(s *Server, req *txnReq, st Status, flushed bool) {
+	if o.done {
+		return
+	}
+	o.done = true
+	if !o.armed {
+		return
+	}
+	if flushed {
+		o.stamp(trace.StageAck)
+	}
+	total := time.Since(o.start).Nanoseconds()
+	netStats.reqLatency.ObserveEx(total, o.traceID)
+	for i, d := range o.stages {
+		if d > 0 {
+			netStats.stageLatency[i].ObserveEx(d, o.traceID)
+		}
+	}
+	if s.slowNS > 0 && total >= s.slowNS {
+		s.logSlow(req, st, total, o)
+	}
+	o.tl.SpanClose()
+}
+
+// abandon closes a span finish never reached (injected-panic paths).
+func (o *reqObs) abandon() {
+	if !o.done {
+		o.done = true
+		o.tl.SpanClose()
+	}
+}
+
+// logSlow writes one structured (logfmt) slow-request line with the full
+// stage breakdown, e.g.:
+//
+//	txnet slow-request trace=4f1e... session=3 seq=17 status=ok total=12ms
+//	  dispatch=1µs admission=8ms execute=2ms wal-append=40µs fsync=1.9ms ack=3µs
+func (s *Server) logSlow(req *txnReq, st Status, totalNS int64, o *reqObs) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txnet slow-request trace=%016x session=%d seq=%d status=%s total=%v",
+		o.traceID, req.session, req.seq, st, time.Duration(totalNS))
+	if req.flags&flagResend != 0 {
+		b.WriteString(" resend=true")
+	}
+	if o.replay {
+		b.WriteString(" replay=true")
+	}
+	for i, d := range o.stages {
+		if d > 0 {
+			fmt.Fprintf(&b, " %s=%v", trace.Stage(i), time.Duration(d))
+		}
+	}
+	b.WriteByte('\n')
+	_, _ = io.WriteString(s.slow, b.String())
 }
 
 func be64(b []byte) uint64 {

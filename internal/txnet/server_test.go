@@ -60,7 +60,7 @@ func (r *rawConn) send(payload []byte) response {
 
 func (r *rawConn) txn(seq uint64, deadline time.Duration, ops ...Op) response {
 	r.t.Helper()
-	return r.send(appendTxn(nil, r.sess, seq, deadline, ops))
+	return r.send(appendTxn(nil, r.sess, seq, deadline, 0, 0, 0, ops))
 }
 
 func newTestServer(t *testing.T, opts Options) *Server {

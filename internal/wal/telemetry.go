@@ -56,6 +56,36 @@ func StatsSnapshot() Stats {
 
 func init() {
 	telemetry.RegisterSection(writeSection)
+	telemetry.RegisterOpenMetrics(emitOpenMetrics)
+}
+
+// walCounterFamilies drives the OpenMetrics counter exposition.
+var walCounterFamilies = []struct {
+	name, help string
+	value      func(Stats) uint64
+}{
+	{"wal_appends", "Records appended to the write-ahead log.", func(s Stats) uint64 { return s.Appends }},
+	{"wal_appended_bytes", "Payload bytes appended to the write-ahead log.", func(s Stats) uint64 { return s.AppendedBytes }},
+	{"wal_fsyncs", "Group-commit fsync calls.", func(s Stats) uint64 { return s.Fsyncs }},
+	{"wal_snapshots", "Snapshots written.", func(s Stats) uint64 { return s.Snapshots }},
+	{"wal_snapshot_errors", "Snapshot attempts that failed.", func(s Stats) uint64 { return s.SnapshotErrs }},
+	{"wal_snapshots_skipped", "Snapshots skipped because one was in flight.", func(s Stats) uint64 { return s.SnapshotsSkipped }},
+	{"wal_segments_deleted", "Log segments deleted by truncation.", func(s Stats) uint64 { return s.SegmentsDeleted }},
+	{"wal_replayed_records", "Records replayed during recovery.", func(s Stats) uint64 { return s.ReplayedRecords }},
+	{"wal_torn_tails", "Torn log tails discarded during recovery.", func(s Stats) uint64 { return s.TornTails }},
+}
+
+// emitOpenMetrics renders the durability families for /metrics: the
+// package counters plus the group-commit fsync latency histogram.
+func emitOpenMetrics(om *telemetry.OM) {
+	s := StatsSnapshot()
+	for _, fam := range walCounterFamilies {
+		om.Family(fam.name, "counter", fam.help)
+		om.Total(fam.name, "", fam.value(s))
+	}
+	om.Family("wal_fsync_duration_seconds", "histogram",
+		"Group-commit fsync wall time.")
+	om.Histogram("wal_fsync_duration_seconds", "", fsyncLatency.Snapshot())
 }
 
 // writeSection renders the durability line in telemetry.WriteTable (and
